@@ -1,0 +1,321 @@
+(* Regenerates every table and figure of the paper's evaluation:
+
+     table1   - Px86sim reordering constraints (Table 1)
+     table2   - system configuration (Table 2)
+     fig12/16 - bugs found in PMDK (+ manifestation detail)
+     fig13/15 - bugs found in RECIPE (+ manifestation detail)
+     fig14    - Jaaru state-space reduction vs. the eager (Yat) baseline,
+                with a Bechamel timing run per benchmark
+     ablation - constraint refinement / commit-store design points
+
+   Run with no arguments for everything, or pass section names. *)
+
+open Jaaru
+
+let section_header title = Format.printf "@.=== %s ===@.@." title
+
+(* --- Table 1 ----------------------------------------------------------------- *)
+
+let table1 () =
+  section_header
+    "Table 1: Px86sim reordering constraints (Y ordered / N reorderable / CL same-line)";
+  Format.printf "%a@." Tso.Constraints.pp_table ()
+
+(* --- Table 2 ----------------------------------------------------------------- *)
+
+let table2 () =
+  section_header "Table 2: system configuration";
+  Format.printf "CPU                 %d-core host (the simulation itself is single-threaded)@."
+    (Domain.recommended_domain_count ());
+  Format.printf "Volatile memory     host RAM@.";
+  Format.printf "Non-volatile memory full Px86sim semantics simulated (store buffers,@.";
+  Format.printf "                    flush buffers, clflush/clflushopt/clwb/sfence/mfence)@.";
+  Format.printf "OS                  %s@." Sys.os_type;
+  Format.printf "Runtime             OCaml %s@." Sys.ocaml_version
+
+(* --- bug tables (Figs. 12/13/15/16) ------------------------------------------ *)
+
+let run_bug_case ~id ~benchmark ~description scenario config =
+  let t0 = Unix.gettimeofday () in
+  let o = Explorer.run ~config scenario in
+  let dt = Unix.gettimeofday () -. t0 in
+  let symptom =
+    match o.Explorer.bugs with [] -> "NOT FOUND" | b :: _ -> Bug.symptom b
+  in
+  Format.printf "%-14s %-16s %-55s %s@." id benchmark symptom
+    (Printf.sprintf "(%d exec, %.2fs)" o.Explorer.stats.Stats.executions dt);
+  (id, benchmark, description, symptom)
+
+let fig12 () =
+  section_header "Figure 12: bugs found in PMDK";
+  Format.printf "%-14s %-16s %s@." "#" "Benchmark" "Symptom";
+  List.map
+    (fun (c : Pmdk.Workloads.case) ->
+      run_bug_case ~id:c.id ~benchmark:c.benchmark ~description:c.description c.scenario c.config)
+    (Pmdk.Workloads.fig12_cases () @ Pmdk.Workloads.checksum_cases ())
+
+let fig13 () =
+  section_header "Figure 13: bugs found in RECIPE (all 18, paper numbering)";
+  Format.printf "%-14s %-16s %s@." "#" "Benchmark" "Symptom";
+  List.map
+    (fun (c : Recipe.Workloads.case) ->
+      run_bug_case ~id:c.id ~benchmark:c.benchmark ~description:c.description c.scenario c.config)
+    (Recipe.Workloads.fig13_cases ())
+
+let manifestation_table title rows =
+  section_header title;
+  Format.printf "%-14s %-55s %s@." "Bug ID" "Type of bug" "Cause / manifestation";
+  List.iter
+    (fun (id, _benchmark, description, symptom) ->
+      Format.printf "%-14s %-55s %s@." id description symptom)
+    rows
+
+(* --- Figure 14 ---------------------------------------------------------------- *)
+
+type fig14_row = {
+  benchmark : string;
+  jexec : int;
+  jtime : float;
+  fpoints : int;
+  per_fp : float;
+  yat_log10 : float;
+}
+
+let fig14_sizes =
+  [ ("CCEH", 24); ("FAST_FAIR", 10); ("P-ART", 8); ("P-BwTree", 7); ("P-CLHT", 3); ("P-Masstree", 4) ]
+
+let fig14_row (benchmark, n) =
+  let scn = Recipe.Workloads.fixed_scenario benchmark n in
+  let config = { Config.default with Config.max_steps = 200_000 } in
+  let t0 = Unix.gettimeofday () in
+  let o = Explorer.run ~config scn in
+  let jtime = Unix.gettimeofday () -. t0 in
+  assert (not (Explorer.found_bug o));
+  let yat = Yat.State_count.analyze ~config (fun ctx -> scn.Explorer.pre ctx) in
+  {
+    benchmark;
+    jexec = o.Explorer.stats.Stats.executions;
+    jtime;
+    fpoints = o.Explorer.stats.Stats.failure_points;
+    per_fp = Stats.executions_per_fp o.Explorer.stats;
+    yat_log10 = yat.Yat.State_count.log10_total;
+  }
+
+let fig14 () =
+  section_header "Figure 14: Jaaru's state-space reduction";
+  Format.printf "%-12s %8s %10s %10s %10s %16s@." "Benchmark" "#JExec." "JTime" "#FPoints"
+    "Exec/FP" "#Yat Execs.";
+  let rows = List.map fig14_row fig14_sizes in
+  List.iter
+    (fun r ->
+      Format.printf "%-12s %8d %9.2fs %10d %10.2f %16s@." r.benchmark r.jexec r.jtime r.fpoints
+        r.per_fp
+        (Format.asprintf "%a" Yat.State_count.pp_count r.yat_log10))
+    rows;
+  Format.printf
+    "@.(Shape to compare with the paper: a handful of executions per failure point —@.\
+     the paper reports 1.5 to 8 — against astronomically many eager states.)@."
+
+(* Bechamel timing: one Test.make per Fig. 14 benchmark, measuring a full
+   exhaustive exploration of that benchmark. *)
+let fig14_bechamel () =
+  section_header "Figure 14 (JTime column, Bechamel measurement)";
+  let open Bechamel in
+  let open Toolkit in
+  let test_of (benchmark, n) =
+    Test.make ~name:benchmark
+      (Staged.stage (fun () ->
+           let scn = Recipe.Workloads.fixed_scenario benchmark n in
+           let config = { Config.default with Config.max_steps = 200_000 } in
+           ignore (Explorer.run ~config scn)))
+  in
+  let test = Test.make_grouped ~name:"fig14" ~fmt:"%s/%s" (List.map test_of fig14_sizes) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 2.0) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ ns ] -> Format.printf "%-24s %10.3f ms / full exploration@." name (ns /. 1e6)
+         | Some _ | None -> Format.printf "%-24s (no estimate)@." name)
+
+(* --- ablations ----------------------------------------------------------------- *)
+
+(* Constraint refinement and lazy enumeration vs. eager exploration: an
+   unflushed array of n 64-bit integers (the paper's 9^(n/8) example). With a
+   commit store guarding the data, Jaaru's executions grow linearly in n;
+   the eager baseline grows exponentially. *)
+let ablation_lazy_vs_eager () =
+  section_header "Ablation: lazy (Jaaru) vs eager (Yat) on an unflushed n-int array";
+  Format.printf "%-6s %12s %14s %18s@." "n" "Jaaru exec" "eager states" "eager (analytic)";
+  List.iter
+    (fun n ->
+      let base = 0x1000 in
+      let pre ctx =
+        for i = 0 to n - 1 do
+          Ctx.store64 ctx ~label:"init" (base + (8 * i)) (i + 1)
+        done
+        (* no flush: the crash happens with everything in cache *)
+      in
+      let post ctx =
+        let sum = ref 0 in
+        for i = 0 to n - 1 do
+          sum := !sum + Ctx.load64 ctx ~label:"read" (base + (8 * i))
+        done;
+        Printf.sprintf "%d" !sum
+      in
+      let o =
+        Explorer.run (Explorer.scenario ~name:"array" ~pre ~post:(fun ctx -> ignore (post ctx)))
+      in
+      let eager = Yat.Eager.check ~state_limit:100_000 ~pre ~post () in
+      let yat = Yat.State_count.analyze pre in
+      Format.printf "%-6d %12d %13d%s %18s@." n o.Explorer.stats.Stats.executions
+        eager.Yat.Eager.states
+        (if eager.Yat.Eager.truncated then "+" else "")
+        (Format.asprintf "%a" Yat.State_count.pp_count yat.Yat.State_count.log10_total))
+    [ 2; 4; 8; 16; 24 ]
+
+(* The commit-store insight (paper section 3.2): guarded recovery reads keep
+   the number of explored executions per failure point constant; unguarded
+   reads of k unflushed cache lines explore 2^k executions. *)
+let ablation_commit_store () =
+  section_header "Ablation: commit store vs blind recovery reads";
+  Format.printf "%-8s %18s %18s@." "lines" "guarded exec" "blind exec";
+  List.iter
+    (fun k ->
+      let base = 0x1000 in
+      let data_base = 0x1100 in
+      let pre ctx =
+        for i = 0 to k - 1 do
+          Ctx.store64 ctx ~label:"data" (data_base + (64 * i)) (i + 100)
+        done;
+        Ctx.clflush ctx ~label:"flush data" data_base (64 * k);
+        Ctx.sfence ctx ~label:"fence" ();
+        Ctx.store64 ctx ~label:"commit" base 1;
+        Ctx.clflush ctx ~label:"flush commit" base 8
+      in
+      let guarded ctx =
+        if Ctx.load64 ctx ~label:"read commit" base = 1 then
+          for i = 0 to k - 1 do
+            ignore (Ctx.load64 ctx ~label:"read data" (data_base + (64 * i)))
+          done
+      in
+      let blind ctx =
+        for i = 0 to k - 1 do
+          ignore (Ctx.load64 ctx ~label:"read data blind" (data_base + (64 * i)))
+        done
+      in
+      let run post = (Explorer.run (Explorer.scenario ~name:"cs" ~pre ~post)).Explorer.stats in
+      Format.printf "%-8d %18d %18d@." k (run guarded).Stats.executions
+        (run blind).Stats.executions)
+    [ 1; 2; 4; 6; 8 ]
+
+(* Scaling sweep: Jaaru's executions grow polynomially with workload size
+   while the eager count grows exponentially — the crossover argument behind
+   the paper's complexity claim (section 3.2). One series per benchmark,
+   like a figure. *)
+let ablation_scaling () =
+  section_header "Ablation: workload-size scaling (Jaaru executions vs eager states)";
+  Format.printf "%-12s %6s %10s %10s %18s@." "Benchmark" "n" "JExec" "FPoints" "eager states";
+  List.iter
+    (fun benchmark ->
+      List.iter
+        (fun n ->
+          let scn = Recipe.Workloads.fixed_scenario benchmark n in
+          let config = { Config.default with Config.max_steps = 200_000 } in
+          let o = Explorer.run ~config scn in
+          let yat = Yat.State_count.analyze ~config (fun ctx -> scn.Explorer.pre ctx) in
+          Format.printf "%-12s %6d %10d %10d %18s@." benchmark n
+            o.Explorer.stats.Stats.executions o.Explorer.stats.Stats.failure_points
+            (Format.asprintf "%a" Yat.State_count.pp_count yat.Yat.State_count.log10_total))
+        [ 2; 4; 8; 16 ])
+    [ "CCEH"; "FAST_FAIR"; "P-BwTree" ]
+
+(* Multi-failure depth: the paper's command-line option bounding the exec
+   stack. Each extra failure multiplies the scenario space. *)
+let ablation_multi_failure () =
+  section_header "Ablation: failure-scenario depth (max_failures)";
+  Format.printf "%-14s %12s %12s@." "max_failures" "executions" "wall time";
+  List.iter
+    (fun depth ->
+      let scn = Recipe.Workloads.fixed_scenario "P-CLHT" 2 in
+      let config = { Config.default with Config.max_failures = depth; Config.max_steps = 200_000 } in
+      let t0 = Unix.gettimeofday () in
+      let o = Explorer.run ~config scn in
+      let dt = Unix.gettimeofday () -. t0 in
+      assert (not (Explorer.found_bug o));
+      Format.printf "%-14d %12d %11.2fs@." depth o.Explorer.stats.Stats.executions dt)
+    [ 0; 1; 2 ]
+
+(* Eviction-policy cost: the Buffered policy adds drain decisions at every
+   injected failure. *)
+let ablation_evict_policy () =
+  section_header "Ablation: eviction policy (eager vs buffered store buffers)";
+  Format.printf "%-10s %12s %14s@." "policy" "executions" "rf decisions";
+  List.iter
+    (fun (name, policy) ->
+      let base = 0x1000 in
+      let pre ctx =
+        for i = 0 to 3 do
+          Ctx.store64 ctx ~label:"w" (base + (64 * i)) (i + 1);
+          Ctx.clflush ctx ~label:"f" (base + (64 * i)) 8;
+          Ctx.sfence ctx ~label:"s" ()
+        done
+      in
+      let post ctx =
+        for i = 0 to 3 do
+          ignore (Ctx.load64 ctx ~label:"r" (base + (64 * i)))
+        done
+      in
+      let config = { Config.default with Config.evict_policy = policy } in
+      let o = Explorer.run ~config (Explorer.scenario ~name:"ev" ~pre ~post) in
+      Format.printf "%-10s %12d %14d@." name o.Explorer.stats.Stats.executions
+        o.Explorer.stats.Stats.rf_decisions)
+    [ ("eager", Config.Eager); ("buffered", Config.Buffered) ]
+
+(* The skip-if-no-writes failure-point optimisation. *)
+let ablation_fp_optimization () =
+  section_header "Ablation: failure points with vs without the no-writes-skip optimisation";
+  let base = 0x1000 in
+  let pre ctx =
+    Ctx.store64 ctx ~label:"w" base 1;
+    (* A burst of flushes with no intervening writes: only the first is a
+       useful failure point. *)
+    for _ = 1 to 8 do
+      Ctx.clflush ctx ~label:"redundant flush" base 8
+    done;
+    Ctx.store64 ctx ~label:"w2" (base + 64) 2;
+    Ctx.clflush ctx ~label:"flush 2" (base + 64) 8
+  in
+  let o = Explorer.run (Explorer.scenario ~name:"fp-opt" ~pre ~post:(fun _ -> ())) in
+  Format.printf "flush instructions executed: 10; failure points explored: %d@."
+    o.Explorer.stats.Stats.failure_points;
+  Format.printf "(without the optimisation every flush would be a failure point)@."
+
+let ablations () =
+  ablation_lazy_vs_eager ();
+  ablation_commit_store ();
+  ablation_fp_optimization ();
+  ablation_scaling ();
+  ablation_multi_failure ();
+  ablation_evict_policy ()
+
+(* --- driver -------------------------------------------------------------------- *)
+
+let () =
+  let sections = List.tl (Array.to_list Sys.argv) in
+  let want s = sections = [] || List.mem s sections in
+  if want "table1" then table1 ();
+  if want "table2" then table2 ();
+  let pmdk_rows = if want "fig12" || want "fig16" then fig12 () else [] in
+  let recipe_rows = if want "fig13" || want "fig15" then fig13 () else [] in
+  if want "fig15" then manifestation_table "Figure 15: RECIPE bug manifestations" recipe_rows;
+  if want "fig16" then manifestation_table "Figure 16: PMDK bug manifestations" pmdk_rows;
+  if want "fig14" then begin
+    fig14 ();
+    fig14_bechamel ()
+  end;
+  if want "ablation" then ablations ()

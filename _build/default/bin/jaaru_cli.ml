@@ -1,0 +1,218 @@
+(* The jaaru command-line tool: list the bundled benchmarks, model check one
+   of them, or compute the eager (Yat) state count for its workload. *)
+
+open Cmdliner
+
+type entry = {
+  id : string;
+  benchmark : string;
+  description : string;
+  expected : string list option;
+  scenario : Jaaru.Explorer.scenario;
+  config : Jaaru.Config.t;
+}
+
+let all_entries () =
+  let of_pmdk (c : Pmdk.Workloads.case) =
+    {
+      id = c.id;
+      benchmark = c.benchmark;
+      description = c.description;
+      expected = c.expected_symptom;
+      scenario = c.scenario;
+      config = c.config;
+    }
+  in
+  let of_recipe (c : Recipe.Workloads.case) =
+    {
+      id = c.id;
+      benchmark = c.benchmark;
+      description = c.description;
+      expected = c.expected_symptom;
+      scenario = c.scenario;
+      config = c.config;
+    }
+  in
+  List.map of_pmdk (Pmdk.Workloads.fig12_cases ())
+  @ List.map of_pmdk (Pmdk.Workloads.fixed_cases ())
+  @ List.map of_pmdk (Pmdk.Workloads.checksum_cases ())
+  @ List.map of_pmdk (Pmdk.Workloads.skiplist_cases ())
+  @ List.map of_recipe (Recipe.Workloads.fig13_cases ())
+  @ List.map of_recipe (Recipe.Workloads.fixed_cases ())
+  @ List.map of_recipe (Recipe.Workloads.concurrent_cases ())
+
+let find_entry id =
+  match List.find_opt (fun e -> e.id = id) (all_entries ()) with
+  | Some e -> Ok e
+  | None -> Error (`Msg (Printf.sprintf "unknown case %S; try `jaaru list'" id))
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List the bundled model-checking cases" in
+  let run () =
+    Format.printf "%-26s %-16s %-8s %s@." "ID" "BENCHMARK" "SEEDED" "DESCRIPTION";
+    List.iter
+      (fun e ->
+        Format.printf "%-26s %-16s %-8s %s@." e.id e.benchmark
+          (match e.expected with Some _ -> "bug" | None -> "clean")
+          e.description)
+      (all_entries ())
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- check --------------------------------------------------------------- *)
+
+let id_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CASE" ~doc:"Case id (see `jaaru list')")
+
+let max_failures_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-failures" ] ~docv:"N" ~doc:"Maximum number of injected power failures")
+
+let max_steps_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ] ~docv:"N" ~doc:"Per-execution step budget (loop detection)")
+
+let exhaustive_arg =
+  Arg.(
+    value & flag
+    & info [ "exhaustive" ]
+        ~doc:"Keep exploring after the first bug (bug cases stop early by default)")
+
+let multi_rf_arg =
+  Arg.(
+    value & flag
+    & info [ "show-multi-rf" ]
+        ~doc:"Print the loads that could read from more than one store (missing-flush debugging aid)")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the event trace of each reported bug")
+
+let apply_overrides config ~max_failures ~max_steps ~exhaustive =
+  let config =
+    match max_failures with
+    | Some n -> { config with Jaaru.Config.max_failures = n }
+    | None -> config
+  in
+  let config =
+    match max_steps with Some n -> { config with Jaaru.Config.max_steps = n } | None -> config
+  in
+  if exhaustive then { config with Jaaru.Config.stop_at_first_bug = false } else config
+
+let check_run id max_failures max_steps exhaustive show_multi_rf show_trace =
+  match find_entry id with
+  | Error e -> Error e
+  | Ok entry ->
+      let config = apply_overrides entry.config ~max_failures ~max_steps ~exhaustive in
+      Format.printf "checking %s (%s): %s@." entry.id entry.benchmark entry.description;
+      Format.printf "config: %a@.@." Jaaru.Config.pp config;
+      let o = Jaaru.Explorer.run ~config entry.scenario in
+      Format.printf "%a@.@." Jaaru.Explorer.pp_outcome o;
+      List.iter
+        (fun b ->
+          if show_trace then Format.printf "%a@.@." Jaaru.Bug.pp b
+          else Format.printf "bug: %s@." (Jaaru.Bug.symptom b))
+        o.Jaaru.Explorer.bugs;
+      if show_multi_rf then begin
+        Format.printf "@.loads with multiple read-from candidates:@.";
+        List.iter
+          (fun (r : Jaaru.Ctx.multi_rf) ->
+            Format.printf "  %s @@ 0x%x <- {%s}@." r.load_label r.load_addr
+              (String.concat ", "
+                 (List.map (fun (l, v) -> Printf.sprintf "%s=%d" l v) r.candidates)))
+          o.Jaaru.Explorer.multi_rf
+      end;
+      let expected_bug = entry.expected <> None in
+      let found = Jaaru.Explorer.found_bug o in
+      if expected_bug && not found then Error (`Msg "seeded bug was not found")
+      else if (not expected_bug) && found then Error (`Msg "clean case reported a bug")
+      else Ok ()
+
+let check_cmd =
+  let doc = "Model check one bundled case" in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      term_result
+        (const check_run $ id_arg $ max_failures_arg $ max_steps_arg $ exhaustive_arg
+       $ multi_rf_arg $ trace_arg))
+
+(* --- yat ------------------------------------------------------------------ *)
+
+let yat_run id =
+  match find_entry id with
+  | Error e -> Error e
+  | Ok entry ->
+      let t = Yat.State_count.analyze ~config:entry.config (fun ctx -> entry.scenario.pre ctx) in
+      Format.printf "%s: %a@." entry.id Yat.State_count.pp t;
+      Ok ()
+
+let yat_cmd =
+  let doc = "Count the post-failure states an eager (Yat-style) checker would explore" in
+  Cmd.v (Cmd.info "yat" ~doc) Term.(term_result (const yat_run $ id_arg))
+
+(* --- perf ------------------------------------------------------------------ *)
+
+let bench_arg =
+  Arg.(
+    value
+    & opt string "CCEH"
+    & info [ "benchmark" ] ~docv:"NAME"
+        ~doc:"One of CCEH, FAST_FAIR, P-ART, P-BwTree, P-CLHT, P-Masstree")
+
+let n_arg = Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Workload size (keys inserted)")
+
+let perf_run benchmark n =
+  match Recipe.Workloads.fixed_scenario benchmark n with
+  | exception Invalid_argument m -> Error (`Msg m)
+  | scn ->
+      let config = { Jaaru.Config.default with Jaaru.Config.max_steps = 200_000 } in
+      let t0 = Unix.gettimeofday () in
+      let o = Jaaru.Explorer.run ~config scn in
+      let dt = Unix.gettimeofday () -. t0 in
+      Format.printf "%s n=%d: %a@." benchmark n Jaaru.Explorer.pp_outcome o;
+      Format.printf "wall time: %.3fs@." dt;
+      let yat = Yat.State_count.analyze ~config (fun ctx -> scn.pre ctx) in
+      Format.printf "eager baseline would explore %a states@." Yat.State_count.pp_count
+        yat.Yat.State_count.log10_total;
+      if Jaaru.Explorer.found_bug o then Error (`Msg "fixed benchmark reported a bug") else Ok ()
+
+let perf_cmd =
+  let doc = "Exhaustively explore a fixed RECIPE benchmark and report statistics" in
+  Cmd.v (Cmd.info "perf" ~doc) Term.(term_result (const perf_run $ bench_arg $ n_arg))
+
+(* --- fuzz ------------------------------------------------------------------ *)
+
+let seeds_arg =
+  Arg.(value & opt int 16 & info [ "seeds" ] ~docv:"N" ~doc:"Number of schedule seeds to fuzz")
+
+let fuzz_run id nseeds =
+  match find_entry id with
+  | Error e -> Error e
+  | Ok entry ->
+      let seeds = List.init nseeds succ in
+      Format.printf "fuzzing %s over %d schedules...@." entry.id nseeds;
+      let r = Jaaru.Fuzz.run ~config:entry.config ~seeds entry.scenario in
+      Format.printf "%a@." Jaaru.Fuzz.pp r;
+      let expected_bug = entry.expected <> None in
+      if expected_bug && not (Jaaru.Fuzz.found_bug r) then
+        Error (`Msg "seeded bug was not found on any schedule")
+      else if (not expected_bug) && Jaaru.Fuzz.found_bug r then
+        Error (`Msg "clean case reported a bug")
+      else Ok ()
+
+let fuzz_cmd =
+  let doc = "Fuzz a bundled case across seeded thread schedules (concurrency bugs)" in
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(term_result (const fuzz_run $ id_arg $ seeds_arg))
+
+(* --- main ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "Jaaru: a model checker for persistent-memory programs" in
+  let info = Cmd.info "jaaru" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; check_cmd; yat_cmd; perf_cmd; fuzz_cmd ]))

@@ -1,0 +1,1 @@
+examples/checksum_log.ml: Bug Config Explorer Format Jaaru List Pmdk

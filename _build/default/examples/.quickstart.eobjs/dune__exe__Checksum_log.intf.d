@@ -1,0 +1,1 @@
+examples/checksum_log.mli:

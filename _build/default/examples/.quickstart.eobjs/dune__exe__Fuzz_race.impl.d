@@ -1,0 +1,1 @@
+examples/fuzz_race.ml: Config Ctx Explorer Format Fuzz Jaaru List

@@ -1,0 +1,1 @@
+examples/kv_queue_audit.ml: Bug Config Ctx Explorer Format Jaaru List Printf String

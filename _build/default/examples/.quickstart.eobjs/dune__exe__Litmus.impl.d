@@ -1,0 +1,1 @@
+examples/litmus.ml: Config Ctx Explorer Format Jaaru Printf String Yat

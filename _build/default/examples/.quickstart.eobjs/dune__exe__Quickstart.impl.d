@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bug Ctx Explorer Format Jaaru List Yat

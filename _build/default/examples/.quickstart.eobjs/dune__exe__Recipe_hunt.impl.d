@@ -1,0 +1,1 @@
+examples/recipe_hunt.ml: Bug Explorer Format Jaaru List Recipe

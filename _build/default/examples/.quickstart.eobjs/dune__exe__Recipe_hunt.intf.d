@@ -1,0 +1,1 @@
+examples/recipe_hunt.mli:

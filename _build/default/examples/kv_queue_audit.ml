@@ -1,0 +1,93 @@
+(* Auditing your own persistent data structure before release — the paper's
+   primary usage scenario (check small, widely-used library code
+   exhaustively).
+
+     dune exec examples/kv_queue_audit.exe
+
+   The structure under audit is written right here against the public
+   [Jaaru.Ctx] API: a persistent single-producer message queue in a ring
+   buffer. Slots hold (seqno, payload); the producer persists the record
+   before advancing the tail index (the commit store), and a consumer after
+   a crash replays every record between head and tail.
+
+   Two protocol variants are audited: one that flushes the record before the
+   tail advance, and one that does not. Jaaru proves the first correct for
+   this workload and produces a crashing execution for the second. *)
+
+open Jaaru
+
+let base = 0x1000
+let off_head = 0 (* consumer index, line 0 *)
+let off_tail = 64 (* producer index, line 1 *)
+let slots = 0x1100 (* ring storage *)
+let slot_size = 16
+let capacity = 16
+
+type queue = { ctx : Ctx.t; flush_records : bool }
+
+let slot q i = ignore q; slots + (slot_size * (i mod capacity))
+
+let tail q = Ctx.load64 q.ctx ~label:"queue: read tail" (base + off_tail)
+let head q = Ctx.load64 q.ctx ~label:"queue: read head" (base + off_head)
+
+let push q payload =
+  let t = tail q in
+  Ctx.check q.ctx (t - head q < capacity) "queue full";
+  let s = slot q t in
+  Ctx.store64 q.ctx ~label:"queue: slot seqno" s (t + 1);
+  Ctx.store64 q.ctx ~label:"queue: slot payload" (s + 8) payload;
+  if q.flush_records then begin
+    Ctx.clflush q.ctx ~label:"queue: flush slot" s slot_size;
+    Ctx.sfence q.ctx ~label:"queue: fence slot" ()
+  end;
+  (* The tail advance commits the record. *)
+  Ctx.store64 q.ctx ~label:"queue: tail advance" (base + off_tail) (t + 1);
+  Ctx.clflush q.ctx ~label:"queue: flush tail" (base + off_tail) 8;
+  Ctx.sfence q.ctx ~label:"queue: fence tail" ()
+
+let drain q =
+  let t = tail q in
+  let h = head q in
+  Ctx.check q.ctx (t >= h && t - h <= capacity) "queue indices corrupt";
+  let collected = ref [] in
+  for i = h to t - 1 do
+    let s = slot q i in
+    let seqno = Ctx.load64 q.ctx ~label:"queue: read seqno" s in
+    let payload = Ctx.load64 q.ctx ~label:"queue: read payload" (s + 8) in
+    (* A committed slot must carry the right sequence number and a sane
+       payload: the tail advance vouched for it. *)
+    Ctx.check q.ctx (seqno = i + 1) "committed slot has a stale sequence number";
+    Ctx.check q.ctx (payload >= 100 && payload < 200) "committed slot has a torn payload";
+    collected := payload :: !collected
+  done;
+  List.rev !collected
+
+let scenario ~flush_records =
+  let messages = [ 101; 117; 133; 149; 165 ] in
+  let pre ctx =
+    let q = { ctx; flush_records } in
+    List.iter (push q) messages
+  in
+  let post ctx =
+    let q = { ctx; flush_records } in
+    ignore (drain q)
+  in
+  Explorer.scenario ~name:"kv-queue" ~pre ~post
+
+let () =
+  Format.printf "== auditing the correct protocol (record flushed before tail advance) ==@.";
+  let o = Explorer.run (scenario ~flush_records:true) in
+  Format.printf "%a@.@." Explorer.pp_outcome o;
+
+  Format.printf "== auditing the broken protocol (record not flushed) ==@.";
+  let config = { Config.default with Config.stop_at_first_bug = true } in
+  let o = Explorer.run ~config (scenario ~flush_records:false) in
+  Format.printf "%a@.@." Explorer.pp_outcome o;
+  List.iter (fun b -> Format.printf "%a@.@." Bug.pp b) o.Explorer.bugs;
+
+  Format.printf "== the missing-flush debugging aid pinpoints the culprit ==@.";
+  List.iter
+    (fun (r : Ctx.multi_rf) ->
+      Format.printf "load %s could read from: %s@." r.load_label
+        (String.concat ", " (List.map (fun (l, v) -> Printf.sprintf "%s (%d)" l v) r.candidates)))
+    o.Explorer.multi_rf

@@ -1,0 +1,1 @@
+lib/core/bug.ml: Format List Pmem Printf String

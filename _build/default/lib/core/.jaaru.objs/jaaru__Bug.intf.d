@@ -1,0 +1,1 @@
+lib/core/bug.mli: Format Pmem

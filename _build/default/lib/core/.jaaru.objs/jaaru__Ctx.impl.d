@@ -1,0 +1,1 @@
+lib/core/ctx.ml: Array Bug Choice Config Exec Format Fun Hashtbl List Pmem Scheduler Trace Tso

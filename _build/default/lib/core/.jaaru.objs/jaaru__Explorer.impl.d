@@ -1,0 +1,1 @@
+lib/core/explorer.ml: Bug Choice Config Ctx Exec Format Hashtbl List Pmem Printexc Stats Unix

@@ -1,0 +1,1 @@
+lib/core/explorer.mli: Bug Config Ctx Format Stats

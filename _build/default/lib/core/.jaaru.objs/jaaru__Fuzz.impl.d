@@ -1,0 +1,1 @@
+lib/core/fuzz.ml: Bug Config Explorer Format List Stats

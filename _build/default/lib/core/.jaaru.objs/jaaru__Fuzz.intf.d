@@ -1,0 +1,1 @@
+lib/core/fuzz.mli: Bug Config Explorer Format

@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Effect Fun List

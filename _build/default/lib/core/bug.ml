@@ -1,0 +1,41 @@
+type kind =
+  | Illegal_access of { addr : Pmem.Addr.t; width : int; op : string }
+  | Assertion_failure of string
+  | Infinite_loop of { steps : int }
+  | Program_exception of string
+
+type t = { kind : kind; location : string; exec_depth : int; trace : string list }
+
+exception Found of kind * string
+
+let pp_kind ppf = function
+  | Illegal_access { addr; width; op } ->
+      Format.fprintf ppf "illegal %d-byte %s at address %a" width op Pmem.Addr.pp addr
+  | Assertion_failure msg -> Format.fprintf ppf "assertion failure: %s" msg
+  | Infinite_loop { steps } -> Format.fprintf ppf "stuck in a loop after %d steps" steps
+  | Program_exception msg -> Format.fprintf ppf "program exception: %s" msg
+
+let symptom bug =
+  match bug.kind with
+  | Illegal_access _ -> Printf.sprintf "Illegal memory access at %s" bug.location
+  | Assertion_failure _ -> Printf.sprintf "Assertion failure at %s" bug.location
+  | Infinite_loop _ -> "Getting stuck in an infinite loop"
+  | Program_exception msg -> Printf.sprintf "%s at %s" msg bug.location
+
+let kind_tag = function
+  | Illegal_access _ -> 0
+  | Assertion_failure _ -> 1
+  | Infinite_loop _ -> 2
+  | Program_exception _ -> 3
+
+let same_report a b = kind_tag a.kind = kind_tag b.kind && String.equal a.location b.location
+
+let pp ppf bug =
+  Format.fprintf ppf "@[<v 2>%a at %s (after %d injected failure%s)" pp_kind bug.kind bug.location
+    bug.exec_depth
+    (if bug.exec_depth = 1 then "" else "s");
+  if bug.trace <> [] then begin
+    Format.fprintf ppf "@,recent events:";
+    List.iter (fun ev -> Format.fprintf ppf "@,  %s" ev) bug.trace
+  end;
+  Format.fprintf ppf "@]"

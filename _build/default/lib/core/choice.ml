@@ -1,0 +1,74 @@
+type kind = Failure_point | Read_from | Drain
+
+exception Divergence of string
+
+type cell = { mutable chosen : int; num : int; kind : kind }
+
+type t = {
+  mutable cells : cell array;
+  mutable len : int;
+  mutable cursor : int;
+  created : int array;  (* cumulative fresh decisions, indexed by kind *)
+}
+
+let kind_index = function Failure_point -> 0 | Read_from -> 1 | Drain -> 2
+
+let create () = { cells = [||]; len = 0; cursor = 0; created = Array.make 3 0 }
+let begin_replay t = t.cursor <- 0
+
+let grow t =
+  let cap = Array.length t.cells in
+  let cap' = if cap = 0 then 16 else 2 * cap in
+  let cells = Array.make cap' { chosen = 0; num = 1; kind = Read_from } in
+  Array.blit t.cells 0 cells 0 t.len;
+  t.cells <- cells
+
+let choose t kind n =
+  if n <= 0 then invalid_arg "Choice.choose: no alternatives";
+  if t.cursor < t.len then begin
+    let cell = t.cells.(t.cursor) in
+    if cell.num <> n || cell.kind <> kind then
+      raise
+        (Divergence
+           (Printf.sprintf
+           "Choice.choose: replay divergence at decision %d (recorded %d alternatives, now %d) — \
+            the program under test is nondeterministic"
+              t.cursor cell.num n));
+    t.cursor <- t.cursor + 1;
+    cell.chosen
+  end
+  else begin
+    if t.len = Array.length t.cells then grow t;
+    t.created.(kind_index kind) <- t.created.(kind_index kind) + 1;
+    t.cells.(t.len) <- { chosen = 0; num = n; kind };
+    t.len <- t.len + 1;
+    t.cursor <- t.cursor + 1;
+    0
+  end
+
+let advance t =
+  t.len <- t.cursor;
+  let rec strip () =
+    if t.len = 0 then false
+    else
+      let cell = t.cells.(t.len - 1) in
+      if cell.chosen + 1 >= cell.num then begin
+        t.len <- t.len - 1;
+        strip ()
+      end
+      else begin
+        cell.chosen <- cell.chosen + 1;
+        true
+      end
+  in
+  strip ()
+
+let depth t = t.cursor
+let created t kind = t.created.(kind_index kind)
+
+let count_kind t kind =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    if t.cells.(i).kind = kind then incr n
+  done;
+  !n

@@ -1,0 +1,47 @@
+(** The replay DFS over nondeterministic choices.
+
+    Jaaru explores a failure scenario by re-running it from scratch under a
+    recorded list of decisions (stateless-model-checking replay — the
+    substitute for the paper's fork-based rollback). Each nondeterministic
+    point in an execution — inject a failure or not, which store a load reads
+    from, how much of the store buffer drains at a crash — consults this
+    stack: decisions inside the recorded prefix are replayed, fresh ones
+    default to alternative 0 and are recorded. After each replay, {!advance}
+    flips the deepest unexhausted decision, depth-first, until the whole tree
+    has been visited. *)
+
+type kind = Failure_point | Read_from | Drain
+(** What a decision was about — kept for statistics and debug output. *)
+
+exception Divergence of string
+(** A replayed decision saw a different shape than when it was recorded —
+    the program under test is nondeterministic (e.g. it consulted wall-clock
+    time or hash-table iteration order). *)
+
+type t
+
+val create : unit -> t
+
+val begin_replay : t -> unit
+(** Rewinds the cursor to the start of the recorded prefix. *)
+
+val choose : t -> kind -> int -> int
+(** [choose t kind n] returns the alternative (in [0, n-1]) for the decision
+    at the cursor. Raises [Invalid_argument] on [n <= 0] and {!Divergence}
+    when a replayed decision sees a different [kind] or [n] than when it was
+    recorded. *)
+
+val advance : t -> bool
+(** Truncates the record to the decisions actually consumed by the last
+    replay, then steps to the next unexplored leaf. [false] when the search
+    space is exhausted. *)
+
+val depth : t -> int
+(** Decisions consumed by the current replay so far. *)
+
+val count_kind : t -> kind -> int
+(** Decisions of a kind in the current record (diagnostic). *)
+
+val created : t -> kind -> int
+(** Cumulative count of fresh decisions of a kind created over the whole
+    exploration (never decreases on truncation). *)

@@ -1,0 +1,37 @@
+type evict_policy = Eager | Buffered
+
+type t = {
+  max_failures : int;
+  evict_policy : evict_policy;
+  max_steps : int;
+  max_executions : int;
+  stop_at_first_bug : bool;
+  report_multi_rf : bool;
+  report_perf : bool;
+  schedule_seed : int option;
+  region_base : Pmem.Addr.t;
+  region_size : int;
+  trace_depth : int;
+}
+
+let default =
+  {
+    max_failures = 1;
+    evict_policy = Eager;
+    max_steps = 2_000_000;
+    max_executions = 100_000;
+    stop_at_first_bug = false;
+    report_multi_rf = true;
+    report_perf = true;
+    schedule_seed = None;
+    region_base = 0x1000;
+    region_size = 64 * 1024;
+    trace_depth = 64;
+  }
+
+let policy_name = function Eager -> "eager" | Buffered -> "buffered"
+
+let pp ppf c =
+  Format.fprintf ppf
+    "max_failures=%d evict=%s max_steps=%d max_executions=%d region=[0x%x,+%d)" c.max_failures
+    (policy_name c.evict_policy) c.max_steps c.max_executions c.region_base c.region_size

@@ -1,0 +1,45 @@
+(** Model-checker configuration. *)
+
+type evict_policy =
+  | Eager
+      (** The store buffer drains after every instruction. Deterministic and
+          cheap; the store buffer is architecturally invisible to a single
+          thread, so this is the default for crash-consistency checking. *)
+  | Buffered
+      (** Entries drain only at mfence / locked-RMW / execution end, plus a
+          nondeterministic partial drain at each injected failure — exercising
+          crashes that lose buffered stores, flushes and fences. *)
+
+type t = {
+  max_failures : int;
+      (** Maximum number of injected power failures in one scenario (the
+          paper's bound on the depth of the [exec] stack). Default 1. *)
+  evict_policy : evict_policy;
+  max_steps : int;
+      (** Per-execution operation budget; exceeding it is reported as the
+          "stuck in an infinite loop" bug manifestation. *)
+  max_executions : int;
+      (** Safety valve on the total number of explored executions. *)
+  stop_at_first_bug : bool;
+  report_multi_rf : bool;
+      (** Record loads that can read from more than one store — the paper's
+          missing-flush debugging aid (§4, Debugging support). *)
+  report_perf : bool;
+      (** Record redundant flushes (of a line with nothing new to persist)
+          and redundant fences (with nothing pending to order) — the
+          performance-bug extension the paper suggests in §5.1. *)
+  schedule_seed : int option;
+      (** [None]: deterministic round-robin scheduling of {!Ctx.parallel}
+          fibers (the paper does not explore schedules). [Some seed]: a
+          deterministic seeded schedule — run the checker under many seeds to
+          fuzz for concurrency bugs, the future-work use the paper names. *)
+  region_base : Pmem.Addr.t;
+  region_size : int;  (** Size in bytes of the simulated PM pool. *)
+  trace_depth : int;  (** How many recent events to keep for bug reports. *)
+}
+
+val default : t
+(** [max_failures = 1], [Eager] eviction, 2M steps, 100k executions, 64 KiB
+    region at 0x1000, multi-rf reporting on. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,423 @@
+exception Power_failure
+
+type multi_rf = {
+  load_label : string;
+  load_addr : Pmem.Addr.t;
+  candidates : (string * int) list;
+}
+
+type perf_kind = Redundant_flush | Redundant_fence
+
+type perf_report = { perf_kind : perf_kind; perf_label : string }
+
+type t = {
+  cfg : Config.t;
+  reg : Pmem.Region.t;
+  choice : Choice.t;
+  stack : Exec.Exec_stack.t;
+  seq : int ref;
+  trace : Trace.t;
+  mutable sink : Tso.Sink.t;
+  mutable threads : Tso.Thread_state.t list;
+  mutable cur : Tso.Thread_state.t;
+  mutable next_tid : int;
+  mutable steps : int;
+  mutable failure_count : int;
+  mutable writes_since_fp : bool;
+  mutable fp_count : int;
+  mutable multi_rf : multi_rf list;
+  mutable perf : perf_report list;
+  dirty_lines : (int, unit) Hashtbl.t;  (* lines stored to since their last flush *)
+  mutable unfenced_events : int;  (* stores/flushes since the last fence *)
+  mutable parallel_depth : int;
+  mutable atomic_depth : int;
+  mutable last : string;
+  mutable fp_hook : (string -> unit) option;
+  mutable rng : int;  (* schedule-fuzzing PRNG state; reset per replay *)
+}
+
+let create ~config ~choice =
+  let stack = Exec.Exec_stack.create () in
+  let seq = ref 0 in
+  let thread0 = Tso.Thread_state.create ~tid:0 in
+  {
+    cfg = config;
+    reg = Pmem.Region.v ~base:config.Config.region_base ~size:config.Config.region_size;
+    choice;
+    stack;
+    seq;
+    trace = Trace.create ~depth:config.Config.trace_depth;
+    sink = Tso.Sink.to_exec_record ~seq (Exec.Exec_stack.top stack);
+    threads = [ thread0 ];
+    cur = thread0;
+    next_tid = 1;
+    steps = 0;
+    failure_count = 0;
+    writes_since_fp = true;
+    fp_count = 0;
+    multi_rf = [];
+    perf = [];
+    dirty_lines = Hashtbl.create 32;
+    unfenced_events = 0;
+    parallel_depth = 0;
+    atomic_depth = 0;
+    last = "<start>";
+    fp_hook = None;
+    rng =
+      (match config.Config.schedule_seed with
+      | Some seed -> (seed lxor 0x9e3779b9) lor 1
+      | None -> 0);
+  }
+
+let set_failure_point_hook ctx hook = ctx.fp_hook <- Some hook
+
+let config ctx = ctx.cfg
+let region ctx = ctx.reg
+let in_recovery ctx = ctx.failure_count > 0
+let fp_count ctx = ctx.fp_count
+let multi_rf_reports ctx = List.rev ctx.multi_rf
+let perf_reports ctx = List.rev ctx.perf
+
+let note_perf ctx perf_kind perf_label =
+  if ctx.cfg.Config.report_perf then ctx.perf <- { perf_kind; perf_label } :: ctx.perf
+let trace_events ctx = Trace.events ctx.trace
+let last_label ctx = ctx.last
+let exec_stack ctx = ctx.stack
+let failures ctx = ctx.failure_count
+
+let tracef ctx fmt = Format.kasprintf (Trace.add ctx.trace) fmt
+
+let step ctx label =
+  ctx.last <- label;
+  ctx.steps <- ctx.steps + 1;
+  if ctx.steps > ctx.cfg.Config.max_steps then
+    raise (Bug.Found (Bug.Infinite_loop { steps = ctx.steps }, label))
+
+let progress ctx ?(label = "progress") () = step ctx label
+
+let bounds ctx addr width op label =
+  if not (Pmem.Region.contains ctx.reg addr width) then
+    raise (Bug.Found (Bug.Illegal_access { addr; width; op }, label))
+
+let maybe_yield ctx = if ctx.parallel_depth > 0 && ctx.atomic_depth = 0 then Scheduler.yield ()
+
+let eager ctx = ctx.cfg.Config.evict_policy = Config.Eager
+
+(* --- failure injection ------------------------------------------------- *)
+
+(* Buffered policy only: at a crash, a nondeterministic prefix of each store
+   buffer may already have drained to the cache. *)
+let drain_choices ctx =
+  List.iter
+    (fun th ->
+      let n = Tso.Store_buffer.length (Tso.Thread_state.store_buffer th) in
+      if n > 0 then begin
+        let keep = Choice.choose ctx.choice Choice.Drain (n + 1) in
+        for _ = 1 to keep do
+          ignore (Tso.Thread_state.evict_one th ctx.sink)
+        done
+      end)
+    ctx.threads
+
+let failure_point ?(force = false) ctx label =
+  if ctx.failure_count < ctx.cfg.Config.max_failures && (force || ctx.writes_since_fp) then begin
+    ctx.writes_since_fp <- false;
+    ctx.fp_count <- ctx.fp_count + 1;
+    (match ctx.fp_hook with Some hook -> hook label | None -> ());
+    match Choice.choose ctx.choice Choice.Failure_point 2 with
+    | 0 -> ()
+    | _ ->
+        if not (eager ctx) then drain_choices ctx;
+        tracef ctx "power failure injected before %s" label;
+        ctx.failure_count <- ctx.failure_count + 1;
+        raise Power_failure
+  end
+
+let after_crash ctx =
+  let record = Exec.Exec_stack.push_fresh ctx.stack in
+  ctx.sink <- Tso.Sink.to_exec_record ~seq:ctx.seq record;
+  (* Volatile state is lost: store/flush buffers, every thread but a fresh
+     main one, and the step budget restart with the new execution. *)
+  let thread0 = Tso.Thread_state.create ~tid:0 in
+  ctx.threads <- [ thread0 ];
+  ctx.cur <- thread0;
+  ctx.next_tid <- 1;
+  ctx.steps <- 0;
+  ctx.writes_since_fp <- true;
+  Hashtbl.reset ctx.dirty_lines;
+  ctx.unfenced_events <- 0;
+  ctx.parallel_depth <- 0;
+  ctx.atomic_depth <- 0
+
+let crash ctx =
+  if not (eager ctx) then drain_choices ctx;
+  tracef ctx "explicit crash injected";
+  ctx.failure_count <- ctx.failure_count + 1;
+  raise Power_failure
+
+let finish_execution ctx =
+  (* The paper also injects a failure at the end of the execution (its Fig. 4
+     walkthrough), regardless of the no-writes-since-last-point optimisation. *)
+  failure_point ~force:true ctx "<end of execution>";
+  List.iter
+    (fun th ->
+      Tso.Thread_state.drain th ctx.sink;
+      Tso.Thread_state.drain_flush_buffer th ctx.sink)
+    ctx.threads
+
+(* --- stores and flushes ------------------------------------------------ *)
+
+let store ctx ?(label = "store") ~width addr v =
+  step ctx label;
+  bounds ctx addr width "store" label;
+  maybe_yield ctx;
+  let bytes = Array.of_list (Pmem.Bytes_le.explode ~width v) in
+  Tso.Thread_state.exec_store ctx.cur addr ~bytes ~label;
+  ctx.writes_since_fp <- true;
+  List.iter (fun line -> Hashtbl.replace ctx.dirty_lines line ()) (Pmem.Addr.lines_spanned addr width);
+  ctx.unfenced_events <- ctx.unfenced_events + 1;
+  tracef ctx "store%-2d %s [0x%x] := %d" (8 * width) label addr v;
+  if eager ctx then Tso.Thread_state.drain ctx.cur ctx.sink
+
+let flush_lines ctx ~opt ~label addr size =
+  bounds ctx addr (max size 1) "flush" label;
+  List.iter
+    (fun line ->
+      let line_addr = line * Pmem.Addr.cache_line_size in
+      failure_point ctx label;
+      step ctx label;
+      if not (Hashtbl.mem ctx.dirty_lines line) then note_perf ctx Redundant_flush label;
+      Hashtbl.remove ctx.dirty_lines line;
+      ctx.unfenced_events <- ctx.unfenced_events + 1;
+      if opt then Tso.Thread_state.exec_clflushopt ctx.cur ctx.sink line_addr ~label
+      else Tso.Thread_state.exec_clflush ctx.cur line_addr ~label;
+      tracef ctx "%s %s line 0x%x" (if opt then "clflushopt" else "clflush") label line_addr;
+      if eager ctx then Tso.Thread_state.drain ctx.cur ctx.sink)
+    (Pmem.Addr.lines_spanned addr (max size 1));
+  maybe_yield ctx
+
+let clflush ctx ?(label = "clflush") addr size = flush_lines ctx ~opt:false ~label addr size
+let clflushopt ctx ?(label = "clflushopt") addr size = flush_lines ctx ~opt:true ~label addr size
+let clwb ctx ?(label = "clwb") addr size = flush_lines ctx ~opt:true ~label addr size
+
+let sfence ctx ?(label = "sfence") () =
+  step ctx label;
+  if ctx.unfenced_events = 0 then note_perf ctx Redundant_fence label;
+  ctx.unfenced_events <- 0;
+  Tso.Thread_state.exec_sfence ctx.cur;
+  tracef ctx "sfence %s" label;
+  if eager ctx then Tso.Thread_state.drain ctx.cur ctx.sink;
+  maybe_yield ctx
+
+let mfence ctx ?(label = "mfence") () =
+  step ctx label;
+  ctx.unfenced_events <- 0;
+  Tso.Thread_state.exec_mfence ctx.cur ctx.sink;
+  tracef ctx "mfence %s" label;
+  maybe_yield ctx
+
+(* --- loads -------------------------------------------------------------- *)
+
+let read_byte ctx addr label =
+  let sb_value = Tso.Thread_state.bypass ctx.cur addr in
+  let candidates = Exec.Read_from.build_may_read_from ?sb_value ctx.stack addr in
+  let src =
+    match candidates with
+    | [] -> assert false (* the initial image backstops the recursion *)
+    | [ only ] -> only
+    | _ :: _ ->
+        if ctx.cfg.Config.report_multi_rf then
+          ctx.multi_rf <-
+            {
+              load_label = label;
+              load_addr = addr;
+              candidates =
+                List.map (fun s -> (s.Exec.Read_from.label, s.Exec.Read_from.value)) candidates;
+            }
+            :: ctx.multi_rf;
+        let k = Choice.choose ctx.choice Choice.Read_from (List.length candidates) in
+        List.nth candidates k
+  in
+  Exec.Read_from.do_read ctx.stack addr src;
+  src.Exec.Read_from.value
+
+let load ctx ?(label = "load") ~width addr =
+  step ctx label;
+  bounds ctx addr width "load" label;
+  maybe_yield ctx;
+  let bytes = List.init width (fun i -> read_byte ctx (addr + i) label) in
+  let v = Pmem.Bytes_le.implode bytes in
+  tracef ctx "load%-2d %s [0x%x] -> %d" (8 * width) label addr v;
+  v
+
+let store8 ctx ?label addr v = store ctx ?label ~width:1 addr v
+let store16 ctx ?label addr v = store ctx ?label ~width:2 addr v
+let store32 ctx ?label addr v = store ctx ?label ~width:4 addr v
+let store64 ctx ?label addr v = store ctx ?label ~width:8 addr v
+let load8 ctx ?label addr = load ctx ?label ~width:1 addr
+let load16 ctx ?label addr = load ctx ?label ~width:2 addr
+let load32 ctx ?label addr = load ctx ?label ~width:4 addr
+let load64 ctx ?label addr = load ctx ?label ~width:8 addr
+
+(* --- bulk helpers -------------------------------------------------------- *)
+
+let memset ctx ?(label = "memset") addr byte len =
+  if len < 0 then invalid_arg "Ctx.memset: negative length";
+  bounds ctx addr (max len 1) "store" label;
+  let byte = byte land 0xff in
+  let word = Pmem.Bytes_le.implode [ byte; byte; byte; byte; byte; byte; byte; byte ] in
+  let rec go addr len =
+    if len >= 8 then begin
+      store ctx ~label ~width:8 addr word;
+      go (addr + 8) (len - 8)
+    end
+    else if len > 0 then begin
+      store ctx ~label ~width:1 addr byte;
+      go (addr + 1) (len - 1)
+    end
+  in
+  go addr len
+
+let memcpy ctx ?(label = "memcpy") ~dst ~src len =
+  if len < 0 then invalid_arg "Ctx.memcpy: negative length";
+  bounds ctx src (max len 1) "load" label;
+  bounds ctx dst (max len 1) "store" label;
+  if dst > src && dst < src + len then
+    invalid_arg "Ctx.memcpy: overlapping forward copy unsupported";
+  let rec go i len =
+    if len >= 8 then begin
+      store ctx ~label ~width:8 (dst + i) (load ctx ~label ~width:8 (src + i));
+      go (i + 8) (len - 8)
+    end
+    else if len > 0 then begin
+      store ctx ~label ~width:1 (dst + i) (load ctx ~label ~width:1 (src + i));
+      go (i + 1) (len - 1)
+    end
+  in
+  go 0 len
+
+let memset_persist ctx ?(label = "memset_persist") addr byte len =
+  memset ctx ~label addr byte len;
+  if len > 0 then begin
+    flush_lines ctx ~opt:true ~label addr len;
+    sfence ctx ~label ()
+  end
+
+let memcpy_persist ctx ?(label = "memcpy_persist") ~dst ~src len =
+  memcpy ctx ~label ~dst ~src len;
+  if len > 0 then begin
+    flush_lines ctx ~opt:true ~label dst len;
+    sfence ctx ~label ()
+  end
+
+(* --- locked RMW --------------------------------------------------------- *)
+
+let atomically ctx f =
+  ctx.atomic_depth <- ctx.atomic_depth + 1;
+  Fun.protect ~finally:(fun () -> ctx.atomic_depth <- ctx.atomic_depth - 1) f
+
+let rmw64 ctx label addr f =
+  maybe_yield ctx;
+  atomically ctx (fun () ->
+      mfence ctx ~label ();
+      let old = load ctx ~label ~width:8 addr in
+      (match f old with
+      | None -> ()
+      | Some desired -> store ctx ~label ~width:8 addr desired);
+      mfence ctx ~label ();
+      old)
+
+let cas64 ctx ?(label = "cas64") addr ~expected ~desired =
+  let old = rmw64 ctx label addr (fun v -> if v = expected then Some desired else None) in
+  old = expected
+
+let xchg64 ctx ?(label = "xchg64") addr v = rmw64 ctx label addr (fun _ -> Some v)
+
+let fetch_add64 ctx ?(label = "fetch_add64") addr delta =
+  rmw64 ctx label addr (fun v -> Some (v + delta))
+
+(* --- assertions and threads --------------------------------------------- *)
+
+let check ctx ?(label = "assert") cond msg =
+  step ctx label;
+  if not cond then raise (Bug.Found (Bug.Assertion_failure msg, label))
+
+let abort ctx ?(label = "abort") msg =
+  step ctx label;
+  raise (Bug.Found (Bug.Assertion_failure msg, label))
+
+let install_concrete_state ctx bytes =
+  let record = Exec.Exec_stack.top ctx.stack in
+  let touched = Hashtbl.create 16 in
+  List.iter
+    (fun (addr, value) ->
+      bounds ctx addr 1 "store" "<concrete state>";
+      incr ctx.seq;
+      Exec.Exec_record.push_store record addr ~value ~seq:!(ctx.seq) ~label:"<concrete state>";
+      Hashtbl.replace touched (Pmem.Addr.line_of addr) ())
+    bytes;
+  Hashtbl.iter
+    (fun line () ->
+      incr ctx.seq;
+      Exec.Exec_record.flush_line record (line * Pmem.Addr.cache_line_size) ~seq:!(ctx.seq))
+    touched;
+  ctx.failure_count <- ctx.failure_count + 1;
+  after_crash ctx
+
+(* xorshift with the low bits mixed out; deterministic given the seed, and
+   the state is re-seeded at every replay so the DFS stays sound. *)
+let next_rand ctx bound =
+  let x = ctx.rng in
+  let x = x lxor (x lsl 13) land max_int in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) land max_int in
+  ctx.rng <- x;
+  x lsr 11 mod bound
+
+let parallel ctx bodies =
+  (* Spawning is a synchronisation edge (pthread_create implies
+     happens-before): the parent's buffered stores and flushes become
+     visible before any fiber runs. *)
+  Tso.Thread_state.drain ctx.cur ctx.sink;
+  Tso.Thread_state.drain_flush_buffer ctx.cur ctx.sink;
+  let fibers =
+    List.map
+      (fun body ->
+        let th = Tso.Thread_state.create ~tid:ctx.next_tid in
+        ctx.next_tid <- ctx.next_tid + 1;
+        ctx.threads <- ctx.threads @ [ th ];
+        {
+          Scheduler.enter = (fun () -> ctx.cur <- th);
+          body =
+            (fun () ->
+              body ctx;
+              (* Thread exit is a synchronisation edge too: without it a
+                 final release store (e.g. an unlock) could stay buffered
+                 until the join while a sibling spins on it forever. *)
+              Tso.Thread_state.drain th ctx.sink;
+              Tso.Thread_state.drain_flush_buffer th ctx.sink);
+        })
+      bodies
+  in
+  let parent = ctx.cur in
+  ctx.parallel_depth <- ctx.parallel_depth + 1;
+  let pick =
+    match ctx.cfg.Config.schedule_seed with
+    | None -> fun _ -> 0
+    | Some _ -> fun n -> next_rand ctx n
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ctx.parallel_depth <- ctx.parallel_depth - 1;
+      ctx.cur <- parent)
+    (fun () -> Scheduler.run_fibers ~pick fibers);
+  (* Joining is a synchronisation edge: the fibers' buffered stores and
+     flushes become visible before parallel returns. This must NOT happen
+     when a power failure unwinds the section — buffered state dies with
+     the threads — which is why it sits after run_fibers rather than in the
+     finally. *)
+  List.iter
+    (fun th ->
+      Tso.Thread_state.drain th ctx.sink;
+      Tso.Thread_state.drain_flush_buffer th ctx.sink)
+    ctx.threads

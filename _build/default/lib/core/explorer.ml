@@ -1,0 +1,124 @@
+type scenario = { name : string; pre : Ctx.t -> unit; post : Ctx.t -> unit }
+
+let scenario ~name ~pre ~post = { name; pre; post }
+let scenario_single ~name main = { name; pre = main; post = main }
+
+type outcome = {
+  bugs : Bug.t list;
+  stats : Stats.t;
+  multi_rf : Ctx.multi_rf list;
+  perf : Ctx.perf_report list;
+}
+
+(* One complete scenario execution: run the pre-failure program; every
+   injected failure aborts the current execution and starts the recovery
+   program on the surviving persistent state. *)
+let replay_once scn ctx =
+  let rec recover () =
+    Ctx.after_crash ctx;
+    try
+      scn.post ctx;
+      Ctx.finish_execution ctx
+    with Ctx.Power_failure -> recover ()
+  in
+  try
+    scn.pre ctx;
+    Ctx.finish_execution ctx
+  with Ctx.Power_failure -> recover ()
+
+let run ?(config = Config.default) scn =
+  let choice = Choice.create () in
+  let bugs = ref [] in
+  let multi_rf : (string * Pmem.Addr.t, Ctx.multi_rf) Hashtbl.t = Hashtbl.create 16 in
+  let perf : (Ctx.perf_report, unit) Hashtbl.t = Hashtbl.create 16 in
+  let executions = ref 0 in
+  let failure_points = ref 0 in
+  let stores = ref 0 in
+  let flushes = ref 0 in
+  let exhausted = ref false in
+  let t0 = Unix.gettimeofday () in
+  let record_bug ctx kind location =
+    let bug =
+      {
+        Bug.kind;
+        location;
+        exec_depth = Ctx.failures ctx;
+        trace = Ctx.trace_events ctx;
+      }
+    in
+    if not (List.exists (Bug.same_report bug) !bugs) then bugs := bug :: !bugs
+  in
+  let stop = ref false in
+  while not !stop do
+    Choice.begin_replay choice;
+    let ctx = Ctx.create ~config ~choice in
+    (try replay_once scn ctx with
+    | Ctx.Power_failure -> assert false
+    | Choice.Divergence _ as e -> raise e
+    | Bug.Found (kind, location) -> record_bug ctx kind location
+    | Stack_overflow | Out_of_memory -> record_bug ctx (Bug.Program_exception "resource exhaustion") (Ctx.last_label ctx)
+    | e -> record_bug ctx (Bug.Program_exception (Printexc.to_string e)) (Ctx.last_label ctx));
+    incr executions;
+    if !executions = 1 then begin
+      (* The first replay takes every continue branch: it is the original
+         failure-free execution, whose counts Fig. 14 reports. *)
+      failure_points := Ctx.fp_count ctx;
+      match List.rev (Exec.Exec_stack.to_list (Ctx.exec_stack ctx)) with
+      | _ :: first :: _ ->
+          stores := Exec.Exec_record.store_count first;
+          flushes := Exec.Exec_record.flush_count first
+      | [ _ ] | [] -> ()
+    end;
+    List.iter
+      (fun (r : Ctx.multi_rf) ->
+        let key = (r.load_label, r.load_addr) in
+        if not (Hashtbl.mem multi_rf key) then Hashtbl.add multi_rf key r)
+      (Ctx.multi_rf_reports ctx);
+    List.iter (fun r -> Hashtbl.replace perf r ()) (Ctx.perf_reports ctx);
+    if config.Config.stop_at_first_bug && !bugs <> [] then stop := true
+    else if !executions >= config.Config.max_executions then stop := true
+    else if not (Choice.advance choice) then begin
+      exhausted := true;
+      stop := true
+    end
+  done;
+  let stats =
+    {
+      Stats.executions = !executions;
+      failure_points = !failure_points;
+      rf_decisions = Choice.created choice Choice.Read_from;
+      multi_rf_loads = Hashtbl.length multi_rf;
+      stores = !stores;
+      flushes = !flushes;
+      wall_time = Unix.gettimeofday () -. t0;
+      exhausted = !exhausted;
+    }
+  in
+  let multi_rf = Hashtbl.fold (fun _ r acc -> r :: acc) multi_rf [] in
+  let multi_rf =
+    List.sort (fun a b -> compare (a.Ctx.load_label, a.Ctx.load_addr) (b.Ctx.load_label, b.Ctx.load_addr)) multi_rf
+  in
+  let perf = List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) perf []) in
+  { bugs = List.rev !bugs; stats; multi_rf; perf }
+
+let found_bug o = o.bugs <> []
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "@[<v>%a@," Stats.pp o.stats;
+  (if o.bugs = [] then Format.fprintf ppf "no bugs found"
+   else begin
+     Format.fprintf ppf "%d bug(s):" (List.length o.bugs);
+     List.iter (fun b -> Format.fprintf ppf "@,  %s" (Bug.symptom b)) o.bugs
+   end);
+  if o.perf <> [] then begin
+    Format.fprintf ppf "@,%d performance issue(s):" (List.length o.perf);
+    List.iter
+      (fun (r : Ctx.perf_report) ->
+        Format.fprintf ppf "@,  %s at %s"
+          (match r.Ctx.perf_kind with
+          | Ctx.Redundant_flush -> "redundant flush"
+          | Ctx.Redundant_fence -> "redundant fence")
+          r.Ctx.perf_label)
+      o.perf
+  end;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,39 @@
+(** The exploration driver (paper Fig. 11, Explore).
+
+    A failure scenario is a pre-failure program plus a recovery program. The
+    explorer repeatedly replays the scenario under the {!Choice} stack,
+    injecting power failures at flush instructions and branching on every
+    load with multiple read-from candidates, until the whole choice tree has
+    been visited (or a configured limit is hit). *)
+
+type scenario = {
+  name : string;
+  pre : Ctx.t -> unit;  (** the pre-failure execution *)
+  post : Ctx.t -> unit;
+      (** the recovery execution, re-run after every injected failure
+          (including failures injected during recovery itself when
+          [max_failures > 1]) *)
+}
+
+val scenario : name:string -> pre:(Ctx.t -> unit) -> post:(Ctx.t -> unit) -> scenario
+
+val scenario_single : name:string -> (Ctx.t -> unit) -> scenario
+(** A program whose one entry point handles both roles, dispatching on
+    {!Ctx.in_recovery} — the common main-function structure of real PM
+    programs. *)
+
+type outcome = {
+  bugs : Bug.t list;  (** deduplicated, in discovery order *)
+  stats : Stats.t;
+  multi_rf : Ctx.multi_rf list;  (** deduplicated debugging reports *)
+  perf : Ctx.perf_report list;
+      (** deduplicated redundant-flush/fence reports (advisory, not bugs) *)
+}
+
+val run : ?config:Config.t -> scenario -> outcome
+(** Explores the scenario exhaustively. Checked-program bugs become entries
+    in [outcome.bugs]; {!Choice.Divergence} propagates (it indicates a broken
+    test harness, not a program bug). *)
+
+val found_bug : outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,41 @@
+type result = {
+  runs : int;
+  bugs : Bug.t list;
+  buggy_seeds : (int * string) list;
+  total_executions : int;
+}
+
+let run ?(config = Config.default) ~seeds scn =
+  let bugs = ref [] in
+  let buggy_seeds = ref [] in
+  let total = ref 0 in
+  List.iter
+    (fun seed ->
+      let config = { config with Config.schedule_seed = Some seed } in
+      let o = Explorer.run ~config scn in
+      total := !total + o.Explorer.stats.Stats.executions;
+      (match o.Explorer.bugs with
+      | [] -> ()
+      | b :: _ -> buggy_seeds := (seed, Bug.symptom b) :: !buggy_seeds);
+      List.iter
+        (fun b -> if not (List.exists (Bug.same_report b) !bugs) then bugs := b :: !bugs)
+        o.Explorer.bugs)
+    seeds;
+  {
+    runs = List.length seeds;
+    bugs = List.rev !bugs;
+    buggy_seeds = List.rev !buggy_seeds;
+    total_executions = !total;
+  }
+
+let found_bug r = r.bugs <> []
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%d schedules fuzzed, %d executions total@," r.runs r.total_executions;
+  if r.bugs = [] then Format.fprintf ppf "no bugs found@]"
+  else begin
+    Format.fprintf ppf "%d bug(s) on %d seed(s):" (List.length r.bugs)
+      (List.length r.buggy_seeds);
+    List.iter (fun (seed, s) -> Format.fprintf ppf "@,  seed %d: %s" seed s) r.buggy_seeds;
+    Format.fprintf ppf "@]"
+  end

@@ -1,0 +1,24 @@
+(** Schedule fuzzing for concurrency bugs.
+
+    Jaaru does not exhaustively explore thread interleavings; the paper's
+    Discussion proposes using its control over the schedule to {e fuzz} for
+    concurrency bugs instead. This driver runs the full crash-consistency
+    exploration once per seed, each under a different deterministic
+    schedule, and aggregates the findings. *)
+
+type result = {
+  runs : int;  (** explorations performed (one per seed) *)
+  bugs : Bug.t list;  (** deduplicated across seeds *)
+  buggy_seeds : (int * string) list;
+      (** each seed that found a bug, with the first symptom *)
+  total_executions : int;
+}
+
+val run : ?config:Config.t -> seeds:int list -> Explorer.scenario -> result
+(** [run ~seeds scn] explores [scn] once per seed. [config]'s
+    [schedule_seed] is overridden by each seed in turn; all other settings
+    apply unchanged. Stops early only within a seed (per
+    [stop_at_first_bug]); all seeds always run. *)
+
+val found_bug : result -> bool
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,57 @@
+type fiber = { enter : unit -> unit; body : unit -> unit }
+
+type _ Effect.t += Yield : unit Effect.t
+
+let yield () = try Effect.perform Yield with Effect.Unhandled _ -> ()
+
+(* Trampoline: a yielding fiber parks its continuation on the run queue and
+   the handled computation returns to the scheduler loop, so the native stack
+   stays constant no matter how many context switches occur. [pick], given
+   the queue length, selects which parked fiber runs next — index 0 is
+   round-robin; a seeded PRNG turns the scheduler into a deterministic
+   concurrency fuzzer. *)
+let run_fibers ?(pick = fun _ -> 0) fibers =
+  let open Effect.Deep in
+  let runq : (unit -> unit) list ref = ref [] in
+  let push resume = runq := !runq @ [ resume ] in
+  let take () =
+    match !runq with
+    | [] -> None
+    | q ->
+        let n = List.length q in
+        let i = pick n in
+        let i = if i < 0 || i >= n then 0 else i in
+        let chosen = List.nth q i in
+        runq := List.filteri (fun j _ -> j <> i) q;
+        Some chosen
+  in
+  let handler fb =
+    {
+      retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  push (fun () ->
+                      fb.enter ();
+                      continue k ()))
+          | _ -> None);
+    }
+  in
+  List.iter
+    (fun fb ->
+      push (fun () ->
+          fb.enter ();
+          match_with fb.body () (handler fb)))
+    fibers;
+  let rec loop () =
+    match take () with
+    | None -> ()
+    | Some resume ->
+        resume ();
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,27 @@
+(** Cooperative fibers for multi-threaded PM programs.
+
+    Jaaru controls the concurrent schedule and does not exhaustively explore
+    interleavings (paper §4, Discussion): threads run under a deterministic
+    round-robin scheduler that switches at every memory operation. Fibers are
+    OCaml 5 effect handlers, so a power failure raised inside any fiber
+    unwinds the whole parallel section, mirroring how a real failure kills
+    every thread at once. *)
+
+type fiber = {
+  enter : unit -> unit;
+      (** Invoked every time the fiber is (re)scheduled — used by {!Ctx} to
+          swap in the fiber's TSO thread state. *)
+  body : unit -> unit;
+}
+
+val run_fibers : ?pick:(int -> int) -> fiber list -> unit
+(** Runs the fibers until all complete. [pick], given the number of runnable
+    fibers, chooses which runs next (default [fun _ -> 0]: round-robin); a
+    deterministic PRNG here implements schedule fuzzing for concurrency bugs
+    (the future-work direction the paper names in its Discussion). An
+    exception raised by any fiber propagates immediately; remaining fibers
+    are abandoned. *)
+
+val yield : unit -> unit
+(** Reschedules the calling fiber to the back of the run queue. A no-op when
+    called outside {!run_fibers}. *)

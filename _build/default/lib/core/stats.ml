@@ -1,0 +1,21 @@
+type t = {
+  executions : int;
+  failure_points : int;
+  rf_decisions : int;
+  multi_rf_loads : int;
+  stores : int;
+  flushes : int;
+  wall_time : float;
+  exhausted : bool;
+}
+
+let executions_per_fp s =
+  if s.failure_points = 0 then 0. else float_of_int s.executions /. float_of_int s.failure_points
+
+let pp ppf s =
+  Format.fprintf ppf
+    "%d executions over %d failure points (%.2f per fp), %d rf decisions, %d multi-rf loads, %d \
+     stores, %d flushes, %.3fs%s"
+    s.executions s.failure_points (executions_per_fp s) s.rf_decisions s.multi_rf_loads s.stores
+    s.flushes s.wall_time
+    (if s.exhausted then "" else " (cut short)")

@@ -1,0 +1,23 @@
+(** Exploration statistics — the raw material of the paper's Fig. 14. *)
+
+type t = {
+  executions : int;  (** complete scenario executions explored (JExec) *)
+  failure_points : int;
+      (** failure-injection points in the original (no-failure) execution
+          (FPoints) *)
+  rf_decisions : int;
+      (** read-from decision points with more than one candidate created
+          during the whole exploration *)
+  multi_rf_loads : int;  (** distinct loads flagged by the debugging aid *)
+  stores : int;  (** byte stores of the original execution *)
+  flushes : int;  (** line flushes of the original execution *)
+  wall_time : float;  (** seconds spent exploring (JTime) *)
+  exhausted : bool;
+      (** whether the search space was fully explored (false when a limit or
+          stop-at-first-bug cut it short) *)
+}
+
+val executions_per_fp : t -> float
+(** The paper's §5.2 ratio; 0 when there were no failure points. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type t = { slots : string array; mutable next : int; mutable count : int }
+
+let create ~depth = { slots = Array.make (max 1 depth) ""; next = 0; count = 0 }
+
+let add t ev =
+  let depth = Array.length t.slots in
+  t.slots.(t.next) <- ev;
+  t.next <- (t.next + 1) mod depth;
+  if t.count < depth then t.count <- t.count + 1
+
+let clear t =
+  t.next <- 0;
+  t.count <- 0
+
+let events t =
+  let depth = Array.length t.slots in
+  let start = (t.next - t.count + depth) mod depth in
+  List.init t.count (fun i -> t.slots.((start + i) mod depth))

@@ -1,0 +1,11 @@
+(** A bounded ring of recent execution events, attached to bug reports so a
+    developer can see what led to the crash (paper §4, Debugging support). *)
+
+type t
+
+val create : depth:int -> t
+val add : t -> string -> unit
+val clear : t -> unit
+
+val events : t -> string list
+(** Oldest first, at most [depth] entries. *)

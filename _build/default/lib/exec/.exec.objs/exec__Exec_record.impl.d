@@ -1,0 +1,1 @@
+lib/exec/exec_record.ml: Format Hashtbl Pmem Store_queue

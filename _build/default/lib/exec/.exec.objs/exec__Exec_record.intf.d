@@ -1,0 +1,1 @@
+lib/exec/exec_record.mli: Format Pmem Store_queue

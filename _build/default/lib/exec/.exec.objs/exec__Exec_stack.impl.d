@@ -1,0 +1,1 @@
+lib/exec/exec_stack.ml: Exec_record List

@@ -1,0 +1,1 @@
+lib/exec/read_from.ml: Exec_record Exec_stack Format List Pmem Store_queue

@@ -1,0 +1,1 @@
+lib/exec/read_from.mli: Exec_record Exec_stack Format Pmem

@@ -1,0 +1,1 @@
+lib/exec/store_queue.ml: Array Format List Pmem

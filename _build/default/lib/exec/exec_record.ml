@@ -1,0 +1,57 @@
+type t = {
+  id : int;
+  queues : (Pmem.Addr.t, Store_queue.t) Hashtbl.t;
+  lines : (int, Pmem.Interval.t) Hashtbl.t;
+  mutable store_count : int;
+  mutable flush_count : int;
+}
+
+let create ~id =
+  if id < 0 then invalid_arg "Exec_record.create: negative id";
+  { id; queues = Hashtbl.create 64; lines = Hashtbl.create 16; store_count = 0; flush_count = 0 }
+
+let initial () = create ~id:0
+let id e = e.id
+let is_initial e = e.id = 0
+
+let queue e addr =
+  match Hashtbl.find_opt e.queues addr with
+  | Some q -> q
+  | None ->
+      let q = Store_queue.create () in
+      Hashtbl.add e.queues addr q;
+      q
+
+let queue_opt e addr = Hashtbl.find_opt e.queues addr
+
+let cacheline e addr =
+  let line = Pmem.Addr.line_of addr in
+  match Hashtbl.find_opt e.lines line with
+  | Some iv -> iv
+  | None ->
+      let iv = Pmem.Interval.make () in
+      Hashtbl.add e.lines line iv;
+      iv
+
+let push_store e addr ~value ~seq ~label =
+  Store_queue.push (queue e addr) { Store_queue.value; seq; label };
+  e.store_count <- e.store_count + 1
+
+let flush_line e addr ~seq =
+  Pmem.Interval.raise_lo (cacheline e addr) seq;
+  e.flush_count <- e.flush_count + 1
+
+let store_count e = e.store_count
+let flush_count e = e.flush_count
+let written_addrs e = Hashtbl.fold (fun addr _ acc -> addr :: acc) e.queues []
+
+let unflushed_store_count e addr =
+  match queue_opt e addr with
+  | None -> 0
+  | Some q ->
+      let lo = Pmem.Interval.lo (cacheline e addr) in
+      Store_queue.fold (fun entry n -> if entry.Store_queue.seq > lo then n + 1 else n) q 0
+
+let pp ppf e =
+  Format.fprintf ppf "exec#%d: %d stores, %d flushes over %d addrs" e.id e.store_count
+    e.flush_count (Hashtbl.length e.queues)

@@ -1,0 +1,57 @@
+(** The persistent-memory-relevant record of one execution.
+
+    A failure scenario is a stack of executions, each ending in a power
+    failure except the last. For each execution Jaaru records (paper §4):
+
+    - [queue(addr)]: the per-byte history of stores that reached the cache;
+    - [getcacheline(addr)]: the interval bounding when each cache line was
+      most recently written back to persistent memory.
+
+    The bottom of every stack is the {e initial} pseudo-execution: a fully
+    persisted, all-zero memory image, the analogue of a freshly zeroed pool
+    file. *)
+
+type t
+
+val create : id:int -> t
+(** A fresh execution record. [id] is its depth in the execution stack;
+    id 0 is reserved for {!initial}. *)
+
+val initial : unit -> t
+(** The all-zero, fully-flushed base image. *)
+
+val id : t -> int
+val is_initial : t -> bool
+
+val queue : t -> Pmem.Addr.t -> Store_queue.t
+(** The store history for one byte address, created empty on first use. *)
+
+val queue_opt : t -> Pmem.Addr.t -> Store_queue.t option
+(** Like {!queue} but without materialising an empty history. *)
+
+val cacheline : t -> Pmem.Addr.t -> Pmem.Interval.t
+(** The last-writeback interval of the line containing the given byte,
+    created as [\[0, inf)] on first use. *)
+
+val push_store : t -> Pmem.Addr.t -> value:int -> seq:int -> label:string -> unit
+(** Records one byte store taking effect in the cache. *)
+
+val flush_line : t -> Pmem.Addr.t -> seq:int -> unit
+(** Raises the line's last-writeback lower bound to [seq] (a [clflush] or an
+    evicted [clflushopt] took effect). *)
+
+val store_count : t -> int
+(** Total byte stores recorded. *)
+
+val flush_count : t -> int
+(** Total line-flush events recorded. *)
+
+val written_addrs : t -> Pmem.Addr.t list
+(** All byte addresses with at least one recorded store (unordered). *)
+
+val unflushed_store_count : t -> Pmem.Addr.t -> int
+(** Number of stores to the byte that are not certainly persisted, i.e. with
+    sequence numbers above the line's last-writeback lower bound. Used by the
+    Yat state counter. *)
+
+val pp : Format.formatter -> t -> unit

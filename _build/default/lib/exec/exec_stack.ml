@@ -1,0 +1,25 @@
+type t = { mutable execs : Exec_record.t list (* head = top *) }
+
+let create () =
+  { execs = [ Exec_record.create ~id:1; Exec_record.initial () ] }
+
+let top s =
+  match s.execs with
+  | e :: _ -> e
+  | [] -> assert false
+
+let prev s e =
+  let rec loop = function
+    | x :: (below :: _ as rest) ->
+        if Exec_record.id x = Exec_record.id e then below else loop rest
+    | [ _ ] | [] -> invalid_arg "Exec_stack.prev: no predecessor"
+  in
+  loop s.execs
+
+let push_fresh s =
+  let e = Exec_record.create ~id:(Exec_record.id (top s) + 1) in
+  s.execs <- e :: s.execs;
+  e
+
+let depth s = List.length s.execs - 1
+let to_list s = s.execs

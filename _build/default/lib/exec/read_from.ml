@@ -1,0 +1,97 @@
+type source = {
+  exec : Exec_record.t;
+  seq : int option;
+  value : int;
+  label : string;
+}
+
+let source_from_current stack ~value ~label =
+  { exec = Exec_stack.top stack; seq = None; value; label }
+
+let source_of_entry exec (e : Store_queue.entry) =
+  { exec; seq = Some e.seq; value = e.value; label = e.label }
+
+let initial_source exec =
+  { exec; seq = Some 0; value = 0; label = "<initial zero>" }
+
+(* ReadPreFailure (Fig. 9, lines 7-13). Candidates from execution [e] are the
+   stores that could have been the line's content at its last writeback: every
+   store inside the open interval (lo, hi), plus the newest store at or before
+   lo (the value certainly in PM when the guaranteed flush happened). If no
+   store predates lo, the flush (if any) wrote a value inherited from an older
+   execution, so the search continues below. *)
+let rec read_pre_failure stack e addr =
+  if Exec_record.is_initial e then [ initial_source e ]
+  else
+    let cl = Exec_record.cacheline e addr in
+    let lo = Pmem.Interval.lo cl and hi = Pmem.Interval.hi cl in
+    let in_window, newest_le_lo =
+      match Exec_record.queue_opt e addr with
+      | None -> ([], None)
+      | Some q ->
+          Store_queue.fold
+            (fun entry (wins, best) ->
+              if entry.Store_queue.seq <= lo then (wins, Some entry)
+              else if entry.Store_queue.seq < hi then (entry :: wins, best)
+              else (wins, best))
+            q ([], None)
+    in
+    (* [in_window] is newest-first already (fold is oldest-first, cons reverses). *)
+    let wins = List.map (source_of_entry e) in_window in
+    match newest_le_lo with
+    | Some entry -> wins @ [ source_of_entry e entry ]
+    | None -> wins @ read_pre_failure stack (Exec_stack.prev stack e) addr
+
+let build_may_read_from ?sb_value stack addr =
+  match sb_value with
+  | Some (value, label) -> [ source_from_current stack ~value ~label ]
+  | None -> (
+      let top = Exec_stack.top stack in
+      match Exec_record.queue_opt top addr with
+      | Some q when not (Store_queue.is_empty q) -> (
+          match Store_queue.last q with
+          | Some e ->
+              (* A store of the current execution carries no persistency
+                 constraint: the paper's ⟨top(exec), _, val⟩ tuple. *)
+              [ { exec = top; seq = None; value = e.value; label = e.label } ]
+          | None -> assert false)
+      | Some _ | None -> read_pre_failure stack (Exec_stack.prev stack top) addr)
+
+(* UpdateRanges (Fig. 10). Walk down from the execution just below the current
+   one to the source's execution, refining each line interval. *)
+let rec update_ranges stack ec addr src =
+  if Exec_record.id ec <> Exec_record.id src.exec then begin
+    let cl = Exec_record.cacheline ec addr in
+    (match Exec_record.queue_opt ec addr with
+    | Some q -> (
+        match Store_queue.first q with
+        | Some f -> Pmem.Interval.lower_hi cl f.seq
+        | None -> ())
+    | None -> ());
+    update_ranges stack (Exec_stack.prev stack ec) addr src
+  end
+  else if Exec_record.is_initial ec then ()
+  else
+    match src.seq with
+    | None -> assert false
+    | Some seq ->
+        let cl = Exec_record.cacheline ec addr in
+        Pmem.Interval.raise_lo cl seq;
+        let next =
+          match Exec_record.queue_opt ec addr with
+          | None -> Pmem.Interval.infinity
+          | Some q -> Store_queue.next_seq_after q seq
+        in
+        Pmem.Interval.lower_hi cl next
+
+let do_read stack addr src =
+  let top = Exec_stack.top stack in
+  if Exec_record.id src.exec <> Exec_record.id top then
+    update_ranges stack (Exec_stack.prev stack top) addr src
+
+let pp_source ppf s =
+  let pp_seq ppf = function
+    | None -> Format.fprintf ppf "_"
+    | Some n -> Format.fprintf ppf "%d" n
+  in
+  Format.fprintf ppf "<exec#%d %s=%d@@%a>" (Exec_record.id s.exec) s.label s.value pp_seq s.seq

@@ -1,0 +1,52 @@
+type entry = { value : int; seq : int; label : string }
+
+type t = { mutable entries : entry array; mutable len : int }
+
+let create () = { entries = [||]; len = 0 }
+let length q = q.len
+let is_empty q = q.len = 0
+
+let grow q =
+  let cap = Array.length q.entries in
+  let cap' = if cap = 0 then 8 else 2 * cap in
+  let dummy = { value = 0; seq = 0; label = "" } in
+  let entries = Array.make cap' dummy in
+  Array.blit q.entries 0 entries 0 q.len;
+  q.entries <- entries
+
+let push q e =
+  if q.len > 0 && e.seq <= q.entries.(q.len - 1).seq then
+    invalid_arg "Store_queue.push: sequence numbers must increase";
+  if q.len = Array.length q.entries then grow q;
+  q.entries.(q.len) <- e;
+  q.len <- q.len + 1
+
+let get q i =
+  if i < 0 || i >= q.len then invalid_arg "Store_queue.get: index out of range";
+  q.entries.(i)
+
+let first q = if q.len = 0 then None else Some q.entries.(0)
+let last q = if q.len = 0 then None else Some q.entries.(q.len - 1)
+
+let next_seq_after q s =
+  (* Binary search for the oldest entry with seq > s. *)
+  let rec loop lo hi =
+    if lo >= hi then if lo >= q.len then Pmem.Interval.infinity else q.entries.(lo).seq
+    else
+      let mid = (lo + hi) / 2 in
+      if q.entries.(mid).seq <= s then loop (mid + 1) hi else loop lo mid
+  in
+  loop 0 q.len
+
+let fold f q acc =
+  let acc = ref acc in
+  for i = 0 to q.len - 1 do
+    acc := f q.entries.(i) !acc
+  done;
+  !acc
+
+let to_list q = List.rev (fold (fun e acc -> e :: acc) q [])
+
+let pp ppf q =
+  let pp_entry ppf e = Format.fprintf ppf "%d@@%d" e.value e.seq in
+  Format.fprintf ppf "[%a]" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_entry) (to_list q)

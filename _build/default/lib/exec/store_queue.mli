@@ -1,0 +1,36 @@
+(** Per-byte-address store history within one execution.
+
+    This is the paper's [e.queue(addr)]: the sequence of tuples [(val, seq)]
+    recording the values written to one byte address, in the order the stores
+    took effect in the cache (strictly increasing sequence numbers). *)
+
+type entry = { value : int; seq : int; label : string }
+(** One store that reached the cache: the byte [value] written, the global
+    sequence number [seq] assigned when it left the store buffer, and a
+    human-readable source [label] for bug reports. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> entry -> unit
+(** Appends a store. Its [seq] must exceed the last entry's. *)
+
+val get : t -> int -> entry
+(** [get q i] is the [i]-th oldest entry. *)
+
+val first : t -> entry option
+val last : t -> entry option
+
+val next_seq_after : t -> int -> int
+(** [next_seq_after q s] is the sequence number of the oldest entry strictly
+    newer than [s], or {!Pmem.Interval.infinity} if none — the paper's "next
+    tuple" bound used to refine interval upper ends. *)
+
+val fold : (entry -> 'a -> 'a) -> t -> 'a -> 'a
+(** Oldest-first fold. *)
+
+val to_list : t -> entry list
+val pp : Format.formatter -> t -> unit

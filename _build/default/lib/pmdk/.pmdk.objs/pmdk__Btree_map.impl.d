@@ -1,0 +1,1 @@
+lib/pmdk/btree_map.ml: Jaaru List Pmalloc Pool Tx

@@ -1,0 +1,1 @@
+lib/pmdk/btree_map.mli: Jaaru Pmalloc Pool

@@ -1,0 +1,1 @@
+lib/pmdk/clog.ml: Jaaru List Pmem Pool

@@ -1,0 +1,1 @@
+lib/pmdk/clog.mli: Jaaru Pool

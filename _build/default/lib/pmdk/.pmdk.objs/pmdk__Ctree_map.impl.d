@@ -1,0 +1,1 @@
+lib/pmdk/ctree_map.ml: Jaaru Pmalloc Pool

@@ -1,0 +1,1 @@
+lib/pmdk/ctree_map.mli: Jaaru Pmalloc Pool

@@ -1,0 +1,1 @@
+lib/pmdk/hashmap_atomic.ml: Jaaru List Option Pmalloc Pool

@@ -1,0 +1,1 @@
+lib/pmdk/hashmap_atomic.mli: Jaaru Pmalloc Pool

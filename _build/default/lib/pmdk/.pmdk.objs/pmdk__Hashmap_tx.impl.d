@@ -1,0 +1,1 @@
+lib/pmdk/hashmap_tx.ml: Jaaru List Option Pmalloc Pool Tx

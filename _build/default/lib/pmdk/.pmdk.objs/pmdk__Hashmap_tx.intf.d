@@ -1,0 +1,1 @@
+lib/pmdk/hashmap_tx.mli: Jaaru Pmalloc Pool Tx

@@ -1,0 +1,1 @@
+lib/pmdk/pmalloc.ml: Jaaru List Pmem Pool

@@ -1,0 +1,1 @@
+lib/pmdk/pmalloc.mli: Pmem Pool

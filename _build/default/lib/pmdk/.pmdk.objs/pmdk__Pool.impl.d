@@ -1,0 +1,1 @@
+lib/pmdk/pool.ml: Jaaru List Pmem

@@ -1,0 +1,1 @@
+lib/pmdk/pool.mli: Jaaru Pmem

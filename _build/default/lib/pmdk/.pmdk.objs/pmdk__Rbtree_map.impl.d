@@ -1,0 +1,1 @@
+lib/pmdk/rbtree_map.ml: Jaaru Option Pmalloc Pmem Pool Tx

@@ -1,0 +1,1 @@
+lib/pmdk/skiplist_map.ml: Array Hashtbl Jaaru List Pmalloc Pool

@@ -1,0 +1,1 @@
+lib/pmdk/skiplist_map.mli: Jaaru Pmalloc Pool

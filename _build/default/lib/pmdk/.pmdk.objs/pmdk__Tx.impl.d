@@ -1,0 +1,1 @@
+lib/pmdk/tx.ml: Fun Jaaru List Pmem

@@ -1,0 +1,1 @@
+lib/pmdk/workloads.ml: Btree_map Clog Ctree_map Hashmap_atomic Hashmap_tx Jaaru List Pmalloc Pool Rbtree_map Skiplist_map Tx

@@ -1,0 +1,385 @@
+type bugs = { nontx_split : bool; missing_root_flush : bool }
+
+let no_bugs = { nontx_split = false; missing_root_flush = false }
+
+let order = 4 (* max items per node *)
+let layout_id = 0xb7ee
+
+(* Node layout. *)
+let off_n = 0
+let off_keys = 8
+let off_values = 40
+let off_children = 72
+let node_size = 112
+
+(* Root object layout: tree-root pointer, then the undo log. *)
+let tx_capacity = 48
+let root_size = 64 + Tx.area_size ~capacity:tx_capacity
+
+type t = { pool : Pool.t; heap : Pmalloc.t; tx : Tx.t; bugs : bugs }
+
+let ctx t = Pool.ctx t.pool
+let root_ptr_addr t = Pool.root t.pool
+
+let store64 t label addr v = Jaaru.Ctx.store64 (ctx t) ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 (ctx t) ~label addr
+let flush t label addr size = Jaaru.Ctx.clflush (ctx t) ~label addr size
+let fence t label = Jaaru.Ctx.sfence (ctx t) ~label ()
+
+let key_addr node i = node + off_keys + (8 * i)
+let value_addr node i = node + off_values + (8 * i)
+let child_addr node i = node + off_children + (8 * i)
+
+let read_n t node = load64 t "btree_map.ml:read n" (node + off_n)
+let read_key t node i = load64 t "btree_map.ml:read key" (key_addr node i)
+let read_value t node i = load64 t "btree_map.ml:read value" (value_addr node i)
+
+(* The paper's symptom line: dereferencing a child pointer. *)
+let read_child t node i = load64 t "btree_map.ml:89" (child_addr node i)
+
+let node_init t node =
+  for word = 0 to (node_size / 8) - 1 do
+    store64 t "btree_map.ml:node_init" (node + (8 * word)) 0
+  done;
+  flush t "btree_map.ml:flush node_init" node node_size;
+  fence t "btree_map.ml:fence node_init"
+
+let alloc_node t =
+  let node = Pmalloc.alloc t.heap ~label:"btree_map.ml:alloc node" node_size in
+  node_init t node;
+  node
+
+let tree_root t = load64 t "btree_map.ml:read root" (root_ptr_addr t)
+
+let set_tree_root t node =
+  store64 t "btree_map.ml:set root" (root_ptr_addr t) node;
+  if not t.bugs.missing_root_flush then begin
+    flush t "btree_map.ml:flush root" (root_ptr_addr t) 8;
+    fence t "btree_map.ml:fence root"
+  end
+
+let create_or_open ?(bugs = no_bugs) ?pool_bugs ?alloc_bugs ctx0 =
+  let pool = Pool.open_or_create ?bugs:pool_bugs ctx0 ~layout:layout_id ~root_size in
+  let heap = Pmalloc.init_or_open ?bugs:alloc_bugs pool in
+  let tx = Tx.attach ctx0 ~base:(Pool.root pool + 64) ~capacity:tx_capacity in
+  let t = { pool; heap; tx; bugs } in
+  Tx.recover tx;
+  if tree_root t = 0 then begin
+    let node = alloc_node t in
+    set_tree_root t node
+  end;
+  t
+
+let is_leaf t node = read_child t node 0 = 0
+
+(* --- lookup -------------------------------------------------------------- *)
+
+let rec lookup_in t node k =
+  Jaaru.Ctx.progress (ctx t) ~label:"btree_map.ml:lookup" ();
+  let n = read_n t node in
+  let rec scan i =
+    if i >= n then if is_leaf t node then None else lookup_in t (read_child t node i) k
+    else
+      let ki = read_key t node i in
+      if ki = k then Some (read_value t node i)
+      else if k < ki then
+        if is_leaf t node then None else lookup_in t (read_child t node i) k
+      else scan (i + 1)
+  in
+  scan 0
+
+let lookup t k = lookup_in t (tree_root t) k
+
+let rec min_in t node =
+  let n = read_n t node in
+  if n = 0 then None
+  else if is_leaf t node then Some (read_key t node 0)
+  else min_in t (read_child t node 0)
+
+let min_key t = min_in t (tree_root t)
+
+(* --- insert -------------------------------------------------------------- *)
+
+let txset t label addr v = Tx.set64 t.tx ~label addr v
+
+(* Move the upper half of a full child to a fresh sibling and promote the
+   median into the parent at slot [i]. *)
+let split_child t parent i =
+  let child = read_child t parent i in
+  let sibling = alloc_node t in
+  let set =
+    if t.bugs.nontx_split then fun label addr v ->
+      (* Atomicity violation: the parent's count commits first, unflushed
+         intermediate states leak to PM. *)
+      store64 t label addr v
+    else txset t
+  in
+  let pn = read_n t parent in
+  if t.bugs.nontx_split then begin
+    (* The buggy ordering publishes the enlarged parent before the arrays
+       are consistent. *)
+    set "btree_map.ml:bug parent n" (parent + off_n) (pn + 1);
+    flush t "btree_map.ml:bug flush n" (parent + off_n) 8;
+    fence t "btree_map.ml:bug fence n"
+  end;
+  (* Sibling takes item 3 and children 3..4 of the child. *)
+  set "btree_map.ml:split sib key" (key_addr sibling 0) (read_key t child 3);
+  set "btree_map.ml:split sib val" (value_addr sibling 0) (read_value t child 3);
+  set "btree_map.ml:split sib c0" (child_addr sibling 0) (read_child t child 3);
+  set "btree_map.ml:split sib c1" (child_addr sibling 1) (read_child t child 4);
+  set "btree_map.ml:split sib n" (sibling + off_n) 1;
+  (* Shift the parent's items and children right of slot [i]. *)
+  for j = pn - 1 downto i do
+    set "btree_map.ml:split shift key" (key_addr parent (j + 1)) (read_key t parent j);
+    set "btree_map.ml:split shift val" (value_addr parent (j + 1)) (read_value t parent j);
+    set "btree_map.ml:split shift child" (child_addr parent (j + 2)) (read_child t parent (j + 1))
+  done;
+  (* Promote the child's median item. *)
+  set "btree_map.ml:split promote key" (key_addr parent i) (read_key t child 2);
+  set "btree_map.ml:split promote val" (value_addr parent i) (read_value t child 2);
+  set "btree_map.ml:split link sib" (child_addr parent (i + 1)) sibling;
+  (* Shrink the child. *)
+  set "btree_map.ml:split child n" (child + off_n) 2;
+  set "btree_map.ml:split clear key" (key_addr child 3) 0;
+  set "btree_map.ml:split clear key" (key_addr child 2) 0;
+  if not t.bugs.nontx_split then set "btree_map.ml:split parent n" (parent + off_n) (pn + 1)
+
+let rec insert_nonfull t node k v =
+  Jaaru.Ctx.progress (ctx t) ~label:"btree_map.ml:insert" ();
+  let n = read_n t node in
+  (* Update in place on duplicate keys. *)
+  let rec find_dup i =
+    if i >= n then None else if read_key t node i = k then Some i else find_dup (i + 1)
+  in
+  match find_dup 0 with
+  | Some i -> txset t "btree_map.ml:update value" (value_addr node i) v
+  | None ->
+      if is_leaf t node then begin
+        let rec shift j =
+          if j >= 0 && read_key t node j > k then begin
+            txset t "btree_map.ml:shift key" (key_addr node (j + 1)) (read_key t node j);
+            txset t "btree_map.ml:shift val" (value_addr node (j + 1)) (read_value t node j);
+            shift (j - 1)
+          end
+          else j
+        in
+        let j = shift (n - 1) in
+        txset t "btree_map.ml:leaf key" (key_addr node (j + 1)) k;
+        txset t "btree_map.ml:leaf val" (value_addr node (j + 1)) v;
+        txset t "btree_map.ml:leaf n" (node + off_n) (n + 1)
+      end
+      else begin
+        let rec pick i = if i < n && read_key t node i < k then pick (i + 1) else i in
+        let i = pick 0 in
+        let child = read_child t node i in
+        if read_n t child = order then begin
+          split_child t node i;
+          (* The promoted key may redirect the descent (or be the key). *)
+          let pk = read_key t node i in
+          if pk = k then txset t "btree_map.ml:update value" (value_addr node i) v
+          else
+            let i = if pk < k then i + 1 else i in
+            insert_nonfull t (read_child t node i) k v
+        end
+        else insert_nonfull t child k v
+      end
+
+let insert t k v =
+  Jaaru.Ctx.check (ctx t) ~label:"btree_map.ml:insert" (k <> 0) "btree keys must be non-zero";
+  Tx.run t.tx (fun () ->
+      let root = tree_root t in
+      if read_n t root = order then begin
+        let new_root = alloc_node t in
+        txset t "btree_map.ml:new root child" (child_addr new_root 0) root;
+        set_tree_root t new_root;
+        split_child t new_root 0;
+        insert_nonfull t new_root k v
+      end
+      else insert_nonfull t root k v)
+
+(* --- delete ----------------------------------------------------------------- *)
+
+(* CLRS-style B-tree deletion inside one transaction. The invariant is that
+   every non-root node visited has at least 2 items before descending, so a
+   removal never underflows below 1; nodes freed by merges are released
+   after commit. *)
+let item_of t node i = (read_key t node i, read_value t node i)
+
+let set_item t node i (k, v) =
+  txset t "btree_map.ml:del set key" (key_addr node i) k;
+  txset t "btree_map.ml:del set val" (value_addr node i) v
+
+(* Remove item i (and, in an internal node, child i+1) by shifting left. *)
+let excise t node i ~with_child =
+  let n = read_n t node in
+  for j = i to n - 2 do
+    set_item t node j (item_of t node (j + 1));
+    if with_child then
+      txset t "btree_map.ml:del shift child" (child_addr node (j + 1))
+        (read_child t node (j + 2))
+  done;
+  txset t "btree_map.ml:del clear key" (key_addr node (n - 1)) 0;
+  txset t "btree_map.ml:del n" (node + off_n) (n - 1)
+
+(* Merge separator i and child i+1 into child i; frees the right child. *)
+let merge_children t node i pending_free =
+  let left_c = read_child t node i and right_c = read_child t node (i + 1) in
+  let ln = read_n t left_c and rn = read_n t right_c in
+  Jaaru.Ctx.check (ctx t) ~label:"btree_map.ml:merge fit" (ln + rn + 1 <= order)
+    "merge would overflow";
+  set_item t left_c ln (item_of t node i);
+  for j = 0 to rn - 1 do
+    set_item t left_c (ln + 1 + j) (item_of t right_c j);
+    txset t "btree_map.ml:merge child" (child_addr left_c (ln + 1 + j))
+      (read_child t right_c j)
+  done;
+  txset t "btree_map.ml:merge last child" (child_addr left_c (ln + rn + 1))
+    (read_child t right_c rn);
+  txset t "btree_map.ml:merge n" (left_c + off_n) (ln + rn + 1);
+  excise t node i ~with_child:true;
+  pending_free := right_c :: !pending_free;
+  left_c
+
+(* Ensure child i of node has at least 2 items, borrowing or merging. *)
+let fortify t node i pending_free =
+  let c = read_child t node i in
+  if read_n t c >= 2 then c
+  else begin
+    let n = read_n t node in
+    let left_sib = if i > 0 then Some (read_child t node (i - 1)) else None in
+    let right_sib = if i < n then Some (read_child t node (i + 1)) else None in
+    match (left_sib, right_sib) with
+    | Some ls, _ when read_n t ls >= 2 ->
+        (* Rotate right through separator i-1. *)
+        let lsn = read_n t ls in
+        let cn = read_n t c in
+        for j = cn - 1 downto 0 do
+          set_item t c (j + 1) (item_of t c j)
+        done;
+        for j = cn + 1 downto 1 do
+          txset t "btree_map.ml:borrow shift child" (child_addr c j) (read_child t c (j - 1))
+        done;
+        set_item t c 0 (item_of t node (i - 1));
+        txset t "btree_map.ml:borrow child" (child_addr c 0) (read_child t ls lsn);
+        set_item t node (i - 1) (item_of t ls (lsn - 1));
+        txset t "btree_map.ml:borrow clear" (key_addr ls (lsn - 1)) 0;
+        txset t "btree_map.ml:borrow n" (ls + off_n) (lsn - 1);
+        txset t "btree_map.ml:borrow cn" (c + off_n) (cn + 1);
+        c
+    | _, Some rs when read_n t rs >= 2 ->
+        (* Rotate left through separator i: the sibling loses its first item
+           AND its first child. *)
+        let cn = read_n t c in
+        set_item t c cn (item_of t node i);
+        txset t "btree_map.ml:borrow child r" (child_addr c (cn + 1)) (read_child t rs 0);
+        set_item t node i (item_of t rs 0);
+        let rsn = read_n t rs in
+        for j = 0 to rsn - 2 do
+          set_item t rs j (item_of t rs (j + 1))
+        done;
+        for j = 0 to rsn - 1 do
+          txset t "btree_map.ml:borrow shift child r" (child_addr rs j) (read_child t rs (j + 1))
+        done;
+        txset t "btree_map.ml:borrow clear r" (key_addr rs (rsn - 1)) 0;
+        txset t "btree_map.ml:borrow rsn" (rs + off_n) (rsn - 1);
+        txset t "btree_map.ml:borrow cn r" (c + off_n) (cn + 1);
+        c
+    | Some _, _ -> merge_children t node (i - 1) pending_free
+    | None, Some _ -> merge_children t node i pending_free
+    | None, None -> c (* single-child root shapes cannot occur *)
+  end
+
+let rec max_item t node =
+  if is_leaf t node then item_of t node (read_n t node - 1)
+  else max_item t (read_child t node (read_n t node))
+
+let rec min_item t node =
+  if is_leaf t node then item_of t node 0 else min_item t (read_child t node 0)
+
+let rec delete_from t node k pending_free =
+  Jaaru.Ctx.progress (ctx t) ~label:"btree_map.ml:delete" ();
+  let n = read_n t node in
+  let rec find i = if i >= n then None else if read_key t node i = k then Some i else find (i + 1) in
+  match find 0 with
+  | Some i ->
+      if is_leaf t node then excise t node i ~with_child:false
+      else begin
+        let left_c = read_child t node i and right_c = read_child t node (i + 1) in
+        if read_n t left_c >= 2 then begin
+          let pk, pv = max_item t left_c in
+          set_item t node i (pk, pv);
+          delete_from t left_c pk pending_free
+        end
+        else if read_n t right_c >= 2 then begin
+          let sk, sv = min_item t right_c in
+          set_item t node i (sk, sv);
+          delete_from t right_c sk pending_free
+        end
+        else begin
+          let merged = merge_children t node i pending_free in
+          delete_from t merged k pending_free
+        end
+      end
+  | None ->
+      if not (is_leaf t node) then begin
+        let rec pick i = if i < n && read_key t node i < k then pick (i + 1) else i in
+        let i = pick 0 in
+        let c = fortify t node i pending_free in
+        delete_from t c k pending_free
+      end
+
+let remove t k =
+  let pending_free = ref [] in
+  Tx.run t.tx (fun () ->
+      let root = tree_root t in
+      delete_from t root k pending_free;
+      (* Shrink an emptied internal root. *)
+      if read_n t root = 0 && not (is_leaf t root) then begin
+        set_tree_root t (read_child t root 0);
+        pending_free := root :: !pending_free
+      end);
+  List.iter (Pmalloc.free t.heap ~label:"btree_map.ml:free") !pending_free
+
+(* --- verification -------------------------------------------------------- *)
+
+let rec check_node t node ~lo ~hi ~depth =
+  Jaaru.Ctx.progress (ctx t) ~label:"btree_map.ml:check" ();
+  Jaaru.Ctx.check (ctx t) ~label:"btree_map.ml:check depth" (depth < 64) "btree too deep";
+  let n = read_n t node in
+  Jaaru.Ctx.check (ctx t) ~label:"btree_map.ml:check n" (n >= 0 && n <= order)
+    "btree node item count out of range";
+  let leaf = is_leaf t node in
+  for i = 0 to n - 1 do
+    let k = read_key t node i in
+    Jaaru.Ctx.check (ctx t) ~label:"btree_map.ml:check key" (k <> 0) "btree item key is zero";
+    Jaaru.Ctx.check (ctx t) ~label:"btree_map.ml:check order"
+      (k > lo && (hi = 0 || k < hi))
+      "btree keys out of order";
+    if not leaf then begin
+      let left = read_child t node i in
+      let right_bound = k in
+      check_node t left ~lo:(if i = 0 then lo else read_key t node (i - 1)) ~hi:right_bound
+        ~depth:(depth + 1)
+    end
+  done;
+  if (not leaf) && n > 0 then
+    check_node t (read_child t node n) ~lo:(read_key t node (n - 1)) ~hi ~depth:(depth + 1)
+
+let check t =
+  Pmalloc.check t.heap;
+  check_node t (tree_root t) ~lo:0 ~hi:0 ~depth:0
+
+let entries t =
+  let rec walk node acc =
+    Jaaru.Ctx.progress (ctx t) ~label:"btree_map.ml:entries" ();
+    let n = read_n t node in
+    let leaf = is_leaf t node in
+    let rec items i acc =
+      if i >= n then if leaf then acc else walk (read_child t node i) acc
+      else
+        let acc = if leaf then acc else walk (read_child t node i) acc in
+        items (i + 1) ((read_key t node i, read_value t node i) :: acc)
+    in
+    items 0 acc
+  in
+  List.rev (walk (tree_root t) [])

@@ -1,0 +1,42 @@
+(** A persistent B-tree map, modelled on the PMDK [btree_map] example.
+
+    Fixed order 4: a node holds up to 4 sorted key/value items and 5
+    children. Structural changes (item shifts, splits, root replacement) run
+    inside an undo-log transaction so a crash rolls them back; the paper's
+    PMDK bug #1 ("Illegal memory access at btree_map.c:89") is an atomicity
+    violation in exactly this kind of update, reproduced here by the
+    [nontx_split] toggle. Keys must be non-zero (0 marks an empty slot). *)
+
+type bugs = {
+  nontx_split : bool;
+      (** Perform node splits with raw stores instead of transactionally: a
+          crash mid-split leaves a node whose item count disagrees with its
+          children array, and recovery dereferences garbage. *)
+  missing_root_flush : bool;
+      (** The root pointer update after a root split is not flushed. *)
+}
+
+val no_bugs : bugs
+
+type t
+
+val create_or_open :
+  ?bugs:bugs -> ?pool_bugs:Pool.bugs -> ?alloc_bugs:Pmalloc.bugs -> Jaaru.Ctx.t -> t
+(** Opens (or on first use creates) the tree in the context's region,
+    running transaction recovery first. *)
+
+val insert : t -> int -> int -> unit
+val lookup : t -> int -> int option
+val remove : t -> int -> unit
+(** CLRS-style deletion (predecessor/successor replacement, sibling borrow,
+    child merge, root shrink), inside one transaction: a crash anywhere
+    rolls the whole removal back. *)
+
+val min_key : t -> int option
+
+val check : t -> unit
+(** Recovery verification: walks the whole tree checking item counts, key
+    ordering and child-pointer sanity; also re-validates the heap. *)
+
+val entries : t -> (int * int) list
+(** In-order key/value pairs (walks PM). *)

@@ -1,0 +1,85 @@
+type bugs = { skip_crc : bool }
+
+let no_bugs = { skip_crc = false }
+
+let layout_id = 0xc106
+let root_size = 8 (* unused placeholder; records live in the heap area *)
+
+(* Record layout: sequence number, payload, CRC of both; 32-byte stride so
+   two records share a cache line and torn line cuts are interesting. *)
+let off_seqno = 0
+let off_payload = 8
+let off_crc = 16
+let record_stride = 32
+
+type t = { pool : Pool.t; bugs : bugs; mutable next : int }
+
+let ctx t = Pool.ctx t.pool
+let record_addr t i = Pool.heap_base t.pool + (i * record_stride)
+let max_records t = (Pool.heap_limit t.pool - Pool.heap_base t.pool) / record_stride
+
+let store64 t label addr v = Jaaru.Ctx.store64 (ctx t) ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 (ctx t) ~label addr
+
+let crc_of ~seqno ~payload =
+  Pmem.Crc32.digest_bytes
+    (Pmem.Bytes_le.explode ~width:8 seqno @ Pmem.Bytes_le.explode ~width:8 payload)
+
+(* A record is accepted if its sequence number matches its slot and (unless
+   the bug is enabled) its checksum validates the contents. *)
+let read_record t i =
+  let r = record_addr t i in
+  let seqno = load64 t "clog.ml:read seqno" (r + off_seqno) in
+  if seqno <> i + 1 then None
+  else
+    let payload = load64 t "clog.ml:read payload" (r + off_payload) in
+    if t.bugs.skip_crc then Some payload
+    else
+      let crc = load64 t "clog.ml:read crc" (r + off_crc) in
+      if crc = crc_of ~seqno ~payload then Some payload else None
+
+let recover_list t =
+  let limit = max_records t in
+  let rec scan i acc =
+    if i >= limit then List.rev acc
+    else begin
+      Jaaru.Ctx.progress (ctx t) ~label:"clog.ml:recover" ();
+      match read_record t i with
+      | None -> List.rev acc
+      | Some payload -> scan (i + 1) (payload :: acc)
+    end
+  in
+  scan 0 []
+
+let create_or_open ?(bugs = no_bugs) ?pool_bugs ctx0 =
+  let pool = Pool.open_or_create ?bugs:pool_bugs ctx0 ~layout:layout_id ~root_size in
+  let t = { pool; bugs; next = 0 } in
+  t.next <- List.length (recover_list t);
+  t
+
+let append t payload =
+  Jaaru.Ctx.check (ctx t) ~label:"clog.ml:append" (t.next < max_records t) "log full";
+  let i = t.next in
+  let r = record_addr t i in
+  let seqno = i + 1 in
+  (* Header-first logging: the slot header goes down before the body, as in
+     a real write-ahead log, and nothing is flushed — only the trailing CRC
+     makes accepting the record safe. *)
+  store64 t "clog.ml:append seqno" (r + off_seqno) seqno;
+  store64 t "clog.ml:append payload" (r + off_payload) payload;
+  store64 t "clog.ml:append crc" (r + off_crc) (crc_of ~seqno ~payload);
+  t.next <- i + 1
+
+let recover = recover_list
+
+let check t ~expected =
+  let got = recover_list t in
+  let rec is_prefix xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+    | _ :: _, [] -> false
+  in
+  Jaaru.Ctx.check (ctx t) ~label:"clog.ml:check"
+    (is_prefix got expected)
+    "recovered log is not a prefix of what was appended"

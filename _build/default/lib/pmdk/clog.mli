@@ -1,0 +1,34 @@
+(** A checksum-committed append-only log.
+
+    The checksum-based recovery idiom the paper gives special support for
+    (§4): records carry a CRC of their contents instead of being committed by
+    a separate commit store, and the writer issues {e no} flushes at all —
+    persistence is whatever the cache happened to write back. Recovery scans
+    from the start and accepts records until the first checksum mismatch.
+
+    Because nothing is flushed, recovery loads read from many unflushed
+    stores; Jaaru explores every consistent cut of each cache line, and the
+    CRC must reject every torn prefix. The [skip_crc] toggle turns the
+    validation off, which lets torn records through — a real bug Jaaru
+    reports as an assertion when the payload disagrees with the sequence
+    invariant. *)
+
+type bugs = {
+  skip_crc : bool;  (** Recovery trusts record lengths without validating CRCs. *)
+}
+
+val no_bugs : bugs
+
+type t
+
+val create_or_open : ?bugs:bugs -> ?pool_bugs:Pool.bugs -> Jaaru.Ctx.t -> t
+
+val append : t -> int -> unit
+(** Appends one 62-bit payload. No flushes are issued. *)
+
+val recover : t -> int list
+(** The recovered payload prefix, oldest first. *)
+
+val check : t -> expected:int list -> unit
+(** Fails the checker unless {!recover} returns a prefix of [expected] —
+    the fundamental guarantee of an append-only log. *)

@@ -1,0 +1,181 @@
+type bugs = { missing_node_flush : bool; missing_leaf_flush : bool }
+
+let no_bugs = { missing_node_flush = false; missing_leaf_flush = false }
+
+let layout_id = 0xc7ee
+let max_bit = 61 (* keys are 62-bit non-negative ints *)
+let root_size = 64
+
+type t = { pool : Pool.t; heap : Pmalloc.t; bugs : bugs }
+
+let ctx t = Pool.ctx t.pool
+let root_slot t = Pool.root t.pool
+
+let store64 t label addr v = Jaaru.Ctx.store64 (ctx t) ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 (ctx t) ~label addr
+let flush t label addr size = Jaaru.Ctx.clflush (ctx t) ~label addr size
+let fence t label = Jaaru.Ctx.sfence (ctx t) ~label ()
+
+(* Tagged pointers: low bit set marks a leaf. *)
+let tag_leaf addr = addr lor 1
+let is_leaf p = p land 1 = 1
+let untag p = p land lnot 1
+
+(* Leaf: key, value. Internal: diff bit, child0, child1. *)
+let leaf_key t p = load64 t "ctree_map.ml:leaf key" (untag p)
+let leaf_value t p = load64 t "ctree_map.ml:leaf value" (untag p + 8)
+let node_bit t p = load64 t "ctree_map.ml:node bit" p
+let child_slot p side = p + 8 + (8 * side)
+let read_child t p side = load64 t "ctree_map.ml:137" (child_slot p side)
+
+let bit_of k b = (k lsr b) land 1
+
+let create_or_open ?(bugs = no_bugs) ?pool_bugs ?alloc_bugs ctx0 =
+  let pool = Pool.open_or_create ?bugs:pool_bugs ctx0 ~layout:layout_id ~root_size in
+  let heap = Pmalloc.init_or_open ?bugs:alloc_bugs pool in
+  { pool; heap; bugs }
+
+let alloc_leaf t k v =
+  let p = Pmalloc.alloc t.heap ~label:"ctree_map.ml:alloc leaf" 16 in
+  store64 t "ctree_map.ml:leaf init key" p k;
+  store64 t "ctree_map.ml:leaf init value" (p + 8) v;
+  if not t.bugs.missing_leaf_flush then begin
+    flush t "ctree_map.ml:flush leaf" p 16;
+    fence t "ctree_map.ml:fence leaf"
+  end;
+  p
+
+let commit_slot t slot p =
+  store64 t "ctree_map.ml:commit slot" slot p;
+  flush t "ctree_map.ml:flush slot" slot 8;
+  fence t "ctree_map.ml:fence slot"
+
+let root_ptr t = load64 t "ctree_map.ml:read root" (root_slot t)
+
+(* Descend to the leaf the key would occupy. *)
+let rec find_leaf t p k =
+  Jaaru.Ctx.progress (ctx t) ~label:"ctree_map.ml:descend" ();
+  if is_leaf p then p
+  else
+    let b = node_bit t p in
+    find_leaf t (read_child t p (bit_of k b)) k
+
+let lookup t k =
+  let r = root_ptr t in
+  if r = 0 then None
+  else
+    let leaf = find_leaf t r k in
+    if leaf_key t leaf = k then Some (leaf_value t leaf) else None
+
+let highest_diff_bit a b =
+  let x = a lxor b in
+  let rec scan i = if i < 0 then -1 else if (x lsr i) land 1 = 1 then i else scan (i - 1) in
+  scan max_bit
+
+let insert t k v =
+  Jaaru.Ctx.check (ctx t) ~label:"ctree_map.ml:insert"
+    (k >= 0 && k <= (1 lsl (max_bit + 1)) - 1)
+    "ctree keys must fit in 62 bits";
+  let r = root_ptr t in
+  if r = 0 then commit_slot t (root_slot t) (tag_leaf (alloc_leaf t k v))
+  else begin
+    let leaf = find_leaf t r k in
+    let lk = leaf_key t leaf in
+    if lk = k then begin
+      (* In-place value update: an 8-byte store is failure-atomic. *)
+      store64 t "ctree_map.ml:update value" (untag leaf + 8) v;
+      flush t "ctree_map.ml:flush update" (untag leaf + 8) 8;
+      fence t "ctree_map.ml:fence update"
+    end
+    else begin
+      let b = highest_diff_bit k lk in
+      (* Walk again to the edge where the new internal node belongs: the
+         first slot whose subtree tests a bit below b. *)
+      let rec find_edge slot p =
+        if is_leaf p then (slot, p)
+        else
+          let pb = node_bit t p in
+          if pb < b then (slot, p)
+          else find_edge (child_slot p (bit_of k pb)) (read_child t p (bit_of k pb))
+      in
+      let slot, existing = find_edge (root_slot t) r in
+      let new_leaf = tag_leaf (alloc_leaf t k v) in
+      let node = Pmalloc.alloc t.heap ~label:"ctree_map.ml:alloc node" 24 in
+      store64 t "ctree_map.ml:node init bit" node b;
+      let side = bit_of k b in
+      store64 t "ctree_map.ml:node init child" (child_slot node side) new_leaf;
+      store64 t "ctree_map.ml:node init child" (child_slot node (1 - side)) existing;
+      if not t.bugs.missing_node_flush then begin
+        flush t "ctree_map.ml:flush node" node 24;
+        fence t "ctree_map.ml:fence node"
+      end;
+      commit_slot t slot node
+    end
+  end
+
+let remove t k =
+  let r = root_ptr t in
+  if r <> 0 then begin
+    if is_leaf r then begin
+      if leaf_key t r = k then begin
+        commit_slot t (root_slot t) 0;
+        Pmalloc.free t.heap ~label:"ctree_map.ml:free leaf" (untag r)
+      end
+    end
+    else begin
+      (* Track the slot holding the parent so the sibling can splice up. *)
+      let rec descend parent_slot p =
+        let b = node_bit t p in
+        let side = bit_of k b in
+        let c = read_child t p side in
+        if is_leaf c then
+          if leaf_key t c = k then begin
+            let sibling = read_child t p (1 - side) in
+            commit_slot t parent_slot sibling;
+            Pmalloc.free t.heap ~label:"ctree_map.ml:free leaf" (untag c);
+            Pmalloc.free t.heap ~label:"ctree_map.ml:free node" p
+          end
+          else ()
+        else descend (child_slot p side) c
+      in
+      descend (root_slot t) r
+    end
+  end
+
+(* --- verification -------------------------------------------------------- *)
+
+(* Returns a representative key of the subtree. *)
+let rec check_node t p ~parent_bit ~depth =
+  Jaaru.Ctx.progress (ctx t) ~label:"ctree_map.ml:check" ();
+  Jaaru.Ctx.check (ctx t) ~label:"ctree_map.ml:check depth" (depth <= max_bit + 2)
+    "ctree deeper than the key width";
+  if is_leaf p then leaf_key t p
+  else begin
+    let b = node_bit t p in
+    Jaaru.Ctx.check (ctx t) ~label:"ctree_map.ml:check bit"
+      (b >= 0 && b <= max_bit && b < parent_bit)
+      "ctree diff bit out of order";
+    let k0 = check_node t (read_child t p 0) ~parent_bit:b ~depth:(depth + 1) in
+    let k1 = check_node t (read_child t p 1) ~parent_bit:b ~depth:(depth + 1) in
+    Jaaru.Ctx.check (ctx t) ~label:"ctree_map.ml:check sides"
+      (bit_of k0 b = 0 && bit_of k1 b = 1)
+      "ctree child on the wrong side of its diff bit";
+    Jaaru.Ctx.check (ctx t) ~label:"ctree_map.ml:check prefix"
+      (k0 lsr (b + 1) = k1 lsr (b + 1))
+      "ctree children disagree above the diff bit";
+    k0
+  end
+
+let check t =
+  Pmalloc.check t.heap;
+  let r = root_ptr t in
+  if r <> 0 then ignore (check_node t r ~parent_bit:(max_bit + 1) ~depth:0)
+
+let entries t =
+  let rec walk p acc =
+    Jaaru.Ctx.progress (ctx t) ~label:"ctree_map.ml:entries" ();
+    if is_leaf p then (leaf_key t p, leaf_value t p) :: acc
+    else walk (read_child t p 0) (walk (read_child t p 1) acc)
+  in
+  let r = root_ptr t in
+  if r = 0 then [] else walk r []

@@ -1,0 +1,35 @@
+(** A persistent crit-bit tree map, modelled on the PMDK [ctree_map] example.
+
+    Internal nodes hold the index of the differing bit and two tagged child
+    pointers (low bit set = leaf); leaves hold a key/value pair. Updates use
+    the atomic flush-ordering style: new nodes are fully persisted before the
+    single 8-byte parent-slot store commits them. The paper's CTree bug
+    (Fig. 12 #4) is a missing flush on a freshly constructed internal node —
+    the [missing_node_flush] toggle. *)
+
+type bugs = {
+  missing_node_flush : bool;
+      (** The new internal node is not flushed before the parent slot commit:
+          recovery can read a garbage diff-bit or child pointer. *)
+  missing_leaf_flush : bool;
+      (** The new leaf is not flushed before it is committed. *)
+}
+
+val no_bugs : bugs
+
+type t
+
+val create_or_open :
+  ?bugs:bugs -> ?pool_bugs:Pool.bugs -> ?alloc_bugs:Pmalloc.bugs -> Jaaru.Ctx.t -> t
+
+val insert : t -> int -> int -> unit
+(** Keys must be non-negative and below 2^62. Duplicate keys update. *)
+
+val lookup : t -> int -> int option
+val remove : t -> int -> unit
+
+val check : t -> unit
+(** Recovery verification: walks the tree checking diff-bit monotonicity,
+    tag sanity and key prefixes; re-validates the heap. *)
+
+val entries : t -> (int * int) list

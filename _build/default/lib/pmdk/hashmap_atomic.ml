@@ -1,0 +1,177 @@
+type bugs = { missing_entry_flush : bool }
+
+let no_bugs = { missing_entry_flush = false }
+
+let layout_id = 0x4a5a
+let root_size = 64
+
+(* Root object fields. *)
+let off_nbuckets = 0
+let off_buckets = 8
+let off_count = 16
+let off_dirty = 24
+
+(* Entry layout. *)
+let off_key = 0
+let off_value = 8
+let off_next = 16
+let entry_size = 24
+
+type t = { pool : Pool.t; heap : Pmalloc.t; bugs : bugs }
+
+let ctx t = Pool.ctx t.pool
+let root t = Pool.root t.pool
+
+let store64 t label addr v = Jaaru.Ctx.store64 (ctx t) ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 (ctx t) ~label addr
+let flush t label addr size = Jaaru.Ctx.clflush (ctx t) ~label addr size
+let fence t label = Jaaru.Ctx.sfence (ctx t) ~label ()
+
+let nbuckets t = load64 t "hashmap_atomic.ml:nbuckets" (root t + off_nbuckets)
+let buckets t = load64 t "hashmap_atomic.ml:buckets" (root t + off_buckets)
+let count t = load64 t "hashmap_atomic.ml:count" (root t + off_count)
+let dirty t = load64 t "hashmap_atomic.ml:dirty" (root t + off_dirty)
+let bucket_slot t i = buckets t + (8 * i)
+let read_bucket t i = load64 t "hashmap_atomic.ml:bucket head" (bucket_slot t i)
+
+let hash t k = k * 2654435761 land max_int mod nbuckets t
+
+let entry_key t e = load64 t "hashmap_atomic.ml:entry key" (e + off_key)
+let entry_value t e = load64 t "hashmap_atomic.ml:entry value" (e + off_value)
+let entry_next t e = load64 t "hashmap_atomic.ml:entry next" (e + off_next)
+
+(* The dirty flag must be persistent before the structural commit store, so
+   a crash between the commit and the count update recounts on recovery. *)
+let mark_dirty t =
+  store64 t "hashmap_atomic.ml:set dirty" (root t + off_dirty) 1;
+  flush t "hashmap_atomic.ml:flush dirty" (root t + off_dirty) 8;
+  fence t "hashmap_atomic.ml:fence dirty"
+
+let publish_count t n =
+  store64 t "hashmap_atomic.ml:set count" (root t + off_count) n;
+  flush t "hashmap_atomic.ml:flush count" (root t + off_count) 8;
+  fence t "hashmap_atomic.ml:fence count";
+  store64 t "hashmap_atomic.ml:clear dirty" (root t + off_dirty) 0;
+  flush t "hashmap_atomic.ml:flush dirty clear" (root t + off_dirty) 8;
+  fence t "hashmap_atomic.ml:fence dirty clear"
+
+let set_count t n =
+  mark_dirty t;
+  publish_count t n
+
+let fold_chain t i f acc =
+  let rec walk e acc =
+    if e = 0 then acc
+    else begin
+      Jaaru.Ctx.progress (ctx t) ~label:"hashmap_atomic.ml:chain" ();
+      walk (entry_next t e) (f e acc)
+    end
+  in
+  walk (read_bucket t i) acc
+
+let fold t f acc =
+  let n = nbuckets t in
+  let rec go i acc = if i >= n then acc else go (i + 1) (fold_chain t i f acc) in
+  go 0 acc
+
+let recount t =
+  let real = fold t (fun _ n -> n + 1) 0 in
+  set_count t real
+
+let create t ~nbuckets:n =
+  let arr = Pmalloc.alloc t.heap ~label:"hashmap_atomic.ml:alloc buckets" (8 * n) in
+  for i = 0 to n - 1 do
+    store64 t "hashmap_atomic.ml:init bucket" (arr + (8 * i)) 0
+  done;
+  flush t "hashmap_atomic.ml:flush buckets" arr (8 * n);
+  fence t "hashmap_atomic.ml:fence buckets";
+  store64 t "hashmap_atomic.ml:init nbuckets" (root t + off_nbuckets) n;
+  store64 t "hashmap_atomic.ml:init count" (root t + off_count) 0;
+  store64 t "hashmap_atomic.ml:init dirty" (root t + off_dirty) 0;
+  flush t "hashmap_atomic.ml:flush meta" (root t + off_nbuckets) 32;
+  fence t "hashmap_atomic.ml:fence meta";
+  (* The buckets pointer is the creation commit store. *)
+  store64 t "hashmap_atomic.ml:commit buckets" (root t + off_buckets) arr;
+  flush t "hashmap_atomic.ml:flush commit" (root t + off_buckets) 8;
+  fence t "hashmap_atomic.ml:fence commit"
+
+let create_or_open ?(bugs = no_bugs) ?pool_bugs ?alloc_bugs ?(nbuckets = 4) ctx0 =
+  let pool = Pool.open_or_create ?bugs:pool_bugs ctx0 ~layout:layout_id ~root_size in
+  let heap = Pmalloc.init_or_open ?bugs:alloc_bugs pool in
+  let t = { pool; heap; bugs } in
+  if buckets t = 0 then create t ~nbuckets
+  else if dirty t <> 0 then recount t;
+  t
+
+let find t k =
+  let i = hash t k in
+  let rec walk prev e =
+    if e = 0 then None
+    else begin
+      Jaaru.Ctx.progress (ctx t) ~label:"hashmap_atomic.ml:find" ();
+      if entry_key t e = k then Some (prev, e) else walk e (entry_next t e)
+    end
+  in
+  walk 0 (read_bucket t i)
+
+let lookup t k = Option.map (fun (_, e) -> entry_value t e) (find t k)
+
+let insert t k v =
+  Jaaru.Ctx.check (ctx t) ~label:"hashmap_atomic.ml:insert" (k <> 0) "keys must be non-zero";
+  match find t k with
+  | Some (_, e) ->
+      store64 t "hashmap_atomic.ml:update value" (e + off_value) v;
+      flush t "hashmap_atomic.ml:flush update" (e + off_value) 8;
+      fence t "hashmap_atomic.ml:fence update"
+  | None ->
+      let i = hash t k in
+      let e = Pmalloc.alloc t.heap ~label:"hashmap_atomic.ml:alloc entry" entry_size in
+      store64 t "hashmap_atomic.ml:new key" (e + off_key) k;
+      store64 t "hashmap_atomic.ml:new value" (e + off_value) v;
+      store64 t "hashmap_atomic.ml:new next" (e + off_next) (read_bucket t i);
+      if not t.bugs.missing_entry_flush then begin
+        flush t "hashmap_atomic.ml:flush entry" e entry_size;
+        fence t "hashmap_atomic.ml:fence entry"
+      end;
+      mark_dirty t;
+      store64 t "hashmap_atomic.ml:commit entry" (bucket_slot t i) e;
+      flush t "hashmap_atomic.ml:flush head" (bucket_slot t i) 8;
+      fence t "hashmap_atomic.ml:fence head";
+      publish_count t (count t + 1)
+
+let remove t k =
+  match find t k with
+  | None -> ()
+  | Some (prev, e) ->
+      let next = entry_next t e in
+      let slot = if prev = 0 then bucket_slot t (hash t k) else prev + off_next in
+      mark_dirty t;
+      store64 t "hashmap_atomic.ml:unlink" slot next;
+      flush t "hashmap_atomic.ml:flush unlink" slot 8;
+      fence t "hashmap_atomic.ml:fence unlink";
+      Pmalloc.free t.heap ~label:"hashmap_atomic.ml:free entry" e;
+      publish_count t (count t - 1)
+
+let check t =
+  Pmalloc.check t.heap;
+  let n = nbuckets t in
+  Jaaru.Ctx.check (ctx t) ~label:"hashmap_atomic.ml:check nbuckets" (n > 0 && n <= 65536)
+    "bucket count out of range";
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    fold_chain t i
+      (fun e () ->
+        incr total;
+        Jaaru.Ctx.check (ctx t) ~label:"hashmap_atomic.ml:check chain" (!total <= 1_000_000)
+          "hash chain does not terminate";
+        Pmalloc.assert_allocated t.heap e;
+        let k = entry_key t e in
+        Jaaru.Ctx.check (ctx t) ~label:"hashmap_atomic.ml:check hash" (hash t k = i)
+          "entry in the wrong bucket")
+      ()
+  done;
+  if dirty t = 0 then
+    Jaaru.Ctx.check (ctx t) ~label:"hashmap_atomic.ml:check count" (count t = !total)
+      "clean count does not match the chains"
+
+let entries t = List.rev (fold t (fun e acc -> (entry_key t e, entry_value t e) :: acc) [])

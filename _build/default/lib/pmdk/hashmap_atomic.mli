@@ -1,0 +1,40 @@
+(** A persistent chained hash map with atomic (non-transactional) updates,
+    modelled on the PMDK [hashmap_atomic] example.
+
+    Buckets form a persistent pointer array; entries are chained. Inserts
+    follow the atomic protocol: the fully-initialised entry (including its
+    next link) is flushed before the single bucket-head store commits it.
+    The element count is maintained with a dirty flag and recounted on
+    recovery when the flag was set at the crash.
+
+    The paper's two hashmap_atomic bugs (Fig. 12 #3 and #5) are allocator
+    bugs surfaced by this workload — pass the corresponding {!Pmalloc.bugs}
+    toggles; [missing_entry_flush] is the map's own missing-flush bug. *)
+
+type bugs = {
+  missing_entry_flush : bool;
+      (** The new entry is not flushed before the bucket head commits it. *)
+}
+
+val no_bugs : bugs
+
+type t
+
+val create_or_open :
+  ?bugs:bugs -> ?pool_bugs:Pool.bugs -> ?alloc_bugs:Pmalloc.bugs ->
+  ?nbuckets:int -> Jaaru.Ctx.t -> t
+(** Runs count recovery on open when the dirty flag was set. *)
+
+val insert : t -> int -> int -> unit
+(** Keys must be non-zero; duplicate keys update the value in place. *)
+
+val lookup : t -> int -> int option
+val remove : t -> int -> unit
+val count : t -> int
+
+val check : t -> unit
+(** Recovery verification: every chain entry hashes to its bucket, the chain
+    terminates, and the count matches unless marked dirty; re-validates the
+    heap. *)
+
+val entries : t -> (int * int) list

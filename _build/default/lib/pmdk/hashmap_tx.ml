@@ -1,0 +1,176 @@
+type bugs = { rehash_factor : int }
+
+let no_bugs = { rehash_factor = 2 }
+
+let layout_id = 0x4a5b
+
+(* Root object fields, then the undo log. *)
+let off_nbuckets = 0
+let off_buckets = 8
+let off_count = 16
+let tx_capacity = 96
+let root_size = 64 + Tx.area_size ~capacity:tx_capacity
+
+(* Entry layout. *)
+let off_key = 0
+let off_value = 8
+let off_next = 16
+let entry_size = 24
+
+type t = { pool : Pool.t; heap : Pmalloc.t; tx : Tx.t; bugs : bugs }
+
+let ctx t = Pool.ctx t.pool
+let root t = Pool.root t.pool
+
+let store64 t label addr v = Jaaru.Ctx.store64 (ctx t) ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 (ctx t) ~label addr
+let flush t label addr size = Jaaru.Ctx.clflush (ctx t) ~label addr size
+let fence t label = Jaaru.Ctx.sfence (ctx t) ~label ()
+let txset t label addr v = Tx.set64 t.tx ~label addr v
+
+let nbuckets t = load64 t "hashmap_tx.ml:nbuckets" (root t + off_nbuckets)
+let buckets t = load64 t "hashmap_tx.ml:buckets" (root t + off_buckets)
+let count t = load64 t "hashmap_tx.ml:count" (root t + off_count)
+let bucket_slot t i = buckets t + (8 * i)
+let read_bucket t i = load64 t "hashmap_tx.ml:1528" (bucket_slot t i)
+
+let hash_with n k = k * 2654435761 land max_int mod n
+let hash t k = hash_with (nbuckets t) k
+
+let entry_key t e = load64 t "hashmap_tx.ml:entry key" (e + off_key)
+let entry_value t e = load64 t "hashmap_tx.ml:entry value" (e + off_value)
+let entry_next t e = load64 t "hashmap_tx.ml:entry next" (e + off_next)
+
+let alloc_buckets t n =
+  let arr = Pmalloc.alloc t.heap ~label:"hashmap_tx.ml:alloc buckets" (8 * n) in
+  for i = 0 to n - 1 do
+    store64 t "hashmap_tx.ml:init bucket" (arr + (8 * i)) 0
+  done;
+  flush t "hashmap_tx.ml:flush buckets" arr (8 * n);
+  fence t "hashmap_tx.ml:fence buckets";
+  arr
+
+let create t ~nbuckets:n =
+  let arr = alloc_buckets t n in
+  store64 t "hashmap_tx.ml:init nbuckets" (root t + off_nbuckets) n;
+  store64 t "hashmap_tx.ml:init count" (root t + off_count) 0;
+  flush t "hashmap_tx.ml:flush meta" (root t + off_nbuckets) 24;
+  fence t "hashmap_tx.ml:fence meta";
+  store64 t "hashmap_tx.ml:commit buckets" (root t + off_buckets) arr;
+  flush t "hashmap_tx.ml:flush commit" (root t + off_buckets) 8;
+  fence t "hashmap_tx.ml:fence commit"
+
+let create_or_open ?(bugs = no_bugs) ?pool_bugs ?alloc_bugs ?tx_bugs ?(nbuckets = 4) ctx0 =
+  let pool = Pool.open_or_create ?bugs:pool_bugs ctx0 ~layout:layout_id ~root_size in
+  let heap = Pmalloc.init_or_open ?bugs:alloc_bugs pool in
+  let tx = Tx.attach ?bugs:tx_bugs ctx0 ~base:(Pool.root pool + 64) ~capacity:tx_capacity in
+  let t = { pool; heap; tx; bugs } in
+  Tx.recover tx;
+  if buckets t = 0 then create t ~nbuckets;
+  t
+
+let find t k =
+  let i = hash t k in
+  let rec walk prev e =
+    if e = 0 then None
+    else begin
+      Jaaru.Ctx.progress (ctx t) ~label:"hashmap_tx.ml:find" ();
+      if entry_key t e = k then Some (prev, e) else walk e (entry_next t e)
+    end
+  in
+  walk 0 (read_bucket t i)
+
+let lookup t k = Option.map (fun (_, e) -> entry_value t e) (find t k)
+
+let fold t f acc =
+  let n = nbuckets t in
+  let rec chain e acc =
+    if e = 0 then acc
+    else begin
+      Jaaru.Ctx.progress (ctx t) ~label:"hashmap_tx.ml:fold" ();
+      chain (entry_next t e) (f e acc)
+    end
+  in
+  let rec go i acc = if i >= n then acc else go (i + 1) (chain (read_bucket t i) acc) in
+  go 0 acc
+
+(* Rebuild into a bigger table inside the caller's transaction. Chains are
+   relinked through logged stores; the array swap is the last logged write. *)
+let rehash t =
+  let old_n = nbuckets t in
+  let new_n = old_n * 2 in
+  let old_arr = buckets t in
+  let new_arr = alloc_buckets t new_n in
+  let all = fold t (fun e acc -> e :: acc) [] in
+  List.iter
+    (fun e ->
+      let i = hash_with new_n (entry_key t e) in
+      let head = load64 t "hashmap_tx.ml:rehash head" (new_arr + (8 * i)) in
+      txset t "hashmap_tx.ml:rehash next" (e + off_next) head;
+      txset t "hashmap_tx.ml:rehash bucket" (new_arr + (8 * i)) e)
+    all;
+  txset t "hashmap_tx.ml:rehash nbuckets" (root t + off_nbuckets) new_n;
+  txset t "hashmap_tx.ml:rehash swap" (root t + off_buckets) new_arr;
+  old_arr
+
+(* Frees must wait until the transaction has committed: rolling back a crash
+   would otherwise resurrect pointers into blocks whose payloads the free
+   list has already clobbered. A crash between commit and free only leaks. *)
+let insert t k v =
+  Jaaru.Ctx.check (ctx t) ~label:"hashmap_tx.ml:insert" (k <> 0) "keys must be non-zero";
+  let pending_free = ref None in
+  Tx.run t.tx (fun () ->
+      match find t k with
+      | Some (_, e) -> txset t "hashmap_tx.ml:update value" (e + off_value) v
+      | None ->
+          let i = hash t k in
+          let e = Pmalloc.alloc t.heap ~label:"hashmap_tx.ml:alloc entry" entry_size in
+          (* Fresh object: plain stores plus an explicit flush are enough;
+             the bucket head is the logged commit. *)
+          store64 t "hashmap_tx.ml:new key" (e + off_key) k;
+          store64 t "hashmap_tx.ml:new value" (e + off_value) v;
+          store64 t "hashmap_tx.ml:new next" (e + off_next) (read_bucket t i);
+          flush t "hashmap_tx.ml:flush entry" e entry_size;
+          fence t "hashmap_tx.ml:fence entry";
+          txset t "hashmap_tx.ml:link entry" (bucket_slot t i) e;
+          txset t "hashmap_tx.ml:count" (root t + off_count) (count t + 1);
+          if count t > t.bugs.rehash_factor * nbuckets t then pending_free := Some (rehash t));
+  Option.iter (Pmalloc.free t.heap ~label:"hashmap_tx.ml:free old buckets") !pending_free
+
+let remove t k =
+  let pending_free = ref None in
+  Tx.run t.tx (fun () ->
+      match find t k with
+      | None -> ()
+      | Some (prev, e) ->
+          let next = entry_next t e in
+          let slot = if prev = 0 then bucket_slot t (hash t k) else prev + off_next in
+          txset t "hashmap_tx.ml:unlink" slot next;
+          txset t "hashmap_tx.ml:count" (root t + off_count) (count t - 1);
+          pending_free := Some e);
+  Option.iter (Pmalloc.free t.heap ~label:"hashmap_tx.ml:free entry") !pending_free
+
+let check t =
+  Pmalloc.check t.heap;
+  let n = nbuckets t in
+  Jaaru.Ctx.check (ctx t) ~label:"hashmap_tx.ml:check nbuckets" (n > 0 && n <= 65536)
+    "bucket count out of range";
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let rec walk e =
+      if e <> 0 then begin
+        Jaaru.Ctx.progress (ctx t) ~label:"hashmap_tx.ml:check chain" ();
+        incr total;
+        Pmalloc.assert_allocated t.heap e;
+        Jaaru.Ctx.check (ctx t) ~label:"hashmap_tx.ml:check hash"
+          (hash t (entry_key t e) = i)
+          "entry in the wrong bucket";
+        walk (entry_next t e)
+      end
+    in
+    walk (read_bucket t i)
+  done;
+  Jaaru.Ctx.check (ctx t) ~label:"hashmap_tx.ml:check count" (count t = !total)
+    "count does not match the chains"
+
+let entries t = List.rev (fold t (fun e acc -> (entry_key t e, entry_value t e) :: acc) [])

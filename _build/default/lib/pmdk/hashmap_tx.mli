@@ -1,0 +1,28 @@
+(** A persistent chained hash map whose updates run in undo-log transactions,
+    modelled on the PMDK [hashmap_tx] example.
+
+    Inserts and the load-factor-triggered rehash are each one transaction:
+    recovery rolls back a half-done update before any reader sees it. The
+    paper's hashmap_tx bug (Fig. 12 #6, "Illegal memory access at
+    obj.c:1528") corresponds to a transaction whose committed data never
+    became persistent — reproduce it by passing
+    [{ Tx.no_bugs with missing_data_flush = true }]: a crash after a rehash
+    "commits" leaves the bucket pointer aimed at freed memory. *)
+
+type bugs = { rehash_factor : int  (** rehash when count > factor x buckets *) }
+
+val no_bugs : bugs
+
+type t
+
+val create_or_open :
+  ?bugs:bugs -> ?pool_bugs:Pool.bugs -> ?alloc_bugs:Pmalloc.bugs ->
+  ?tx_bugs:Tx.bugs -> ?nbuckets:int -> Jaaru.Ctx.t -> t
+
+val insert : t -> int -> int -> unit
+val lookup : t -> int -> int option
+val remove : t -> int -> unit
+val count : t -> int
+
+val check : t -> unit
+val entries : t -> (int * int) list

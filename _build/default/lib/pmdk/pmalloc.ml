@@ -1,0 +1,194 @@
+type bugs = {
+  missing_init_flush : bool;
+  missing_bump_flush : bool;
+  missing_free_flush : bool;
+}
+
+let no_bugs = { missing_init_flush = false; missing_bump_flush = false; missing_free_flush = false }
+
+let heap_magic = 0x504d48454150 (* "PMHEAP" *)
+let state_allocated = 1
+let state_free = 2
+let block_header_size = 16
+
+(* Heap header fields, relative to the heap base. The magic commit lives on
+   its own cache line: flushing it must not incidentally persist the bump
+   pointer and free-list head it vouches for. *)
+let off_magic = 0
+let off_bump = 64
+let off_free_head = 72
+let heap_header_size = 128
+
+type t = { pool : Pool.t; base : Pmem.Addr.t; bugs : bugs }
+
+let ctx t = Pool.ctx t.pool
+let align_up n a = (n + a - 1) / a * a
+
+let store64 t label addr v = Jaaru.Ctx.store64 (ctx t) ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 (ctx t) ~label addr
+let flush t label addr size = Jaaru.Ctx.clflush (ctx t) ~label addr size
+let fence t label = Jaaru.Ctx.sfence (ctx t) ~label ()
+
+let first_block t = t.base + heap_header_size
+let bump t = load64 t "pmalloc.ml:read bump" (t.base + off_bump)
+let free_head t = load64 t "pmalloc.ml:read free_head" (t.base + off_free_head)
+
+let init t =
+  store64 t "pmalloc.ml:init bump" (t.base + off_bump) (first_block t);
+  store64 t "pmalloc.ml:init free_head" (t.base + off_free_head) 0;
+  if not t.bugs.missing_init_flush then begin
+    flush t "pmalloc.ml:flush init" (t.base + off_bump) 16;
+    fence t "pmalloc.ml:fence init"
+  end;
+  store64 t "pmalloc.ml:init magic" (t.base + off_magic) heap_magic;
+  flush t "pmalloc.ml:flush magic" (t.base + off_magic) 8;
+  fence t "pmalloc.ml:fence magic"
+
+let init_or_open ?(bugs = no_bugs) pool =
+  let t = { pool; base = Pool.heap_base pool; bugs } in
+  let magic = load64 t "pmalloc.ml:read magic" (t.base + off_magic) in
+  if magic <> heap_magic then init t;
+  t
+
+(* Block headers: [size] then [state]; payload follows. Freed blocks reuse
+   the first payload word as the free-list next link. *)
+let hdr_size block = block
+let hdr_state block = block + 8
+let payload block = block + block_header_size
+let block_of_payload p = p - block_header_size
+
+let read_size t block = load64 t "pmalloc.ml:read size" (hdr_size block)
+let read_state t block = load64 t "pmalloc.ml:read state" (hdr_state block)
+
+let block_payload_size t p = read_size t (block_of_payload p)
+
+let assert_allocated t p =
+  let block = block_of_payload p in
+  Jaaru.Ctx.check (ctx t) ~label:"heap.ml:533"
+    (block >= first_block t && p <= bump t)
+    "object lies outside the committed heap";
+  let size = read_size t block in
+  Jaaru.Ctx.check (ctx t) ~label:"heap.ml:533"
+    (size > 0 && size mod block_header_size = 0
+    && block + block_header_size + size <= bump t)
+    "object's block header is corrupt";
+  Jaaru.Ctx.check (ctx t) ~label:"heap.ml:533"
+    (read_state t block = state_allocated)
+    "object's block is not allocated"
+
+(* First-fit scan of the persistent free list; returns (predecessor, block). *)
+let find_free t want =
+  let rec walk prev link =
+    if link = 0 then None
+    else begin
+      Jaaru.Ctx.progress (ctx t) ~label:"pmalloc.ml:free scan" ();
+      let block = block_of_payload link in
+      let size = read_size t block in
+      if size >= want then Some (prev, block)
+      else walk link (load64 t "pmalloc.ml:read next" link)
+    end
+  in
+  walk 0 (free_head t)
+
+let alloc t ?(label = "pmalloc.ml:alloc") want =
+  let want = align_up (max want 8) block_header_size in
+  match find_free t want with
+  | Some (prev_link, block) ->
+      let next = load64 t "pmalloc.ml:read next" (payload block) in
+      (* Unlink first, then mark allocated: a crash in between leaks the
+         block but never double-allocates it. *)
+      if prev_link = 0 then begin
+        store64 t "pmalloc.ml:pop head" (t.base + off_free_head) next;
+        flush t "pmalloc.ml:flush head" (t.base + off_free_head) 8
+      end
+      else begin
+        store64 t "pmalloc.ml:unlink" prev_link next;
+        flush t "pmalloc.ml:flush unlink" prev_link 8
+      end;
+      fence t "pmalloc.ml:fence unlink";
+      store64 t label (hdr_state block) state_allocated;
+      flush t "pmalloc.ml:flush state" (hdr_state block) 8;
+      fence t "pmalloc.ml:fence state";
+      payload block
+  | None ->
+      let block = bump t in
+      let new_bump = block + block_header_size + want in
+      if new_bump > Pool.heap_limit t.pool then
+        Jaaru.Ctx.abort (ctx t) ~label:"pmalloc.ml:oom" "persistent heap exhausted";
+      store64 t label (hdr_size block) want;
+      store64 t label (hdr_state block) state_allocated;
+      flush t "pmalloc.ml:flush header" block block_header_size;
+      fence t "pmalloc.ml:fence header";
+      (* The bump advance is the commit store for the new block. *)
+      store64 t "pmalloc.ml:bump" (t.base + off_bump) new_bump;
+      if not t.bugs.missing_bump_flush then begin
+        flush t "pmalloc.ml:flush bump" (t.base + off_bump) 8;
+        fence t "pmalloc.ml:fence bump"
+      end;
+      payload block
+
+let free t ?(label = "pmalloc.ml:free") p =
+  let block = block_of_payload p in
+  let head = free_head t in
+  store64 t label (hdr_state block) state_free;
+  store64 t "pmalloc.ml:free next" p head;
+  if not t.bugs.missing_free_flush then begin
+    flush t "pmalloc.ml:flush freed" (hdr_state block) 8;
+    flush t "pmalloc.ml:flush freed next" p 8;
+    fence t "pmalloc.ml:fence freed"
+  end;
+  store64 t "pmalloc.ml:push head" (t.base + off_free_head) p;
+  flush t "pmalloc.ml:flush push" (t.base + off_free_head) 8;
+  fence t "pmalloc.ml:fence push"
+
+let fold_blocks t f acc =
+  let stop = bump t in
+  let limit = Pool.heap_limit t.pool in
+  let rec walk block acc =
+    if block >= stop then acc
+    else begin
+      Jaaru.Ctx.progress (ctx t) ~label:"pmalloc.ml:walk" ();
+      let size = read_size t block in
+      Jaaru.Ctx.check (ctx t) ~label:"heap.ml:walk"
+        (size > 0 && size mod block_header_size = 0 && block + block_header_size + size <= limit)
+        "heap block has corrupt size";
+      let state = read_state t block in
+      Jaaru.Ctx.check (ctx t) ~label:"heap.ml:state"
+        (state = state_allocated || state = state_free)
+        "heap block has corrupt state";
+      walk (block + block_header_size + size) (f block state size acc)
+    end
+  in
+  walk (first_block t) acc
+
+let check t =
+  let stop = bump t in
+  Jaaru.Ctx.check (ctx t) ~label:"heap.ml:bump"
+    (stop >= first_block t && stop <= Pool.heap_limit t.pool)
+    "heap bump pointer out of range";
+  let blocks = fold_blocks t (fun block _ _ acc -> block :: acc) [] in
+  let free_blocks = List.length (List.filter (fun b -> read_state t b = state_free) blocks) in
+  (* Every free-list entry must be a known block in the free state; the list
+     must terminate within the number of free blocks (no cycles). *)
+  let rec walk link remaining =
+    if link <> 0 then begin
+      Jaaru.Ctx.progress (ctx t) ~label:"pmalloc.ml:check scan" ();
+      Jaaru.Ctx.check (ctx t) ~label:"pmalloc.ml:freelist" (remaining > 0)
+        "free list longer than the number of free blocks";
+      let block = block_of_payload link in
+      Jaaru.Ctx.check (ctx t) ~label:"pmalloc.ml:freelist"
+        (List.mem block blocks)
+        "free list entry is not a heap block";
+      Jaaru.Ctx.check (ctx t) ~label:"pmalloc.ml:freelist"
+        (read_state t block = state_free)
+        "free list entry is not free";
+      walk (load64 t "pmalloc.ml:read next" link) (remaining - 1)
+    end
+  in
+  walk (free_head t) free_blocks
+
+let live_blocks t =
+  List.rev
+    (fold_blocks t
+       (fun block state _ acc -> if state = state_allocated then payload block :: acc else acc)
+       [])

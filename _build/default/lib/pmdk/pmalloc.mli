@@ -1,0 +1,58 @@
+(** A miniature persistent allocator in the style of libpmemobj's heap
+    (pmalloc).
+
+    Blocks live contiguously above the heap header; each carries a 16-byte
+    persistent header (payload size and allocation state). A bump pointer in
+    the heap header commits fresh blocks; freed blocks go on a persistent
+    free list threaded through their payloads.
+
+    Crash-consistency protocol: a fresh block's header is flushed before the
+    bump pointer advances (the bump store is the commit store); a freed
+    block's state and next link are flushed before the free-list head is
+    updated. The recovery-side {!check} re-validates both invariants, with
+    assertion labels mirroring the paper's PMDK symptoms ([heap.c:533],
+    [pmalloc.c:270]). *)
+
+type bugs = {
+  missing_init_flush : bool;
+      (** Constructor commits the heap magic without flushing the bump
+          pointer / free-list head first. *)
+  missing_bump_flush : bool;
+      (** The bump pointer advance is not flushed: a committed object can sit
+          beyond the recovered heap end. *)
+  missing_free_flush : bool;
+      (** A freed block's state/link are not flushed before the free-list
+          head commits. *)
+}
+
+val no_bugs : bugs
+
+type t
+
+val init_or_open : ?bugs:bugs -> Pool.t -> t
+(** Opens the heap in the pool's heap area, initialising it on first use.
+    Safe to call from recovery code. *)
+
+val alloc : t -> ?label:string -> int -> Pmem.Addr.t
+(** Allocates a block of at least the given payload size (16-byte aligned)
+    and returns the payload address. Fails the checker with an assertion when
+    the heap is exhausted. *)
+
+val free : t -> ?label:string -> Pmem.Addr.t -> unit
+(** Returns a payload address to the free list. *)
+
+val check : t -> unit
+(** Recovery heap verification: walks every block header up to the bump
+    pointer and the whole free list, failing the checker on any corruption. *)
+
+val block_payload_size : t -> Pmem.Addr.t -> int
+(** Reads a block's payload size from its header. *)
+
+val assert_allocated : t -> Pmem.Addr.t -> unit
+(** Validates that a payload address refers to a live heap object: inside the
+    committed heap (below the bump pointer) and marked allocated. The analog
+    of libpmemobj validating an object's chunk metadata on access — its
+    failure is the paper's "Assertion failure at heap.c:533" symptom. *)
+
+val live_blocks : t -> Pmem.Addr.t list
+(** Payload addresses of blocks currently marked allocated (walks PM). *)

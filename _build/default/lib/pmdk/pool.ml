@@ -1,0 +1,85 @@
+type bugs = { missing_header_flush : bool }
+
+let no_bugs = { missing_header_flush = false }
+
+(* Header layout. The commit line (magic + checksum) is deliberately a
+   different cache line from the parameter line, as in the real multi-line
+   pmemobj header: committing the magic must be ordered after the parameters
+   are persistent. *)
+let magic_value = 0x504d504f4f4c31 (* "PMPOOL1" *)
+let off_magic = 0
+let off_checksum = 8
+let off_layout = 64
+let off_root_off = 72
+let off_root_size = 80
+let off_heap_off = 88
+let header_size = 128
+
+type t = { ctx : Jaaru.Ctx.t; base : Pmem.Addr.t; root : Pmem.Addr.t; heap_base : Pmem.Addr.t }
+
+let ctx t = t.ctx
+let root t = t.root
+let heap_base t = t.heap_base
+let heap_limit t = Pmem.Region.limit (Jaaru.Ctx.region t.ctx)
+
+let checksum_of ~layout ~root_off ~root_size ~heap_off =
+  let bytes =
+    List.concat_map (Pmem.Bytes_le.explode ~width:8) [ layout; root_off; root_size; heap_off ]
+  in
+  Pmem.Crc32.digest_bytes bytes
+
+let align_up n a = (n + a - 1) / a * a
+
+let geometry ctx ~root_size =
+  let base = (Jaaru.Ctx.region ctx).Pmem.Region.base in
+  let root_off = header_size in
+  let heap_off = align_up (root_off + root_size) Pmem.Addr.cache_line_size in
+  (base, root_off, heap_off)
+
+let handle ctx ~root_off ~heap_off =
+  let base = (Jaaru.Ctx.region ctx).Pmem.Region.base in
+  { ctx; base; root = base + root_off; heap_base = base + heap_off }
+
+let create ?(bugs = no_bugs) ctx ~layout ~root_size =
+  let base, root_off, heap_off = geometry ctx ~root_size in
+  Jaaru.Ctx.store64 ctx ~label:"pool.ml:layout" (base + off_layout) layout;
+  Jaaru.Ctx.store64 ctx ~label:"pool.ml:root_off" (base + off_root_off) root_off;
+  Jaaru.Ctx.store64 ctx ~label:"pool.ml:root_size" (base + off_root_size) root_size;
+  Jaaru.Ctx.store64 ctx ~label:"pool.ml:heap_off" (base + off_heap_off) heap_off;
+  if not bugs.missing_header_flush then begin
+    Jaaru.Ctx.clflush ctx ~label:"pool.ml:flush params" (base + off_layout) 32;
+    Jaaru.Ctx.sfence ctx ~label:"pool.ml:fence params" ()
+  end;
+  let csum = checksum_of ~layout ~root_off ~root_size ~heap_off in
+  Jaaru.Ctx.store64 ctx ~label:"pool.ml:checksum" (base + off_checksum) csum;
+  Jaaru.Ctx.store64 ctx ~label:"pool.ml:magic" (base + off_magic) magic_value;
+  Jaaru.Ctx.clflush ctx ~label:"pool.ml:flush commit" (base + off_magic) 16;
+  Jaaru.Ctx.sfence ctx ~label:"pool.ml:fence commit" ();
+  handle ctx ~root_off ~heap_off
+
+let read_header ctx =
+  let base = (Jaaru.Ctx.region ctx).Pmem.Region.base in
+  let magic = Jaaru.Ctx.load64 ctx ~label:"pool.ml:read magic" (base + off_magic) in
+  let csum = Jaaru.Ctx.load64 ctx ~label:"pool.ml:read checksum" (base + off_checksum) in
+  let layout = Jaaru.Ctx.load64 ctx ~label:"pool.ml:read layout" (base + off_layout) in
+  let root_off = Jaaru.Ctx.load64 ctx ~label:"pool.ml:read root_off" (base + off_root_off) in
+  let root_size = Jaaru.Ctx.load64 ctx ~label:"pool.ml:read root_size" (base + off_root_size) in
+  let heap_off = Jaaru.Ctx.load64 ctx ~label:"pool.ml:read heap_off" (base + off_heap_off) in
+  (magic, csum, layout, root_off, root_size, heap_off)
+
+let valid ctx ~layout =
+  let magic, csum, layout', root_off, root_size, heap_off = read_header ctx in
+  magic = magic_value && layout' = layout
+  && csum = checksum_of ~layout:layout' ~root_off ~root_size ~heap_off
+
+let open_or_create ?(bugs = no_bugs) ctx ~layout ~root_size =
+  let magic, csum, layout', root_off, root_size', heap_off = read_header ctx in
+  if magic <> magic_value then
+    (* The commit store never reached persistent memory: the pool was never
+       created, so creation simply restarts. *)
+    create ~bugs ctx ~layout ~root_size
+  else if
+    layout' <> layout
+    || csum <> checksum_of ~layout:layout' ~root_off ~root_size:root_size' ~heap_off
+  then Jaaru.Ctx.abort ctx ~label:"pool.ml:open" "failed to open pool"
+  else handle ctx ~root_off ~heap_off

@@ -1,0 +1,41 @@
+(** A miniature libpmemobj pool.
+
+    The pool occupies the checker's whole PM region. A header at the region
+    base carries a magic number, a caller-chosen layout identifier, the root
+    object offset and a checksum; [open_or_create] validates it on recovery.
+    The paper's PMDK bug #2 ("Failed to open pool error") is a non-atomic
+    pool-creation protocol: with [bugs.missing_header_flush] the magic can
+    reach persistent memory while the fields it vouches for did not, so a
+    crash during creation leaves a header that neither opens nor reads as
+    never-created. *)
+
+type bugs = {
+  missing_header_flush : bool;
+      (** Skip the flush + fence that must order header fields before the
+          closing magic/checksum commit store. *)
+}
+
+val no_bugs : bugs
+
+type t
+
+val ctx : t -> Jaaru.Ctx.t
+val root : t -> Pmem.Addr.t
+(** Address of the root object (fixed size, chosen at creation). *)
+
+val heap_base : t -> Pmem.Addr.t
+(** First byte available to an allocator above the header and root. *)
+
+val heap_limit : t -> Pmem.Addr.t
+
+val create : ?bugs:bugs -> Jaaru.Ctx.t -> layout:int -> root_size:int -> t
+(** Initialises a fresh pool. Fails the checker with an assertion if the
+    region already holds a valid pool of a different layout. *)
+
+val open_or_create : ?bugs:bugs -> Jaaru.Ctx.t -> layout:int -> root_size:int -> t
+(** The recovery entry point: opens a valid pool, re-creates a never-created
+    one (all-zero header), and reports the "failed to open pool" bug on a
+    corrupt header. *)
+
+val valid : Jaaru.Ctx.t -> layout:int -> bool
+(** Whether the region currently holds a fully valid header (reads PM). *)

@@ -1,0 +1,379 @@
+type bugs = { nontx_rotate : bool }
+
+let no_bugs = { nontx_rotate = false }
+
+let layout_id = 0x9b7e
+let red = 0
+let black = 1
+
+(* Node layout. *)
+let off_key = 0
+let off_value = 8
+let off_color = 16
+let off_left = 24
+let off_right = 32
+let off_parent = 40
+let node_size = 48
+
+(* Root object: tree-root slot, nil sentinel slot, then the undo log. *)
+let tx_capacity = 64
+let root_size = 64 + Tx.area_size ~capacity:tx_capacity
+
+type t = { pool : Pool.t; heap : Pmalloc.t; tx : Tx.t; bugs : bugs; nil : Pmem.Addr.t }
+
+let ctx t = Pool.ctx t.pool
+let root_slot t = Pool.root t.pool
+let nil_slot pool = Pool.root pool + 8
+
+let store64 t label addr v = Jaaru.Ctx.store64 (ctx t) ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 (ctx t) ~label addr
+let flush t label addr size = Jaaru.Ctx.clflush (ctx t) ~label addr size
+let fence t label = Jaaru.Ctx.sfence (ctx t) ~label ()
+
+let key t n = load64 t "rbtree_map.ml:key" (n + off_key)
+let value t n = load64 t "rbtree_map.ml:value" (n + off_value)
+let color t n = load64 t "rbtree_map.ml:color" (n + off_color)
+let left t n = load64 t "rbtree_map.ml:137" (n + off_left)
+let right t n = load64 t "rbtree_map.ml:137" (n + off_right)
+let parent t n = load64 t "rbtree_map.ml:parent" (n + off_parent)
+
+(* Inside-transaction setters; the buggy rotation swaps these for raw stores. *)
+let txset t label addr v = Tx.set64 t.tx ~label addr v
+let set_color t n c = txset t "rbtree_map.ml:set color" (n + off_color) c
+let set_left t n x = txset t "rbtree_map.ml:set left" (n + off_left) x
+let set_right t n x = txset t "rbtree_map.ml:set right" (n + off_right) x
+let set_parent t n x = txset t "rbtree_map.ml:set parent" (n + off_parent) x
+
+let tree_root t = load64 t "rbtree_map.ml:read root" (root_slot t)
+let set_tree_root t n = txset t "rbtree_map.ml:set root" (root_slot t) n
+
+let alloc_node t k v ~color:c ~nil =
+  let n = Pmalloc.alloc t.heap ~label:"rbtree_map.ml:alloc" node_size in
+  store64 t "rbtree_map.ml:init key" (n + off_key) k;
+  store64 t "rbtree_map.ml:init value" (n + off_value) v;
+  store64 t "rbtree_map.ml:init color" (n + off_color) c;
+  store64 t "rbtree_map.ml:init left" (n + off_left) nil;
+  store64 t "rbtree_map.ml:init right" (n + off_right) nil;
+  store64 t "rbtree_map.ml:init parent" (n + off_parent) nil;
+  flush t "rbtree_map.ml:flush init" n node_size;
+  fence t "rbtree_map.ml:fence init";
+  n
+
+let create_or_open ?(bugs = no_bugs) ?pool_bugs ?alloc_bugs ?tx_bugs ctx0 =
+  let pool = Pool.open_or_create ?bugs:pool_bugs ctx0 ~layout:layout_id ~root_size in
+  let heap = Pmalloc.init_or_open ?bugs:alloc_bugs pool in
+  let tx = Tx.attach ?bugs:tx_bugs ctx0 ~base:(Pool.root pool + 64) ~capacity:tx_capacity in
+  Tx.recover tx;
+  let nil0 = Jaaru.Ctx.load64 ctx0 ~label:"rbtree_map.ml:read nil" (nil_slot pool) in
+  let t0 = { pool; heap; tx; bugs; nil = nil0 } in
+  if nil0 = 0 then begin
+    let nil = Pmalloc.alloc heap ~label:"rbtree_map.ml:alloc nil" node_size in
+    let t1 = { t0 with nil } in
+    store64 t1 "rbtree_map.ml:init nil color" (nil + off_color) black;
+    store64 t1 "rbtree_map.ml:init nil key" (nil + off_key) 0;
+    store64 t1 "rbtree_map.ml:init nil left" (nil + off_left) nil;
+    store64 t1 "rbtree_map.ml:init nil right" (nil + off_right) nil;
+    store64 t1 "rbtree_map.ml:init nil parent" (nil + off_parent) nil;
+    flush t1 "rbtree_map.ml:flush nil" nil node_size;
+    fence t1 "rbtree_map.ml:fence nil";
+    (* Commit the sentinel and the empty root together. *)
+    store64 t1 "rbtree_map.ml:init root" (root_slot t1) nil;
+    store64 t1 "rbtree_map.ml:commit nil" (nil_slot pool) nil;
+    flush t1 "rbtree_map.ml:flush slots" (root_slot t1) 16;
+    fence t1 "rbtree_map.ml:fence slots";
+    t1
+  end
+  else t0
+
+(* --- rotations ----------------------------------------------------------- *)
+
+let rot_set t label addr v =
+  if t.bugs.nontx_rotate then store64 t label addr v else txset t label addr v
+
+let rotate_left t x =
+  let y = right t x in
+  rot_set t "rbtree_map.ml:rot x.right" (x + off_right) (left t y);
+  if left t y <> t.nil then rot_set t "rbtree_map.ml:rot yl.parent" (left t y + off_parent) x;
+  rot_set t "rbtree_map.ml:rot y.parent" (y + off_parent) (parent t x);
+  let px = parent t x in
+  if px = t.nil then
+    if t.bugs.nontx_rotate then store64 t "rbtree_map.ml:rot root" (root_slot t) y
+    else set_tree_root t y
+  else if x = left t px then rot_set t "rbtree_map.ml:rot p.left" (px + off_left) y
+  else rot_set t "rbtree_map.ml:rot p.right" (px + off_right) y;
+  rot_set t "rbtree_map.ml:rot y.left" (y + off_left) x;
+  rot_set t "rbtree_map.ml:rot x.parent" (x + off_parent) y
+
+let rotate_right t x =
+  let y = left t x in
+  rot_set t "rbtree_map.ml:rot x.left" (x + off_left) (right t y);
+  if right t y <> t.nil then rot_set t "rbtree_map.ml:rot yr.parent" (right t y + off_parent) x;
+  rot_set t "rbtree_map.ml:rot y.parent" (y + off_parent) (parent t x);
+  let px = parent t x in
+  if px = t.nil then
+    if t.bugs.nontx_rotate then store64 t "rbtree_map.ml:rot root" (root_slot t) y
+    else set_tree_root t y
+  else if x = right t px then rot_set t "rbtree_map.ml:rot p.right" (px + off_right) y
+  else rot_set t "rbtree_map.ml:rot p.left" (px + off_left) y;
+  rot_set t "rbtree_map.ml:rot y.right" (y + off_right) x;
+  rot_set t "rbtree_map.ml:rot x.parent" (x + off_parent) y
+
+(* --- insert -------------------------------------------------------------- *)
+
+let rec fixup t z =
+  Jaaru.Ctx.progress (ctx t) ~label:"rbtree_map.ml:fixup" ();
+  let p = parent t z in
+  if color t p = red then begin
+    let g = parent t p in
+    if p = left t g then begin
+      let u = right t g in
+      if color t u = red then begin
+        set_color t p black;
+        set_color t u black;
+        set_color t g red;
+        fixup t g
+      end
+      else begin
+        let z = if z = right t p then (rotate_left t p; p) else z in
+        let p = parent t z in
+        let g = parent t p in
+        set_color t p black;
+        set_color t g red;
+        rotate_right t g;
+        fixup t z
+      end
+    end
+    else begin
+      let u = left t g in
+      if color t u = red then begin
+        set_color t p black;
+        set_color t u black;
+        set_color t g red;
+        fixup t g
+      end
+      else begin
+        let z = if z = left t p then (rotate_right t p; p) else z in
+        let p = parent t z in
+        let g = parent t p in
+        set_color t p black;
+        set_color t g red;
+        rotate_left t g;
+        fixup t z
+      end
+    end
+  end
+
+let insert t k v =
+  Jaaru.Ctx.check (ctx t) ~label:"rbtree_map.ml:insert" (k <> 0) "rbtree keys must be non-zero";
+  Tx.run t.tx (fun () ->
+      (* BST descent. *)
+      let rec descend p n =
+        Jaaru.Ctx.progress (ctx t) ~label:"rbtree_map.ml:descend" ();
+        if n = t.nil then `Attach p
+        else
+          let nk = key t n in
+          if nk = k then `Update n
+          else descend n (if k < nk then left t n else right t n)
+      in
+      match descend t.nil (tree_root t) with
+      | `Update n -> txset t "rbtree_map.ml:update value" (n + off_value) v
+      | `Attach p ->
+          let z = alloc_node t k v ~color:red ~nil:t.nil in
+          set_parent t z p;
+          if p = t.nil then set_tree_root t z
+          else if k < key t p then set_left t p z
+          else set_right t p z;
+          fixup t z;
+          set_color t (tree_root t) black)
+
+(* --- delete ----------------------------------------------------------------- *)
+
+(* CLRS deletion, entirely inside one transaction: transplant, successor
+   splice, and the black-height fixup. The sentinel's parent field is
+   written transiently during transplant, exactly as CLRS relies on. *)
+let transplant t u v =
+  let pu = parent t u in
+  if pu = t.nil then set_tree_root t v
+  else if u = left t pu then set_left t pu v
+  else set_right t pu v;
+  set_parent t v pu
+
+let rec minimum t n = if left t n = t.nil then n else minimum t (left t n)
+
+let rec delete_fixup t x =
+  Jaaru.Ctx.progress (ctx t) ~label:"rbtree_map.ml:delete fixup" ();
+  if x <> tree_root t && color t x = black then begin
+    let p = parent t x in
+    if x = left t p then begin
+      let w = right t p in
+      let w =
+        if color t w = red then begin
+          set_color t w black;
+          set_color t p red;
+          rotate_left t p;
+          right t p
+        end
+        else w
+      in
+      if color t (left t w) = black && color t (right t w) = black then begin
+        set_color t w red;
+        delete_fixup t p
+      end
+      else begin
+        let w =
+          if color t (right t w) = black then begin
+            set_color t (left t w) black;
+            set_color t w red;
+            rotate_right t w;
+            right t p
+          end
+          else w
+        in
+        set_color t w (color t p);
+        set_color t p black;
+        set_color t (right t w) black;
+        rotate_left t p;
+        delete_fixup t (tree_root t)
+      end
+    end
+    else begin
+      let w = left t p in
+      let w =
+        if color t w = red then begin
+          set_color t w black;
+          set_color t p red;
+          rotate_right t p;
+          left t p
+        end
+        else w
+      in
+      if color t (right t w) = black && color t (left t w) = black then begin
+        set_color t w red;
+        delete_fixup t p
+      end
+      else begin
+        let w =
+          if color t (left t w) = black then begin
+            set_color t (right t w) black;
+            set_color t w red;
+            rotate_left t w;
+            left t p
+          end
+          else w
+        in
+        set_color t w (color t p);
+        set_color t p black;
+        set_color t (left t w) black;
+        rotate_right t p;
+        delete_fixup t (tree_root t)
+      end
+    end
+  end
+  else set_color t x black
+
+let remove t k =
+  let pending_free = ref None in
+  Tx.run t.tx (fun () ->
+      let rec find n =
+        Jaaru.Ctx.progress (ctx t) ~label:"rbtree_map.ml:remove find" ();
+        if n = t.nil then None
+        else
+          let nk = key t n in
+          if nk = k then Some n else find (if k < nk then left t n else right t n)
+      in
+      match find (tree_root t) with
+      | None -> ()
+      | Some z ->
+          let y_color = ref (color t z) in
+          let x =
+            if left t z = t.nil then begin
+              let x = right t z in
+              transplant t z x;
+              x
+            end
+            else if right t z = t.nil then begin
+              let x = left t z in
+              transplant t z x;
+              x
+            end
+            else begin
+              let y = minimum t (right t z) in
+              y_color := color t y;
+              let x = right t y in
+              if parent t y = z then set_parent t x y
+              else begin
+                transplant t y (right t y);
+                set_right t y (right t z);
+                set_parent t (right t y) y
+              end;
+              transplant t z y;
+              set_left t y (left t z);
+              set_parent t (left t y) y;
+              set_color t y (color t z);
+              x
+            end
+          in
+          if !y_color = black then delete_fixup t x;
+          pending_free := Some z);
+  (* Free only after the commit: rollback must be able to resurrect z. *)
+  Option.iter (Pmalloc.free t.heap ~label:"rbtree_map.ml:free") !pending_free
+
+(* --- lookup / verification ----------------------------------------------- *)
+
+let lookup t k =
+  let rec go n =
+    Jaaru.Ctx.progress (ctx t) ~label:"rbtree_map.ml:lookup" ();
+    if n = t.nil || n = 0 then None
+    else
+      let nk = key t n in
+      if nk = k then Some (value t n) else go (if k < nk then left t n else right t n)
+  in
+  go (tree_root t)
+
+(* Returns the subtree's black height. *)
+let rec check_node t n ~lo ~hi ~depth =
+  Jaaru.Ctx.progress (ctx t) ~label:"rbtree_map.ml:check" ();
+  Jaaru.Ctx.check (ctx t) ~label:"rbtree_map.ml:check depth" (depth < 128) "rbtree too deep";
+  if n = t.nil then 1
+  else begin
+    let k = key t n in
+    let c = color t n in
+    Jaaru.Ctx.check (ctx t) ~label:"rbtree_map.ml:check color" (c = red || c = black)
+      "rbtree node color corrupt";
+    Jaaru.Ctx.check (ctx t) ~label:"rbtree_map.ml:check order"
+      (k > lo && (hi = 0 || k < hi))
+      "rbtree keys out of order";
+    let l = left t n and r = right t n in
+    if l <> t.nil then
+      Jaaru.Ctx.check (ctx t) ~label:"rbtree_map.ml:check parent" (parent t l = n)
+        "rbtree left child's parent link broken";
+    if r <> t.nil then
+      Jaaru.Ctx.check (ctx t) ~label:"rbtree_map.ml:check parent" (parent t r = n)
+        "rbtree right child's parent link broken";
+    if c = red then
+      Jaaru.Ctx.check (ctx t) ~label:"rbtree_map.ml:check red" (color t l = black && color t r = black)
+        "rbtree red node has a red child";
+    let bh_l = check_node t l ~lo ~hi:k ~depth:(depth + 1) in
+    let bh_r = check_node t r ~lo:k ~hi ~depth:(depth + 1) in
+    Jaaru.Ctx.check (ctx t) ~label:"rbtree_map.ml:check bh" (bh_l = bh_r)
+      "rbtree black heights differ";
+    bh_l + if c = black then 1 else 0
+  end
+
+let check t =
+  Pmalloc.check t.heap;
+  let r = tree_root t in
+  if r <> 0 && r <> t.nil then begin
+    Jaaru.Ctx.check (ctx t) ~label:"rbtree_map.ml:check root" (color t r = black)
+      "rbtree root is not black";
+    ignore (check_node t r ~lo:0 ~hi:0 ~depth:0)
+  end
+
+let entries t =
+  let rec walk n acc =
+    Jaaru.Ctx.progress (ctx t) ~label:"rbtree_map.ml:entries" ();
+    if n = t.nil || n = 0 then acc
+    else walk (left t n) ((key t n, value t n) :: walk (right t n) acc)
+  in
+  let r = tree_root t in
+  if r = 0 then [] else walk r []

@@ -1,0 +1,39 @@
+(** A persistent red-black tree map, modelled on the PMDK [rbtree_map]
+    example.
+
+    Classic CLRS red-black insertion with parent pointers and a persistent
+    nil sentinel. Every structural mutation (BST link-in, recoloring,
+    rotations) runs inside one undo-log transaction, so a crash anywhere
+    rolls the whole insert back. The paper's RBTree bug (Fig. 12 #7,
+    "Illegal memory access at rbtree_map.c:137") is reproduced by the
+    [nontx_rotate] toggle, which performs rotations with raw unlogged,
+    unflushed stores. *)
+
+type bugs = {
+  nontx_rotate : bool;
+      (** Rotations bypass the transaction: a crash mid-rotation leaves
+          inconsistent parent/child links. *)
+}
+
+val no_bugs : bugs
+
+type t
+
+val create_or_open :
+  ?bugs:bugs -> ?pool_bugs:Pool.bugs -> ?alloc_bugs:Pmalloc.bugs ->
+  ?tx_bugs:Tx.bugs -> Jaaru.Ctx.t -> t
+
+val insert : t -> int -> int -> unit
+(** Keys must be non-zero. Duplicates update the value. *)
+
+val lookup : t -> int -> int option
+
+val remove : t -> int -> unit
+(** CLRS deletion with black-height fixup, inside one transaction: a crash
+    anywhere rolls the whole removal back. *)
+
+val check : t -> unit
+(** Recovery verification: BST order, no red-red edges, equal black heights,
+    consistent parent pointers; re-validates the heap. *)
+
+val entries : t -> (int * int) list

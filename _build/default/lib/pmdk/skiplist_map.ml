@@ -1,0 +1,182 @@
+type bugs = { missing_node_flush : bool; index_before_data : bool }
+
+let no_bugs = { missing_node_flush = false; index_before_data = false }
+
+let layout_id = 0x5417
+let levels = 4
+
+(* Node layout. *)
+let off_key = 0
+let off_value = 8
+let off_next l = 16 + (8 * l)
+let node_size = 16 + (8 * levels)
+
+(* Root object: the head node's next pointers. *)
+let root_size = 8 * levels
+
+type t = { pool : Pool.t; heap : Pmalloc.t; bugs : bugs }
+
+let ctx t = Pool.ctx t.pool
+
+let store64 t label addr v = Jaaru.Ctx.store64 (ctx t) ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 (ctx t) ~label addr
+let flush t label addr size = Jaaru.Ctx.clflush (ctx t) ~label addr size
+let fence t label = Jaaru.Ctx.sfence (ctx t) ~label ()
+
+(* The head's next-pointer cell for a level; nodes use their own slots. *)
+let head_slot t l = Pool.root t.pool + (8 * l)
+let next_slot node l = node + off_next l
+
+let node_key t n = load64 t "skiplist_map.ml:key" (n + off_key)
+let node_value t n = load64 t "skiplist_map.ml:value" (n + off_value)
+let read_next t slot = load64 t "skiplist_map.ml:next" slot
+
+(* Deterministic level for a key (replays must be reproducible): count
+   trailing ones of a mixed hash, capped at levels-1. *)
+let level_of k =
+  let h = k * 0x2545f4914f6cdd1 land max_int in
+  let rec ones i = if i >= levels - 1 || (h lsr i) land 1 = 0 then i else ones (i + 1) in
+  ones 0
+
+let create_or_open ?(bugs = no_bugs) ?pool_bugs ?alloc_bugs ctx0 =
+  let pool = Pool.open_or_create ?bugs:pool_bugs ctx0 ~layout:layout_id ~root_size in
+  let heap = Pmalloc.init_or_open ?bugs:alloc_bugs pool in
+  { pool; heap; bugs }
+
+(* The slots whose pointers precede [k] at every level, top-down. *)
+let find_preds t k =
+  let preds = Array.make levels 0 in
+  let slot = ref (head_slot t (levels - 1)) in
+  for l = levels - 1 downto 0 do
+    (* [slot] currently points at this level's chain position. *)
+    let rec advance () =
+      Jaaru.Ctx.progress (ctx t) ~label:"skiplist_map.ml:search" ();
+      let n = read_next t !slot in
+      if n <> 0 && node_key t n < k then begin
+        slot := next_slot n l;
+        advance ()
+      end
+    in
+    advance ();
+    preds.(l) <- !slot;
+    if l > 0 then begin
+      (* Step down: the same node's next level, or the head's. *)
+      let p = !slot in
+      slot :=
+        (if p >= Pool.root t.pool && p < Pool.root t.pool + root_size then head_slot t (l - 1)
+         else p - off_next l + off_next (l - 1))
+    end
+  done;
+  preds
+
+let lookup t k =
+  let preds = find_preds t k in
+  let n = read_next t preds.(0) in
+  if n <> 0 && node_key t n = k then Some (node_value t n) else None
+
+let insert t k v =
+  Jaaru.Ctx.check (ctx t) ~label:"skiplist_map.ml:insert" (k <> 0) "keys must be non-zero";
+  let preds = find_preds t k in
+  let existing = read_next t preds.(0) in
+  if existing <> 0 && node_key t existing = k then begin
+    store64 t "skiplist_map.ml:update" (existing + off_value) v;
+    flush t "skiplist_map.ml:flush update" (existing + off_value) 8;
+    fence t "skiplist_map.ml:fence update"
+  end
+  else begin
+    let lvl = level_of k in
+    let n = Pmalloc.alloc t.heap ~label:"skiplist_map.ml:alloc" node_size in
+    store64 t "skiplist_map.ml:init key" (n + off_key) k;
+    store64 t "skiplist_map.ml:init value" (n + off_value) v;
+    for l = 0 to levels - 1 do
+      store64 t "skiplist_map.ml:init next" (next_slot n l)
+        (if l <= lvl then read_next t preds.(l) else 0)
+    done;
+    if not t.bugs.missing_node_flush then begin
+      flush t "skiplist_map.ml:flush node" n node_size;
+      fence t "skiplist_map.ml:fence node"
+    end;
+    let splice_upper () =
+      for l = 1 to lvl do
+        store64 t "skiplist_map.ml:splice upper" preds.(l) n;
+        flush t "skiplist_map.ml:flush upper" preds.(l) 8
+      done;
+      if lvl > 0 then fence t "skiplist_map.ml:fence upper"
+    in
+    if t.bugs.index_before_data then begin
+      (* The bug: index entries published before the data-level commit. *)
+      splice_upper ();
+      store64 t "skiplist_map.ml:commit L0" preds.(0) n;
+      flush t "skiplist_map.ml:flush L0" preds.(0) 8;
+      fence t "skiplist_map.ml:fence L0"
+    end
+    else begin
+      (* The level-0 splice is the commit store. *)
+      store64 t "skiplist_map.ml:commit L0" preds.(0) n;
+      flush t "skiplist_map.ml:flush L0" preds.(0) 8;
+      fence t "skiplist_map.ml:fence L0";
+      splice_upper ()
+    end
+  end
+
+let remove t k =
+  let preds = find_preds t k in
+  let n = read_next t preds.(0) in
+  if n <> 0 && node_key t n = k then begin
+    (* Unlink top-down so the node never dangles from the index. *)
+    for l = levels - 1 downto 1 do
+      if read_next t preds.(l) = n then begin
+        store64 t "skiplist_map.ml:unlink upper" preds.(l) (read_next t (next_slot n l));
+        flush t "skiplist_map.ml:flush unlink upper" preds.(l) 8;
+        fence t "skiplist_map.ml:fence unlink upper"
+      end
+    done;
+    store64 t "skiplist_map.ml:unlink L0" preds.(0) (read_next t (next_slot n 0));
+    flush t "skiplist_map.ml:flush unlink L0" preds.(0) 8;
+    fence t "skiplist_map.ml:fence unlink L0";
+    Pmalloc.free t.heap ~label:"skiplist_map.ml:free" n
+  end
+
+let check t =
+  Pmalloc.check t.heap;
+  (* Level 0: strictly sorted; collect its keys. *)
+  let keys = Hashtbl.create 32 in
+  let rec walk0 slot last =
+    Jaaru.Ctx.progress (ctx t) ~label:"skiplist_map.ml:check L0" ();
+    let n = read_next t slot in
+    if n <> 0 then begin
+      Pmalloc.assert_allocated t.heap n;
+      let k = node_key t n in
+      Jaaru.Ctx.check (ctx t) ~label:"skiplist_map.ml:check order" (k > last)
+        "level-0 keys out of order";
+      Hashtbl.replace keys k ();
+      walk0 (next_slot n 0) k
+    end
+  in
+  walk0 (head_slot t 0) 0;
+  (* Upper levels: sorted sublists of level 0. *)
+  for l = 1 to levels - 1 do
+    let rec walk slot last =
+      Jaaru.Ctx.progress (ctx t) ~label:"skiplist_map.ml:check upper" ();
+      let n = read_next t slot in
+      if n <> 0 then begin
+        let k = node_key t n in
+        Jaaru.Ctx.check (ctx t) ~label:"skiplist_map.ml:check upper order" (k > last)
+          "upper-level keys out of order";
+        Jaaru.Ctx.check (ctx t) ~label:"skiplist_map.ml:check index"
+          (Hashtbl.mem keys k)
+          "index entry not present in the data level";
+        walk (next_slot n l) k
+      end
+    in
+    walk (head_slot t l) 0
+  done
+
+let entries t =
+  let rec walk slot acc =
+    Jaaru.Ctx.progress (ctx t) ~label:"skiplist_map.ml:entries" ();
+    let n = read_next t slot in
+    if n = 0 then List.rev acc
+    else walk (next_slot n 0) ((node_key t n, node_value t n) :: acc)
+  in
+  walk (head_slot t 0) []

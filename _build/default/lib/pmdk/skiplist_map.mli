@@ -1,0 +1,35 @@
+(** A persistent skip list map, modelled on the PMDK [skiplist_map] example
+    (the paper checked every program in the PMDK suite).
+
+    Four levels; the level-0 chain owns the data and the upper levels are a
+    search index. A fully persisted node is committed by the single level-0
+    predecessor-link store; upper-level splices follow, each an independent
+    8-byte store whose loss a crash only costs search performance, never
+    correctness. *)
+
+type bugs = {
+  missing_node_flush : bool;
+      (** The new node is not flushed before the level-0 splice commits it. *)
+  index_before_data : bool;
+      (** Upper levels are spliced before the level-0 commit: a crash leaves
+          index entries pointing at an unreachable (possibly torn) node. *)
+}
+
+val no_bugs : bugs
+
+type t
+
+val create_or_open :
+  ?bugs:bugs -> ?pool_bugs:Pool.bugs -> ?alloc_bugs:Pmalloc.bugs -> Jaaru.Ctx.t -> t
+
+val insert : t -> int -> int -> unit
+(** Keys must be non-zero; duplicates update in place. *)
+
+val lookup : t -> int -> int option
+val remove : t -> int -> unit
+
+val check : t -> unit
+(** Recovery verification: every level sorted, every upper-level node
+    present in the level-0 chain, heap re-validated. *)
+
+val entries : t -> (int * int) list

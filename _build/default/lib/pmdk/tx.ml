@@ -1,0 +1,140 @@
+type bugs = {
+  missing_log_flush : bool;
+  missing_data_flush : bool;
+  missing_stage_flush : bool;
+}
+
+let no_bugs = { missing_log_flush = false; missing_data_flush = false; missing_stage_flush = false }
+
+let stage_none = 0
+let stage_work = 1
+
+(* Log layout: the stage word and the entry count live on separate cache
+   lines — each is a commit for different state (the count for entries, the
+   stage for the whole log), and flushing one must not persist the other. *)
+let off_stage = 0
+let off_count = 64
+let off_entries = 128
+let entry_size = 16
+
+let area_size ~capacity = off_entries + (entry_size * capacity)
+
+type t = {
+  ctx : Jaaru.Ctx.t;
+  base : Pmem.Addr.t;
+  capacity : int;
+  bugs : bugs;
+  mutable depth : int;  (* nesting depth; only the outermost commits *)
+  mutable dirty : (Pmem.Addr.t * int) list;  (* ranges to flush at commit *)
+  mutable recovered_active : bool;
+}
+
+let attach ?(bugs = no_bugs) ctx ~base ~capacity =
+  if capacity <= 0 then invalid_arg "Tx.attach: capacity must be positive";
+  { ctx; base; capacity; bugs; depth = 0; dirty = []; recovered_active = false }
+
+let in_tx t = t.depth > 0
+let stage_was_active t = t.recovered_active
+
+let entry_addr t i = t.base + off_entries + (i * entry_size)
+
+let store64 t label addr v = Jaaru.Ctx.store64 t.ctx ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 t.ctx ~label addr
+let flush t label addr size = Jaaru.Ctx.clflush t.ctx ~label addr size
+let fence t label = Jaaru.Ctx.sfence t.ctx ~label ()
+
+let set_stage t stage =
+  store64 t "tx.ml:stage" (t.base + off_stage) stage;
+  if not t.bugs.missing_stage_flush then begin
+    flush t "tx.ml:flush stage" (t.base + off_stage) 8;
+    fence t "tx.ml:fence stage"
+  end
+
+let reset_log t =
+  (* The count reset must be durable before the stage returns to NONE: a
+     stale count would make the next transaction append entries after relics
+     of this one, and a later rollback would then resurrect stale values.
+     (Found by the checker itself once the count stopped sharing the stage's
+     cache line.) *)
+  store64 t "tx.ml:reset count" (t.base + off_count) 0;
+  if not t.bugs.missing_stage_flush then begin
+    flush t "tx.ml:flush reset count" (t.base + off_count) 8;
+    fence t "tx.ml:fence reset count"
+  end;
+  set_stage t stage_none
+
+let snapshot t label addr =
+  let count = load64 t "tx.ml:read count" (t.base + off_count) in
+  Jaaru.Ctx.check t.ctx ~label:"tx.ml:capacity" (count < t.capacity) "transaction log overflow";
+  let old = load64 t label addr in
+  let e = entry_addr t count in
+  store64 t "tx.ml:log addr" e addr;
+  store64 t "tx.ml:log old" (e + 8) old;
+  if not t.bugs.missing_log_flush then begin
+    flush t "tx.ml:flush entry" e entry_size;
+    fence t "tx.ml:fence entry"
+  end;
+  (* The count advance commits the entry. *)
+  store64 t "tx.ml:count" (t.base + off_count) (count + 1);
+  if not t.bugs.missing_log_flush then begin
+    flush t "tx.ml:flush count" (t.base + off_count) 8;
+    fence t "tx.ml:fence count"
+  end
+
+let add_range t ?(label = "tx.ml:add_range") addr size =
+  if not (in_tx t) then Jaaru.Ctx.abort t.ctx ~label "add_range outside a transaction";
+  let words = (max size 1 + 7) / 8 in
+  for i = 0 to words - 1 do
+    snapshot t label (addr + (8 * i))
+  done;
+  t.dirty <- (addr, words * 8) :: t.dirty
+
+let set64 t ?(label = "tx.ml:set64") addr v =
+  if not (in_tx t) then Jaaru.Ctx.abort t.ctx ~label "set64 outside a transaction";
+  snapshot t label addr;
+  t.dirty <- (addr, 8) :: t.dirty;
+  store64 t label addr v
+
+let commit t =
+  if not t.bugs.missing_data_flush then begin
+    List.iter (fun (addr, size) -> flush t "tx.ml:flush data" addr size) t.dirty;
+    fence t "tx.ml:fence data"
+  end;
+  t.dirty <- [];
+  reset_log t
+
+let run t body =
+  if t.depth = 0 then begin
+    Jaaru.Ctx.check t.ctx ~label:"tx.ml:begin"
+      (load64 t "tx.ml:read stage" (t.base + off_stage) = stage_none)
+      "transaction already in progress";
+    t.dirty <- [];
+    set_stage t stage_work
+  end;
+  t.depth <- t.depth + 1;
+  Fun.protect ~finally:(fun () -> t.depth <- t.depth - 1)
+    (fun () ->
+      body ();
+      if t.depth = 1 then commit t)
+
+let recover t =
+  let stage = load64 t "tx.ml:recover stage" (t.base + off_stage) in
+  if stage = stage_work then begin
+    t.recovered_active <- true;
+    let count = load64 t "tx.ml:recover count" (t.base + off_count) in
+    Jaaru.Ctx.check t.ctx ~label:"tx.ml:recover"
+      (count >= 0 && count <= t.capacity)
+      "undo log count out of range";
+    (* Newest first: later snapshots may shadow earlier ones. *)
+    for i = count - 1 downto 0 do
+      let e = entry_addr t i in
+      let addr = load64 t "tx.ml:recover addr" e in
+      let old = load64 t "tx.ml:recover old" (e + 8) in
+      store64 t "tx.ml:rollback" addr old;
+      flush t "tx.ml:flush rollback" addr 8
+    done;
+    fence t "tx.ml:fence rollback";
+    reset_log t
+  end
+  else if stage <> stage_none then
+    Jaaru.Ctx.abort t.ctx ~label:"tx.ml:recover" "undo log stage corrupt"

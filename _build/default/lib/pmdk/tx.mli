@@ -1,0 +1,56 @@
+(** Miniature libpmemobj undo-log transactions.
+
+    A transaction snapshots the old value of every word it is about to
+    modify into a persistent undo log, makes its stores, and at commit
+    flushes the modified data before discarding the log. Recovery after a
+    crash mid-transaction rolls the data back from the log, restoring the
+    pre-transaction state — giving failure atomicity to multi-word updates
+    (used by the hashmap_tx and rbtree examples, as in PMDK).
+
+    Protocol invariants: a log entry is flushed before the entry count that
+    commits it advances; all modified data is flushed before the log is
+    discarded; the stage word orders both. Each has a bug toggle. *)
+
+type bugs = {
+  missing_log_flush : bool;
+      (** Entries are not flushed before the count commits them: rollback can
+          apply garbage. *)
+  missing_data_flush : bool;
+      (** Modified ranges are not flushed before the log is discarded:
+          committed transactions can silently lose their writes. *)
+  missing_stage_flush : bool;
+      (** Stage transitions are not flushed. *)
+}
+
+val no_bugs : bugs
+
+val area_size : capacity:int -> int
+(** Bytes of persistent memory a log with room for [capacity] entries needs. *)
+
+type t
+
+val attach : ?bugs:bugs -> Jaaru.Ctx.t -> base:Pmem.Addr.t -> capacity:int -> t
+(** Binds a transaction handle to a log area (allocated by the caller, e.g.
+    inside the pool root object). Does not touch PM. *)
+
+val recover : t -> unit
+(** Recovery entry point: rolls back a transaction that was in progress at
+    the crash and resets the log. Must run before the data is read. *)
+
+val run : t -> (unit -> unit) -> unit
+(** [run t body] wraps [body] in begin/commit. Nested transactions flatten
+    into the outermost one. *)
+
+val set64 : t -> ?label:string -> Pmem.Addr.t -> int -> unit
+(** A logged 64-bit store: inside a transaction, snapshots the old value
+    first; outside one, fails the checker. *)
+
+val add_range : t -> ?label:string -> Pmem.Addr.t -> int -> unit
+(** Snapshots [size] bytes (word-aligned) so the caller may write them with
+    plain stores inside the transaction. *)
+
+val in_tx : t -> bool
+
+val stage_was_active : t -> bool
+(** Whether recovery found (and rolled back) an interrupted transaction —
+    observable for tests. *)

@@ -1,0 +1,35 @@
+(** Ready-made failure scenarios over the PMDK mini-suite.
+
+    Each case couples a pre-failure workload with its recovery program and
+    records whether a bug is seeded — the driving data for reproducing the
+    paper's Fig. 12 / Fig. 16 (bugs found in PMDK) and for the fixed-variant
+    performance runs. *)
+
+type case = {
+  id : string;  (** e.g. "pmdk-btree-1" *)
+  benchmark : string;  (** paper benchmark name, e.g. "Btree" *)
+  description : string;  (** what is seeded / exercised *)
+  expected_symptom : string list option;
+      (** [Some fragments]: a seeded bug whose symptom should contain at
+          least one of [fragments]; [None]: a fixed variant that must verify
+          clean. *)
+  scenario : Jaaru.Explorer.scenario;
+  config : Jaaru.Config.t;
+}
+
+val fig12_cases : unit -> case list
+(** The seven buggy PMDK configurations of the paper's Fig. 12. *)
+
+val fixed_cases : ?n:int -> unit -> case list
+(** Bug-free variants of every PMDK benchmark (inserting [n] keys,
+    default 8), for performance measurement and regression. *)
+
+val checksum_cases : unit -> case list
+(** Checksum-based recovery (§4): a correct CRC log and the skip-CRC bug. *)
+
+val skiplist_cases : unit -> case list
+(** The skiplist example (the paper checked every PMDK example program):
+    a fixed variant plus two seeded protocol bugs. *)
+
+val find : case list -> string -> case
+(** Lookup by [id]; raises [Not_found]. *)

@@ -1,0 +1,1 @@
+lib/pmem/bytes_le.mli:

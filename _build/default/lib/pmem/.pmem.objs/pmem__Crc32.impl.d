@@ -1,0 +1,1 @@
+lib/pmem/crc32.ml: Array Char Lazy List String

@@ -1,0 +1,1 @@
+lib/pmem/interval.ml: Format

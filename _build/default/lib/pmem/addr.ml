@@ -1,0 +1,15 @@
+type t = int
+
+let cache_line_size = 64
+let line_of a = a / cache_line_size
+let line_base a = a - (a mod cache_line_size)
+let line_offset a = a mod cache_line_size
+let same_line a b = line_of a = line_of b
+
+let lines_spanned a n =
+  assert (n > 0);
+  let first = line_of a and last = line_of (a + n - 1) in
+  let rec loop l acc = if l < first then acc else loop (l - 1) (l :: acc) in
+  loop last []
+
+let pp ppf a = Format.fprintf ppf "0x%x" a

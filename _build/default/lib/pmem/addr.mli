@@ -1,0 +1,31 @@
+(** Byte-granularity persistent-memory addresses and cache-line arithmetic.
+
+    The Px86sim model (Raad et al.) and Jaaru both reason about persistency at
+    cache-line granularity while accesses themselves are byte-addressable. An
+    address is a plain non-negative integer; a cache line is identified by the
+    address divided by {!cache_line_size}. *)
+
+type t = int
+
+val cache_line_size : int
+(** Size of a cache line in bytes. Fixed at 64, as on every x86 part the paper
+    targets. *)
+
+val line_of : t -> int
+(** [line_of a] is the cache-line identifier containing byte [a]. *)
+
+val line_base : t -> t
+(** [line_base a] is the address of the first byte of [a]'s cache line. *)
+
+val line_offset : t -> int
+(** [line_offset a] is [a]'s offset within its cache line, in [0, 63]. *)
+
+val lines_spanned : t -> int -> int list
+(** [lines_spanned a n] lists the cache-line identifiers touched by the byte
+    range [a, a+n). [n] must be positive. *)
+
+val same_line : t -> t -> bool
+(** Whether two byte addresses share a cache line. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints an address in hexadecimal. *)

@@ -1,0 +1,32 @@
+let max_width = 8
+
+let check_width width =
+  if width < 1 || width > max_width then
+    invalid_arg (Printf.sprintf "Bytes_le: width %d not in [1, 8]" width)
+
+let byte_at ~width v i =
+  check_width width;
+  if i < 0 || i >= width then invalid_arg "Bytes_le.byte_at: index out of range";
+  (v lsr (8 * i)) land 0xff
+
+let explode ~width v =
+  check_width width;
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (byte_at ~width v i :: acc) in
+  loop (width - 1) []
+
+let implode bytes =
+  let width = List.length bytes in
+  check_width width;
+  let add (acc, shift) b =
+    if b < 0 || b > 0xff then invalid_arg "Bytes_le.implode: byte out of range";
+    (acc lor (b lsl shift), shift + 8)
+  in
+  (* Width 8 carries the 63-bit two's-complement pattern: byte 7 is at most
+     0x7f (OCaml's lsr is logical over 63 bits), and or-ing all 63 bits back
+     reconstructs negatives exactly. *)
+  let v, _ = List.fold_left add (0, 0) bytes in
+  v
+
+let truncate ~width v =
+  check_width width;
+  if width = max_width then v else v land ((1 lsl (8 * width)) - 1)

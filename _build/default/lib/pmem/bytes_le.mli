@@ -1,0 +1,29 @@
+(** Little-endian packing of integers into byte sequences.
+
+    Jaaru implements accesses wider than a byte as atomically-grouped byte
+    accesses (paper §4, "Mixed size accesses"). These helpers split an integer
+    value into its little-endian bytes and reassemble bytes into a value, so
+    that a 64-bit store becomes eight byte stores and a 32-bit load of the same
+    field reads back the right half. Values are carried in OCaml [int]s; widths
+    up to 8 bytes are supported, with 8-byte values occupying the full 63-bit
+    native range (the sign bit round-trips). *)
+
+val max_width : int
+(** 8 bytes. *)
+
+val explode : width:int -> int -> int list
+(** [explode ~width v] is the [width] little-endian bytes of [v], each in
+    [0, 255]. Raises [Invalid_argument] if [width] is not in [1, 8]. *)
+
+val implode : int list -> int
+(** [implode bytes] reassembles little-endian [bytes] into a value. For widths
+    below 8 the result is zero-extended; for width 8 the top byte carries the
+    native sign. Raises [Invalid_argument] on an empty or over-long list or a
+    byte outside [0, 255]. *)
+
+val byte_at : width:int -> int -> int -> int
+(** [byte_at ~width v i] is byte [i] (little-endian) of [v]. *)
+
+val truncate : width:int -> int -> int
+(** [truncate ~width v] keeps the low [width] bytes of [v] (zero-extending,
+    except width 8 which is the identity). *)

@@ -1,0 +1,22 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let empty = 0xffffffff
+
+let update crc byte =
+  let t = Lazy.force table in
+  t.((crc lxor byte) land 0xff) lxor (crc lsr 8)
+
+let finish crc = crc lxor 0xffffffff
+let digest_bytes bs = finish (List.fold_left update empty bs)
+
+let digest_string s =
+  let crc = ref empty in
+  String.iter (fun c -> crc := update !crc (Char.code c)) s;
+  finish !crc

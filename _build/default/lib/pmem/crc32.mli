@@ -1,0 +1,24 @@
+(** CRC-32 (IEEE 802.3 polynomial) over byte sequences.
+
+    Supports the checksum-based recovery idiom the paper singles out (§4,
+    "Checksum-based recovery"): a program writes a payload followed by its
+    checksum and recovery validates the payload by recomputing the checksum,
+    instead of relying on a commit store. *)
+
+val digest_bytes : int list -> int
+(** [digest_bytes bs] is the CRC-32 of the bytes [bs] (each in [0, 255]),
+    as a non-negative 32-bit value. *)
+
+val digest_string : string -> int
+(** CRC-32 of a string's bytes. *)
+
+val update : int -> int -> int
+(** [update crc byte] folds one byte into a running checksum. Start from
+    [empty]. *)
+
+val empty : int
+(** Initial running-checksum state. [digest_bytes bs] equals
+    [finish (List.fold_left update empty bs)]. *)
+
+val finish : int -> int
+(** Final xor step of the running checksum. *)

@@ -1,0 +1,21 @@
+type t = { mutable lo : int; mutable hi : int }
+
+let infinity = max_int
+let make () = { lo = 0; hi = infinity }
+let lo iv = iv.lo
+let hi iv = iv.hi
+let raise_lo iv s = if s > iv.lo then iv.lo <- s
+let lower_hi iv s = if s < iv.hi then iv.hi <- s
+let copy iv = { lo = iv.lo; hi = iv.hi }
+
+let set dst src =
+  dst.lo <- src.lo;
+  dst.hi <- src.hi
+
+let is_empty iv = iv.lo >= iv.hi
+let mem iv s = iv.lo <= s && s < iv.hi
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let pp ppf iv =
+  if iv.hi = infinity then Format.fprintf ppf "[%d, inf)" iv.lo
+  else Format.fprintf ppf "[%d, %d)" iv.lo iv.hi

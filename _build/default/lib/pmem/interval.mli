@@ -1,0 +1,47 @@
+(** Last-writeback intervals for cache lines.
+
+    Jaaru's constraint-refinement technique (paper §3.1) tracks, for every
+    cache line of every execution, an interval [\[lo, hi)] of sequence numbers
+    bounding the last time that line was written back to persistent memory:
+
+    - a [clflush] (or an evicted [clflushopt]) raises [lo], because the line is
+      guaranteed to have been written back at or after that instruction;
+    - a recovery load that observes a particular store {e refines} the
+      interval: the writeback must have happened after the store read from and
+      before the next store to the same byte.
+
+    [hi = infinity] denotes an unbounded upper end. An interval can become
+    empty ([lo >= hi]) only through contradictory refinements, which the
+    read-from machinery never produces for reads it offered as candidates. *)
+
+type t
+
+val infinity : int
+(** Upper bound representing "no constraint" ([max_int]). *)
+
+val make : unit -> t
+(** A fresh unconstrained interval [\[0, infinity)]: absent any flush, a dirty
+    line may have been written back at any time (cache-pressure evictions are
+    nondeterministic). *)
+
+val lo : t -> int
+val hi : t -> int
+
+val raise_lo : t -> int -> unit
+(** [raise_lo iv s] sets [lo] to [max lo s]. Used when a flush of the line
+    takes effect at sequence number [s]. *)
+
+val lower_hi : t -> int -> unit
+(** [lower_hi iv s] sets [hi] to [min hi s]. Used when a recovery read proves
+    the writeback happened before [s]. *)
+
+val copy : t -> t
+val set : t -> t -> unit
+(** [set dst src] overwrites [dst]'s bounds with [src]'s. *)
+
+val is_empty : t -> bool
+val mem : t -> int -> bool
+(** [mem iv s] is [lo <= s < hi]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+type t = { base : Addr.t; size : int }
+
+let v ~base ~size =
+  if base <= 0 || base mod Addr.cache_line_size <> 0 then
+    invalid_arg "Region.v: base must be positive and cache-line aligned";
+  if size <= 0 then invalid_arg "Region.v: size must be positive";
+  { base; size }
+
+let contains r a n = n >= 0 && a >= r.base && a + n <= r.base + r.size
+let limit r = r.base + r.size
+let pp ppf r = Format.fprintf ppf "[%a, %a)" Addr.pp r.base Addr.pp (r.base + r.size)

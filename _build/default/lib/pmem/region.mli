@@ -1,0 +1,20 @@
+(** Persistent-memory region descriptors.
+
+    A checked program is given one contiguous PM region (the analogue of a
+    mapped pool file). Accesses outside the region model wild pointers — the
+    segmentation faults of the paper's Fig. 12/13 symptoms — and are reported
+    by the checker as illegal accesses. *)
+
+type t = private { base : Addr.t; size : int }
+
+val v : base:Addr.t -> size:int -> t
+(** [v ~base ~size] describes the byte range [\[base, base+size)]. [base] must
+    be cache-line aligned and positive; [size] positive. *)
+
+val contains : t -> Addr.t -> int -> bool
+(** [contains r a n] holds when the byte range [\[a, a+n)] lies inside [r]. *)
+
+val limit : t -> Addr.t
+(** One past the last valid byte. *)
+
+val pp : Format.formatter -> t -> unit

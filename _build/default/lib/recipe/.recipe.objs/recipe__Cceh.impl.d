@@ -1,0 +1,1 @@
+lib/recipe/cceh.ml: Hashtbl Jaaru List Pmem Region_alloc

@@ -1,0 +1,1 @@
+lib/recipe/cceh.mli: Jaaru Region_alloc

@@ -1,0 +1,1 @@
+lib/recipe/fast_fair.ml: Jaaru List Pmem Region_alloc

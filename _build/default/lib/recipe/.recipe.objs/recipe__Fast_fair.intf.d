@@ -1,0 +1,1 @@
+lib/recipe/fast_fair.mli: Jaaru Region_alloc

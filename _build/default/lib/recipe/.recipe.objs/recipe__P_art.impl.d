@@ -1,0 +1,1 @@
+lib/recipe/p_art.ml: Jaaru List Pmem Region_alloc

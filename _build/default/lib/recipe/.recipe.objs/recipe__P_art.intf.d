@@ -1,0 +1,1 @@
+lib/recipe/p_art.mli: Jaaru Region_alloc

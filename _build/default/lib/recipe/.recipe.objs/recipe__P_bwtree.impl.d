@@ -1,0 +1,1 @@
+lib/recipe/p_bwtree.ml: Jaaru List Option Pmem Region_alloc

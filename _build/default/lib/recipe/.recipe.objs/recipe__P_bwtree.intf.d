@@ -1,0 +1,1 @@
+lib/recipe/p_bwtree.mli: Jaaru Region_alloc

@@ -1,0 +1,1 @@
+lib/recipe/p_clht.ml: Jaaru Pmem Region_alloc

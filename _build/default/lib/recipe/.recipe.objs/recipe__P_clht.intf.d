@@ -1,0 +1,1 @@
+lib/recipe/p_clht.mli: Jaaru Region_alloc

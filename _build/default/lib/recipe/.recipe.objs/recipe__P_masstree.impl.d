@@ -1,0 +1,1 @@
+lib/recipe/p_masstree.ml: Jaaru Pmem Region_alloc

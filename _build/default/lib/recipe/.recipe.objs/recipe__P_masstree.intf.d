@@ -1,0 +1,1 @@
+lib/recipe/p_masstree.mli: Jaaru Region_alloc

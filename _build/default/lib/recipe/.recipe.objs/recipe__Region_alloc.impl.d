@@ -1,0 +1,1 @@
+lib/recipe/region_alloc.ml: Jaaru Pmem

@@ -1,0 +1,1 @@
+lib/recipe/workloads.ml: Cceh Fast_fair Jaaru List P_art P_bwtree P_clht P_masstree Pmem Region_alloc

@@ -1,0 +1,1 @@
+lib/recipe/workloads.mli: Jaaru

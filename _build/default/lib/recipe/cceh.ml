@@ -1,0 +1,258 @@
+type bugs = {
+  ctor_skip_dir_flush : bool;
+  ctor_skip_segment_flush : bool;
+  ctor_skip_meta_flush : bool;
+}
+
+let no_bugs =
+  { ctor_skip_dir_flush = false; ctor_skip_segment_flush = false; ctor_skip_meta_flush = false }
+
+let magic_value = 0xcce4
+let max_global_depth = 8
+let slots_per_segment = 16
+let probe_run = 4 (* the cache-line-sized linear-probe window *)
+
+(* Metadata at the region base; allocator root on the next line. *)
+let off_magic = 0
+let off_global_depth = 64 (* metadata line, separate from the magic commit *)
+let off_dir = 72
+
+(* Segment: one header line, then 16-byte slots. *)
+let seg_off_depth = 0
+let seg_header = 64
+let seg_size = seg_header + (16 * slots_per_segment)
+
+type t = { ctx : Jaaru.Ctx.t; base : Pmem.Addr.t; alloc : Region_alloc.t; bugs : bugs }
+
+let store64 t label addr v = Jaaru.Ctx.store64 t.ctx ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 t.ctx ~label addr
+let flush t label addr size = Jaaru.Ctx.clflush t.ctx ~label addr size
+let fence t label = Jaaru.Ctx.sfence t.ctx ~label ()
+
+let hash k =
+  let h = k * 0x9e3779b97f4a7c1 land max_int in
+  h lxor (h lsr 29)
+
+let global_depth t = load64 t "cceh.ml:read depth" (t.base + off_global_depth)
+let dir_ptr t = load64 t "cceh.ml:read dir" (t.base + off_dir)
+let dir_slot dir i = dir + (8 * i)
+let read_dir_entry t dir i = load64 t "cceh.ml:read dir entry" (dir_slot dir i)
+let seg_depth t seg = load64 t "cceh.ml:read local depth" (seg + seg_off_depth)
+let slot_addr seg i = seg + seg_header + (16 * i)
+let slot_key t seg i = load64 t "cceh.ml:read key" (slot_addr seg i)
+let slot_value t seg i = load64 t "cceh.ml:read value" (slot_addr seg i + 8)
+
+(* [flush_now = false] lets a caller that will immediately overwrite parts
+   of the segment issue one combined flush instead (avoiding redundant
+   flush instructions — see the checker's perf reports). *)
+let new_segment ?(flush_now = true) t ~depth =
+  let seg = Region_alloc.alloc t.alloc ~label:"cceh.ml:alloc segment" seg_size in
+  store64 t "cceh.ml:seg init depth" (seg + seg_off_depth) depth;
+  for i = 0 to slots_per_segment - 1 do
+    store64 t "cceh.ml:seg init key" (slot_addr seg i) 0;
+    store64 t "cceh.ml:seg init value" (slot_addr seg i + 8) 0
+  done;
+  if flush_now && not t.bugs.ctor_skip_segment_flush then begin
+    flush t "cceh.ml:flush segment" seg seg_size;
+    fence t "cceh.ml:fence segment"
+  end;
+  seg
+
+let constructor t =
+  let dir = Region_alloc.alloc t.alloc ~label:"cceh.ml:alloc dir" 16 in
+  let seg0 = new_segment t ~depth:1 in
+  let seg1 = new_segment t ~depth:1 in
+  store64 t "cceh.ml:ctor dir0" dir seg0;
+  store64 t "cceh.ml:ctor dir1" (dir + 8) seg1;
+  if not t.bugs.ctor_skip_dir_flush then begin
+    flush t "cceh.ml:flush dir" dir 16;
+    fence t "cceh.ml:fence dir"
+  end;
+  store64 t "cceh.ml:ctor depth" (t.base + off_global_depth) 1;
+  store64 t "cceh.ml:ctor dirptr" (t.base + off_dir) dir;
+  if not t.bugs.ctor_skip_meta_flush then begin
+    flush t "cceh.ml:flush meta" (t.base + off_global_depth) 16;
+    fence t "cceh.ml:fence meta"
+  end;
+  store64 t "cceh.ml:ctor magic" (t.base + off_magic) magic_value;
+  flush t "cceh.ml:flush magic" (t.base + off_magic) 8;
+  fence t "cceh.ml:fence magic"
+
+let create_or_open ?(bugs = no_bugs) ?alloc_bugs ctx =
+  let region = Jaaru.Ctx.region ctx in
+  let base = region.Pmem.Region.base in
+  let alloc =
+    Region_alloc.create_or_open ?bugs:alloc_bugs ctx ~base:(base + 128)
+      ~limit:(Pmem.Region.limit region)
+  in
+  let t = { ctx; base; alloc; bugs } in
+  if load64 t "cceh.ml:read magic" (base + off_magic) <> magic_value then constructor t;
+  t
+
+let segment_for t k =
+  let g = global_depth t in
+  Jaaru.Ctx.check t.ctx ~label:"cceh.ml:depth sanity" (g >= 1 && g <= max_global_depth)
+    "global depth corrupt";
+  let dir = dir_ptr t in
+  let idx = hash k land ((1 lsl g) - 1) in
+  (read_dir_entry t dir idx, g, dir, idx)
+
+let probe_base k = hash k lsr 32 land (slots_per_segment - 1)
+
+(* Probe the short run; returns the matching or first empty slot. *)
+let find_slot t seg k =
+  let base = probe_base k in
+  let rec go i empty =
+    if i >= probe_run then `Full_or empty
+    else
+      let s = (base + i) mod slots_per_segment in
+      let sk = slot_key t seg s in
+      if sk = k then `Match s
+      else if sk = 0 && empty = None then go (i + 1) (Some s)
+      else go (i + 1) empty
+  in
+  go 0 None
+
+let lookup t k =
+  let seg, _, _, _ = segment_for t k in
+  match find_slot t seg k with
+  | `Match s -> Some (slot_value t seg s)
+  | `Full_or _ -> None
+
+let remove t k =
+  let seg, _, _, _ = segment_for t k in
+  match find_slot t seg k with
+  | `Match s ->
+      store64 t "cceh.ml:remove" (slot_addr seg s) 0;
+      flush t "cceh.ml:flush remove" (slot_addr seg s) 8;
+      fence t "cceh.ml:fence remove"
+  | `Full_or _ -> ()
+
+(* Split [seg] (local depth L): keys whose bit L is set move to a fresh
+   sibling; the directory then redirects those slots. *)
+let split t seg ~g ~dir =
+  let l = seg_depth t seg in
+  Jaaru.Ctx.check t.ctx ~label:"cceh.ml:split sanity" (l >= 1 && l <= g) "local depth corrupt";
+  let g, dir =
+    if l = g then begin
+      (* Directory doubling: build and persist the doubled directory, swap
+         the pointer, then advance the global depth. *)
+      Jaaru.Ctx.check t.ctx ~label:"cceh.ml:depth limit" (g < max_global_depth)
+        "directory beyond the depth limit";
+      let size = 1 lsl g in
+      let ndir = Region_alloc.alloc t.alloc ~label:"cceh.ml:alloc dir2" (16 * size) in
+      for i = 0 to size - 1 do
+        store64 t "cceh.ml:double copy" (ndir + (8 * i)) (read_dir_entry t dir i);
+        store64 t "cceh.ml:double copy" (ndir + (8 * (i + size))) (read_dir_entry t dir i)
+      done;
+      flush t "cceh.ml:flush dir2" ndir (16 * size);
+      fence t "cceh.ml:fence dir2";
+      store64 t "cceh.ml:swap dir" (t.base + off_dir) ndir;
+      flush t "cceh.ml:flush swap" (t.base + off_dir) 8;
+      fence t "cceh.ml:fence swap";
+      store64 t "cceh.ml:bump depth" (t.base + off_global_depth) (g + 1);
+      flush t "cceh.ml:flush depth" (t.base + off_global_depth) 8;
+      fence t "cceh.ml:fence depth";
+      (g + 1, ndir)
+    end
+    else (g, dir)
+  in
+  (* Initialise and fill the sibling, then persist it with one flush. *)
+  let sibling = new_segment ~flush_now:false t ~depth:(l + 1) in
+  for i = 0 to slots_per_segment - 1 do
+    let k = slot_key t seg i in
+    if k <> 0 && hash k land (1 lsl l) <> 0 then begin
+      store64 t "cceh.ml:split copy key" (slot_addr sibling i) k;
+      store64 t "cceh.ml:split copy value" (slot_addr sibling i + 8) (slot_value t seg i)
+    end
+  done;
+  flush t "cceh.ml:flush sibling" sibling seg_size;
+  fence t "cceh.ml:fence sibling";
+  (* Redirect the directory slots whose bit L is set and that map here. *)
+  for i = 0 to (1 lsl g) - 1 do
+    if read_dir_entry t dir i = seg && i land (1 lsl l) <> 0 then begin
+      store64 t "cceh.ml:redirect" (dir_slot dir i) sibling;
+      flush t "cceh.ml:flush redirect" (dir_slot dir i) 8
+    end
+  done;
+  fence t "cceh.ml:fence redirect";
+  (* Bump the survivor's depth, then lazily clear the moved slots. *)
+  store64 t "cceh.ml:bump local" (seg + seg_off_depth) (l + 1);
+  flush t "cceh.ml:flush local" (seg + seg_off_depth) 8;
+  fence t "cceh.ml:fence local";
+  let cleared_lines = Hashtbl.create 4 in
+  for i = 0 to slots_per_segment - 1 do
+    let k = slot_key t seg i in
+    if k <> 0 && hash k land (1 lsl l) <> 0 then begin
+      store64 t "cceh.ml:clear moved" (slot_addr seg i) 0;
+      Hashtbl.replace cleared_lines (Pmem.Addr.line_of (slot_addr seg i)) ()
+    end
+  done;
+  (* Flush only the lines the clearing touched. *)
+  let lines = List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) cleared_lines []) in
+  List.iter
+    (fun line -> flush t "cceh.ml:flush cleared" (line * Pmem.Addr.cache_line_size) 8)
+    lines;
+  if lines <> [] then fence t "cceh.ml:fence cleared"
+
+let insert t k v =
+  Jaaru.Ctx.check t.ctx ~label:"cceh.ml:insert" (k <> 0) "keys must be non-zero";
+  let rec attempt tries =
+    Jaaru.Ctx.progress t.ctx ~label:"cceh.ml:insert retry" ();
+    Jaaru.Ctx.check t.ctx ~label:"cceh.ml:insert progress" (tries < 3 * max_global_depth)
+      "insert cannot make progress";
+    let seg, g, dir, _ = segment_for t k in
+    match find_slot t seg k with
+    | `Match s ->
+        store64 t "cceh.ml:update value" (slot_addr seg s + 8) v;
+        flush t "cceh.ml:flush update" (slot_addr seg s + 8) 8;
+        fence t "cceh.ml:fence update"
+    | `Full_or (Some s) ->
+        (* Value first, key commit second — the CCEH slot protocol. *)
+        store64 t "cceh.ml:write value" (slot_addr seg s + 8) v;
+        flush t "cceh.ml:flush value" (slot_addr seg s + 8) 8;
+        fence t "cceh.ml:fence value";
+        store64 t "cceh.ml:commit key" (slot_addr seg s) k;
+        flush t "cceh.ml:flush key" (slot_addr seg s) 8;
+        fence t "cceh.ml:fence key"
+    | `Full_or None ->
+        split t seg ~g ~dir;
+        attempt (tries + 1)
+  in
+  attempt 0
+
+let check t =
+  Jaaru.Ctx.check t.ctx ~label:"cceh.ml:check magic"
+    (load64 t "cceh.ml:read magic" (t.base + off_magic) = magic_value)
+    "magic word corrupt";
+  let g = global_depth t in
+  Jaaru.Ctx.check t.ctx ~label:"cceh.ml:check depth" (g >= 1 && g <= max_global_depth)
+    "global depth corrupt";
+  let dir = dir_ptr t in
+  Jaaru.Ctx.check t.ctx ~label:"cceh.ml:check dirptr"
+    (Region_alloc.contains_object t.alloc dir)
+    "directory pointer outside the heap";
+  for i = 0 to (1 lsl g) - 1 do
+    Jaaru.Ctx.progress t.ctx ~label:"cceh.ml:check dir" ();
+    let seg = read_dir_entry t dir i in
+    Jaaru.Ctx.check t.ctx ~label:"cceh.ml:check entry"
+      (Region_alloc.contains_object t.alloc seg)
+      "directory entry outside the heap";
+    let l = seg_depth t seg in
+    Jaaru.Ctx.check t.ctx ~label:"cceh.ml:check local" (l >= 1 && l <= g)
+      "local depth out of range";
+    for s = 0 to slots_per_segment - 1 do
+      let k = slot_key t seg s in
+      if k <> 0 then begin
+        (* The key must still be routed to a segment that holds it. *)
+        let home = read_dir_entry t dir (hash k land ((1 lsl g) - 1)) in
+        let found =
+          match find_slot t home k with `Match _ -> true | `Full_or _ -> false
+        in
+        Jaaru.Ctx.check t.ctx ~label:"cceh.ml:check routing" found
+          "occupied slot's key is not reachable through the directory"
+      end
+    done
+  done
+
+let global_depth t = global_depth t

@@ -1,0 +1,38 @@
+(** CCEH — cache-line-conscious extendible hashing (RECIPE benchmark).
+
+    A directory of 2^G segment pointers (LSB extendible hashing) over
+    segments of 16 key/value slots probed in short cache-line-sized runs.
+    Inserts persist the value before the key-commit store; segment splits
+    allocate and persist the new segment before redirecting directory
+    entries; directory doubling persists the new directory before swapping
+    the pointer.
+
+    The paper found three missing-constructor-flush bugs in CCEH (Fig. 13
+    #1–3); the three toggles below seed them. On recycled (poisoned)
+    allocations each lets recovery observe garbage where initialised state
+    should be. *)
+
+type bugs = {
+  ctor_skip_dir_flush : bool;  (** directory array not flushed before commit *)
+  ctor_skip_segment_flush : bool;  (** initial segments not flushed *)
+  ctor_skip_meta_flush : bool;  (** global depth / directory pointer not flushed *)
+}
+
+val no_bugs : bugs
+
+type t
+
+val create_or_open : ?bugs:bugs -> ?alloc_bugs:Region_alloc.bugs -> Jaaru.Ctx.t -> t
+
+val insert : t -> int -> int -> unit
+(** Keys must be non-zero. Duplicates update in place. *)
+
+val lookup : t -> int -> int option
+val remove : t -> int -> unit
+
+val check : t -> unit
+(** Recovery verification: magic and depths sane, every directory entry
+    points at an allocated segment with a legal local depth, every occupied
+    slot's key is still routed to its segment by the directory. *)
+
+val global_depth : t -> int

@@ -1,0 +1,379 @@
+type bugs = {
+  ctor_skip_header_flush : bool;
+  missing_entry_flush : bool;
+  ctor_skip_root_flush : bool;
+}
+
+let no_bugs =
+  { ctor_skip_header_flush = false; missing_entry_flush = false; ctor_skip_root_flush = false }
+
+let magic_value = 0xfa57
+let kind_leaf = 1
+let kind_internal = 2
+let fanout = 8
+
+(* Metadata at the region base; allocator root on the next line. *)
+let off_magic = 0
+let off_root = 64 (* separate line from the magic commit *)
+
+(* Node: one header line, then eight 8-byte slots. *)
+let nd_kind = 0
+let nd_sibling = 8
+let nd_high = 16
+let nd_slots = 64
+let node_size = nd_slots + (8 * fanout)
+
+type t = { ctx : Jaaru.Ctx.t; base : Pmem.Addr.t; alloc : Region_alloc.t; bugs : bugs }
+
+let store64 t label addr v = Jaaru.Ctx.store64 t.ctx ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 t.ctx ~label addr
+let flush t label addr size = Jaaru.Ctx.clflush t.ctx ~label addr size
+let fence t label = Jaaru.Ctx.sfence t.ctx ~label ()
+
+let kind t n = load64 t "fast_fair.ml:kind" (n + nd_kind)
+let sibling t n = load64 t "fast_fair.ml:sibling" (n + nd_sibling)
+let high_key t n = load64 t "fast_fair.ml:high" (n + nd_high)
+let slot_addr n i = n + nd_slots + (8 * i)
+let read_slot t n i = load64 t "fast_fair.ml:slot" (slot_addr n i)
+let entry_key t e = load64 t "fast_fair.ml:entry key" e
+let entry_payload t e = load64 t "fast_fair.ml:entry payload" (e + 8)
+
+let root t = load64 t "fast_fair.ml:read root" (t.base + off_root)
+
+(* A fresh node: header and zeroed slots; only the header flush is
+   bug-toggleable (the paper's header-constructor bug). *)
+let new_node t ~kind:k ~sib ~high =
+  let n = Region_alloc.alloc t.alloc ~label:"fast_fair.ml:alloc node" node_size in
+  store64 t "fast_fair.ml:init kind" (n + nd_kind) k;
+  store64 t "fast_fair.ml:init sibling" (n + nd_sibling) sib;
+  store64 t "fast_fair.ml:init high" (n + nd_high) high;
+  if not t.bugs.ctor_skip_header_flush then begin
+    flush t "fast_fair.ml:flush header" n 64;
+    fence t "fast_fair.ml:fence header"
+  end;
+  for i = 0 to fanout - 1 do
+    store64 t "fast_fair.ml:init slot" (slot_addr n i) 0
+  done;
+  flush t "fast_fair.ml:flush slots" (n + nd_slots) (8 * fanout);
+  fence t "fast_fair.ml:fence slots";
+  n
+
+let new_entry t k payload =
+  let e = Region_alloc.alloc t.alloc ~label:"fast_fair.ml:alloc entry" 16 in
+  store64 t "fast_fair.ml:entry init key" e k;
+  store64 t "fast_fair.ml:entry init payload" (e + 8) payload;
+  if not t.bugs.missing_entry_flush then begin
+    flush t "fast_fair.ml:flush entry" e 16;
+    fence t "fast_fair.ml:fence entry"
+  end;
+  e
+
+let set_root t n =
+  store64 t "fast_fair.ml:set root" (t.base + off_root) n;
+  if not t.bugs.ctor_skip_root_flush then begin
+    flush t "fast_fair.ml:flush root" (t.base + off_root) 8;
+    fence t "fast_fair.ml:fence root"
+  end
+
+let create_or_open ?(bugs = no_bugs) ?alloc_bugs ctx =
+  let region = Jaaru.Ctx.region ctx in
+  let base = region.Pmem.Region.base in
+  let alloc =
+    Region_alloc.create_or_open ?bugs:alloc_bugs ctx ~base:(base + 128)
+      ~limit:(Pmem.Region.limit region)
+  in
+  let t = { ctx; base; alloc; bugs } in
+  if load64 t "fast_fair.ml:read magic" (base + off_magic) <> magic_value then begin
+    let leaf = new_node t ~kind:kind_leaf ~sib:0 ~high:0 in
+    set_root t leaf;
+    store64 t "fast_fair.ml:ctor magic" (base + off_magic) magic_value;
+    flush t "fast_fair.ml:flush magic" (base + off_magic) 8;
+    fence t "fast_fair.ml:fence magic"
+  end;
+  t
+
+(* Raw occupancy: slots fill left to right and scanning stops at the first
+   zero (the split's truncation commit is a single atomic zero store). *)
+let occupancy t n =
+  let rec go i = if i >= fanout then i else if read_slot t n i = 0 then i else go (i + 1) in
+  go 0
+
+(* Logical occupancy additionally drops a stale tail: entries at or above a
+   non-zero high key were moved to the sibling by a split whose truncation
+   store did not persist. Readers skip them; writers repair them. Slot 0 of
+   an internal node (the 0-key leftmost entry) is exempt. *)
+let logical_occupancy t n =
+  let hk = high_key t n in
+  let raw = occupancy t n in
+  if hk = 0 then raw
+  else begin
+    let internal = kind t n = kind_internal in
+    let rec go i =
+      if i >= raw then i
+      else if entry_key t (read_slot t n i) >= hk && not (internal && i = 0) then i
+      else go (i + 1)
+    in
+    go 0
+  end
+
+(* Complete a crashed split's truncation: persist the zero terminator where
+   the stale tail begins. Idempotent; called by writers before they touch a
+   node. *)
+let repair t n =
+  let logical = logical_occupancy t n in
+  if logical < occupancy t n then begin
+    store64 t "fast_fair.ml:repair truncate" (slot_addr n logical) 0;
+    flush t "fast_fair.ml:flush repair" (slot_addr n logical) 8;
+    fence t "fast_fair.ml:fence repair"
+  end
+
+(* --- descent -------------------------------------------------------------- *)
+
+(* In an internal node, the child for [k] is the last entry with key <= k.
+   Consecutive duplicate slots (a crashed shift) point at the same entry, so
+   they are harmless. *)
+let child_for t n k =
+  let m = logical_occupancy t n in
+  let rec go i best =
+    if i >= m then best
+    else
+      let e = read_slot t n i in
+      if entry_key t e <= k then go (i + 1) (entry_payload t e) else best
+  in
+  go 1 (entry_payload t (read_slot t n 0))
+
+(* Follow sibling links when the key lies beyond this node's high key — the
+   FAIR rule that makes half-finished splits invisible. *)
+let rec chase t n k =
+  Jaaru.Ctx.progress t.ctx ~label:"fast_fair.ml:chase" ();
+  let hk = high_key t n in
+  let sib = sibling t n in
+  if hk <> 0 && k >= hk && sib <> 0 then chase t sib k else n
+
+let rec descend t n k ~path =
+  Jaaru.Ctx.progress t.ctx ~label:"fast_fair.ml:descend" ();
+  let n = chase t n k in
+  let kd = kind t n in
+  Jaaru.Ctx.check t.ctx ~label:"fast_fair.ml:descend kind" (kd = kind_leaf || kd = kind_internal)
+    "node kind corrupt";
+  if kd = kind_leaf then (n, path) else descend t (child_for t n k) k ~path:(n :: path)
+
+(* --- lookup --------------------------------------------------------------- *)
+
+let lookup t k =
+  let leaf, _ = descend t (root t) k ~path:[] in
+  let m = logical_occupancy t leaf in
+  let rec scan i =
+    if i >= m then None
+    else
+      let e = read_slot t leaf i in
+      if entry_key t e = k then Some (entry_payload t e) else scan (i + 1)
+  in
+  scan 0
+
+(* --- insert --------------------------------------------------------------- *)
+
+(* FAST in-node insert: shift slots right one atomic store at a time,
+   flushing each, then commit the new slot. The node must not be full. *)
+let insert_slot t n entry k =
+  repair t n;
+  let m = occupancy t n in
+  let rec position i =
+    if i >= m then i else if entry_key t (read_slot t n i) > k then i else position (i + 1)
+  in
+  let p = position 0 in
+  for j = m - 1 downto p do
+    store64 t "fast_fair.ml:shift" (slot_addr n (j + 1)) (read_slot t n j);
+    flush t "fast_fair.ml:flush shift" (slot_addr n (j + 1)) 8;
+    fence t "fast_fair.ml:fence shift"
+  done;
+  store64 t "fast_fair.ml:commit slot" (slot_addr n p) entry;
+  flush t "fast_fair.ml:flush slot" (slot_addr n p) 8;
+  fence t "fast_fair.ml:fence slot"
+
+(* Update in place: slots are 8-byte pointers, so swapping in a fresh record
+   is atomic. *)
+let try_update t n k v =
+  let m = logical_occupancy t n in
+  let rec scan i =
+    if i >= m then false
+    else
+      let e = read_slot t n i in
+      if entry_key t e = k then begin
+        let e' = new_entry t k v in
+        store64 t "fast_fair.ml:swap entry" (slot_addr n i) e';
+        flush t "fast_fair.ml:flush swap" (slot_addr n i) 8;
+        fence t "fast_fair.ml:fence swap";
+        true
+      end
+      else scan (i + 1)
+  in
+  scan 0
+
+(* Split [n]: persist a sibling holding the upper half, publish the
+   separator as [n]'s high key, commit the sibling link, clear the moved
+   slots, then tell the parent. Returns (separator, sibling). *)
+let split_node t n =
+  let sep = entry_key t (read_slot t n (fanout / 2)) in
+  let sib = new_node t ~kind:(kind t n) ~sib:(sibling t n) ~high:(high_key t n) in
+  for i = fanout / 2 to fanout - 1 do
+    store64 t "fast_fair.ml:split copy" (slot_addr sib (i - (fanout / 2))) (read_slot t n i)
+  done;
+  flush t "fast_fair.ml:flush split" sib node_size;
+  fence t "fast_fair.ml:fence split";
+  store64 t "fast_fair.ml:publish high" (n + nd_high) sep;
+  flush t "fast_fair.ml:flush high" (n + nd_high) 8;
+  fence t "fast_fair.ml:fence high";
+  store64 t "fast_fair.ml:link sibling" (n + nd_sibling) sib;
+  flush t "fast_fair.ml:flush sibling" (n + nd_sibling) 8;
+  fence t "fast_fair.ml:fence sibling";
+  (* Truncation commit: one atomic zero store ends the node at the median;
+     stale slots beyond the terminator are unreachable. *)
+  store64 t "fast_fair.ml:truncate" (slot_addr n (fanout / 2)) 0;
+  flush t "fast_fair.ml:flush truncate" (slot_addr n (fanout / 2)) 8;
+  fence t "fast_fair.ml:fence truncate";
+  (sep, sib)
+
+let rec insert_into t n k entry ~path =
+  repair t n;
+  if occupancy t n < fanout then insert_slot t n entry k
+  else begin
+    let sep, sib = split_node t n in
+    (* Tell the parent about the new sibling (or grow a new root). *)
+    (match path with
+    | parent :: rest ->
+        let sep_entry = new_entry t sep sib in
+        insert_into t parent sep sep_entry ~path:rest
+    | [] ->
+        let e0 = new_entry t 0 n in
+        let e1 = new_entry t sep sib in
+        let nroot = new_node t ~kind:kind_internal ~sib:0 ~high:0 in
+        store64 t "fast_fair.ml:root slot0" (slot_addr nroot 0) e0;
+        store64 t "fast_fair.ml:root slot1" (slot_addr nroot 1) e1;
+        flush t "fast_fair.ml:flush new root" nroot node_size;
+        fence t "fast_fair.ml:fence new root";
+        set_root t nroot);
+    let target = if k >= sep then sib else n in
+    insert_into t target k entry ~path:[] (* the node now has room *)
+  end
+
+let insert t k v =
+  Jaaru.Ctx.check t.ctx ~label:"fast_fair.ml:insert" (k <> 0) "keys must be non-zero";
+  let leaf, path = descend t (root t) k ~path:[] in
+  if not (try_update t leaf k v) then begin
+    let entry = new_entry t k v in
+    insert_into t leaf k entry ~path
+  end
+
+(* --- delete ----------------------------------------------------------------- *)
+
+(* FAIR deletion: shift the slots left over the victim, one atomic 8-byte
+   store at a time (transiently duplicating a neighbour, which readers
+   tolerate), then zero the old tail slot as the commit. The key stays in
+   inner nodes as a routing separator, which is harmless. *)
+let remove t k =
+  let leaf, _ = descend t (root t) k ~path:[] in
+  repair t leaf;
+  let m = occupancy t leaf in
+  let rec position i =
+    if i >= m then None
+    else if entry_key t (read_slot t leaf i) = k then Some i
+    else position (i + 1)
+  in
+  match position 0 with
+  | None -> ()
+  | Some p ->
+      for j = p to m - 2 do
+        store64 t "fast_fair.ml:delete shift" (slot_addr leaf j) (read_slot t leaf (j + 1));
+        flush t "fast_fair.ml:flush delete shift" (slot_addr leaf j) 8;
+        fence t "fast_fair.ml:fence delete shift"
+      done;
+      store64 t "fast_fair.ml:delete commit" (slot_addr leaf (m - 1)) 0;
+      flush t "fast_fair.ml:flush delete" (slot_addr leaf (m - 1)) 8;
+      fence t "fast_fair.ml:fence delete"
+
+(* --- verification --------------------------------------------------------- *)
+
+let rec check_node t n ~depth =
+  Jaaru.Ctx.progress t.ctx ~label:"fast_fair.ml:check" ();
+  Jaaru.Ctx.check t.ctx ~label:"fast_fair.ml:check depth" (depth < 16) "tree too deep";
+  let kd = kind t n in
+  Jaaru.Ctx.check t.ctx ~label:"fast_fair.ml:check kind" (kd = kind_leaf || kd = kind_internal)
+    "node kind corrupt";
+  let m = logical_occupancy t n in
+  let hk = high_key t n in
+  let rec keys i last =
+    if i >= m then ()
+    else begin
+      let e = read_slot t n i in
+      let k = entry_key t e in
+      Jaaru.Ctx.check t.ctx ~label:"fast_fair.ml:check order"
+        (k >= last)
+        "keys out of order beyond duplicate tolerance";
+      Jaaru.Ctx.check t.ctx ~label:"fast_fair.ml:check bound"
+        (hk = 0 || k < hk || (kd = kind_internal && i = 0))
+        "key at or above the node's high key";
+      keys (i + 1) k
+    end
+  in
+  keys 0 0;
+  if kd = kind_internal then begin
+    Jaaru.Ctx.check t.ctx ~label:"fast_fair.ml:check fanout" (m >= 1) "internal node empty";
+    ignore hk;
+    for i = 0 to m - 1 do
+      check_node t (entry_payload t (read_slot t n i)) ~depth:(depth + 1)
+    done
+  end
+
+let leftmost_leaf t =
+  let rec go n =
+    Jaaru.Ctx.progress t.ctx ~label:"fast_fair.ml:leftmost" ();
+    if kind t n = kind_leaf then n else go (entry_payload t (read_slot t n 0))
+  in
+  go (root t)
+
+let check t =
+  Jaaru.Ctx.check t.ctx ~label:"fast_fair.ml:check magic"
+    (load64 t "fast_fair.ml:read magic" (t.base + off_magic) = magic_value)
+    "magic word corrupt";
+  check_node t (root t) ~depth:0;
+  (* Leaf chain: globally nondecreasing keys, with duplicate tolerance. *)
+  let rec chain n last =
+    Jaaru.Ctx.progress t.ctx ~label:"fast_fair.ml:check chain" ();
+    let m = logical_occupancy t n in
+    let last =
+      let rec keys i last =
+        if i >= m then last
+        else begin
+          let k = entry_key t (read_slot t n i) in
+          Jaaru.Ctx.check t.ctx ~label:"fast_fair.ml:check chain order" (k >= last)
+            "leaf chain keys out of order";
+          keys (i + 1) k
+        end
+      in
+      keys 0 last
+    in
+    let sib = sibling t n in
+    if sib <> 0 then chain sib last
+  in
+  chain (leftmost_leaf t) 0
+
+let entries t =
+  let rec chain n acc =
+    Jaaru.Ctx.progress t.ctx ~label:"fast_fair.ml:entries" ();
+    let m = logical_occupancy t n in
+    let rec keys i acc =
+      if i >= m then acc
+      else
+        let e = read_slot t n i in
+        let k = entry_key t e in
+        let acc =
+          match acc with (k', _) :: _ when k' = k -> acc | _ -> (k, entry_payload t e) :: acc
+        in
+        keys (i + 1) acc
+    in
+    let acc = keys 0 acc in
+    let sib = sibling t n in
+    if sib = 0 then List.rev acc else chain sib acc
+  in
+  chain (leftmost_leaf t) []

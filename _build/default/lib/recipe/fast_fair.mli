@@ -1,0 +1,43 @@
+(** FAST_FAIR — a failure-atomic shifting B+tree (RECIPE benchmark).
+
+    Nodes hold eight 8-byte slots pointing at immutable key/value entry
+    records. Inserts shift slots FAST-style — one atomic 8-byte store at a
+    time, flushed as they go — so a crash leaves at worst a duplicated
+    neighbour that readers tolerate (FAIR). Splits persist the new sibling,
+    publish the separator as the survivor's high key, commit the sibling
+    link, and only then update the parent; readers chase sibling links when
+    a key exceeds a node's high key, so the tree is consistent even if the
+    crash lands before the parent update.
+
+    The three toggles seed the paper's FAST_FAIR bugs (Fig. 13 #4–6):
+    missing flushes in the header, entry and tree constructors. *)
+
+type bugs = {
+  ctor_skip_header_flush : bool;  (** node header (kind/sibling/high key) *)
+  missing_entry_flush : bool;  (** entry record not flushed before its slot commits *)
+  ctor_skip_root_flush : bool;  (** tree metadata / root pointer *)
+}
+
+val no_bugs : bugs
+
+type t
+
+val create_or_open : ?bugs:bugs -> ?alloc_bugs:Region_alloc.bugs -> Jaaru.Ctx.t -> t
+
+val insert : t -> int -> int -> unit
+(** Keys must be non-zero. Duplicates update (a fresh record replaces the
+    slot atomically). *)
+
+val lookup : t -> int -> int option
+
+val remove : t -> int -> unit
+(** FAIR shift-left deletion from the leaf: transient duplicates during the
+    shift are tolerated by readers; the trailing zero store commits. The key
+    may survive in inner nodes as a routing separator. *)
+
+val check : t -> unit
+(** Recovery verification: header kinds, slot occupancy shape, key order
+    with duplicate tolerance, high-key bounds, and the whole leaf chain. *)
+
+val entries : t -> (int * int) list
+(** Left-to-right leaf scan with duplicate suppression. *)

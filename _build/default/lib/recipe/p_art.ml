@@ -1,0 +1,383 @@
+type bugs = {
+  epoch_volatile_flush : bool;
+  ctor_skip_root_flush : bool;
+  volatile_lock_recovery : bool;
+}
+
+let no_bugs =
+  { epoch_volatile_flush = false; ctor_skip_root_flush = false; volatile_lock_recovery = false }
+
+let magic_value = 0xa127
+let key_bytes = 4
+let node4 = 4
+let node16 = 16
+let node256 = 256
+
+(* Metadata line at the region base. *)
+let off_magic = 0
+let off_root = 64 (* separate line from the magic commit *)
+
+(* Inner node: type, lock, count, then key-byte and child arrays. Node256
+   drops the key array and indexes children directly by byte. *)
+let nd_type = 0
+let nd_lock = 8
+let nd_count = 16
+let nd_keys = 24
+let nd_children cap = if cap = node256 then 24 else 24 + (8 * cap)
+let node_size cap = if cap = node256 then 24 + (8 * 256) else 24 + (16 * cap)
+
+(* Leaves are tagged with the low pointer bit. *)
+let tag_leaf p = p lor 1
+let is_leaf p = p land 1 = 1
+let untag p = p land lnot 1
+
+type t = {
+  ctx : Jaaru.Ctx.t;
+  base : Pmem.Addr.t;
+  alloc : Region_alloc.t;
+  bugs : bugs;
+  epoch : (Pmem.Addr.t * int) list ref;  (* volatile: lost at every crash *)
+}
+
+let store64 t label addr v = Jaaru.Ctx.store64 t.ctx ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 t.ctx ~label addr
+let flush t label addr size = Jaaru.Ctx.clflush t.ctx ~label addr size
+let fence t label = Jaaru.Ctx.sfence t.ctx ~label ()
+
+let byte_of k d = (k lsr (8 * (key_bytes - 1 - d))) land 0xff
+
+let node_type t n = load64 t "p_art.ml:type" (n + nd_type)
+let node_count t n = load64 t "p_art.ml:count" (n + nd_count)
+let key_slot n i = n + nd_keys + (8 * i)
+let child_slot t n i = n + nd_children (node_type t n) + (8 * i)
+let read_key_byte t n i = load64 t "p_art.ml:key byte" (key_slot n i)
+let read_child t n i = load64 t "p_art.ml:child" (child_slot t n i)
+
+(* The slot that routes byte [b], if the node has one. Node4/16 scan their
+   key array; Node256 indexes directly. *)
+let route_slot t n b =
+  let ty = node_type t n in
+  if ty = node256 then
+    let slot = n + nd_children node256 + (8 * b) in
+    if load64 t "p_art.ml:route child" slot = 0 then None else Some slot
+  else begin
+    let c = node_count t n in
+    Jaaru.Ctx.check t.ctx ~label:"p_art.ml:count sanity" (c >= 0 && c <= ty)
+      "node count corrupt";
+    (* Entries with a zero child are deletion tombstones. *)
+    let rec go i =
+      if i >= c then None
+      else if read_key_byte t n i = b && read_child t n i <> 0 then Some (child_slot t n i)
+      else go (i + 1)
+    in
+    go 0
+  end
+
+let leaf_key t p = load64 t "p_art.ml:leaf key" (untag p)
+let leaf_value t p = load64 t "p_art.ml:leaf value" (untag p + 8)
+
+(* Persist a freshly initialised object — or, with the epoch bug, defer the
+   flush into the volatile list that a crash will drop. *)
+let persist_new t label addr size =
+  if t.bugs.epoch_volatile_flush then t.epoch := (addr, size) :: !(t.epoch)
+  else begin
+    flush t label addr size;
+    fence t label
+  end
+
+let epoch_end t =
+  List.iter (fun (addr, size) -> flush t "p_art.ml:epoch flush" addr size) !(t.epoch);
+  if !(t.epoch) <> [] then fence t "p_art.ml:epoch fence";
+  t.epoch := []
+
+let new_leaf t k v =
+  let p = Region_alloc.alloc t.alloc ~label:"p_art.ml:alloc leaf" 16 in
+  store64 t "p_art.ml:leaf init key" p k;
+  store64 t "p_art.ml:leaf init value" (p + 8) v;
+  persist_new t "p_art.ml:flush leaf" p 16;
+  tag_leaf p
+
+let new_node t cap =
+  let n = Region_alloc.alloc t.alloc ~label:"p_art.ml:alloc node" (node_size cap) in
+  store64 t "p_art.ml:init type" (n + nd_type) cap;
+  store64 t "p_art.ml:init lock" (n + nd_lock) 0;
+  store64 t "p_art.ml:init count" (n + nd_count) 0;
+  for i = 0 to cap - 1 do
+    store64 t "p_art.ml:init key byte" (key_slot n i) 0;
+    store64 t "p_art.ml:init child" (n + nd_children cap + (8 * i)) 0
+  done;
+  persist_new t "p_art.ml:flush node" n (node_size cap);
+  n
+
+let root_slot t = t.base + off_root
+
+let commit_slot t slot v =
+  store64 t "p_art.ml:commit slot" slot v;
+  flush t "p_art.ml:flush slot" slot 8;
+  fence t "p_art.ml:fence slot"
+
+(* Sweep the tree clearing leaked lock words (the fixed recovery); the buggy
+   variant trusts a volatile pending-unlock list that no longer exists. *)
+let rec sweep_locks t p =
+  if p <> 0 && not (is_leaf p) then begin
+    Jaaru.Ctx.progress t.ctx ~label:"p_art.ml:lock sweep" ();
+    store64 t "p_art.ml:sweep lock" (p + nd_lock) 0;
+    flush t "p_art.ml:flush sweep" (p + nd_lock) 8;
+    let ty = node_type t p in
+    if ty = node256 then
+      for b = 0 to 255 do
+        sweep_locks t (load64 t "p_art.ml:sweep child256" (p + nd_children node256 + (8 * b)))
+      done
+    else begin
+      let c = node_count t p in
+      if c >= 0 && c <= node16 then
+        for i = 0 to c - 1 do
+          sweep_locks t (read_child t p i)
+        done
+    end
+  end
+
+let create_or_open ?(bugs = no_bugs) ?alloc_bugs ctx =
+  let region = Jaaru.Ctx.region ctx in
+  let base = region.Pmem.Region.base in
+  let alloc =
+    Region_alloc.create_or_open ?bugs:alloc_bugs ctx ~base:(base + 128)
+      ~limit:(Pmem.Region.limit region)
+  in
+  let t = { ctx; base; alloc; bugs; epoch = ref [] } in
+  if load64 t "p_art.ml:read magic" (base + off_magic) <> magic_value then begin
+    let root = new_node t node4 in
+    store64 t "p_art.ml:ctor root" (root_slot t) root;
+    if not bugs.ctor_skip_root_flush then begin
+      flush t "p_art.ml:flush root" (root_slot t) 8;
+      fence t "p_art.ml:fence root"
+    end;
+    store64 t "p_art.ml:ctor magic" (base + off_magic) magic_value;
+    flush t "p_art.ml:flush magic" (base + off_magic) 8;
+    fence t "p_art.ml:fence magic"
+  end
+  else if not bugs.volatile_lock_recovery then
+    sweep_locks t (load64 t "p_art.ml:read root" (root_slot t));
+  t
+
+let lock t n =
+  let rec spin () =
+    Jaaru.Ctx.progress t.ctx ~label:"p_art.ml:lock spin" ();
+    if not (Jaaru.Ctx.cas64 t.ctx ~label:"p_art.ml:lock cas" (n + nd_lock) ~expected:0 ~desired:1)
+    then spin ()
+  in
+  spin ()
+
+let unlock t n = store64 t "p_art.ml:unlock" (n + nd_lock) 0
+
+let lookup t k =
+  let rec go p d =
+    Jaaru.Ctx.progress t.ctx ~label:"p_art.ml:lookup" ();
+    if p = 0 then None
+    else if is_leaf p then if leaf_key t p = k then Some (leaf_value t p) else None
+    else
+      match route_slot t p (byte_of k d) with
+      | None -> None
+      | Some slot -> go (load64 t "p_art.ml:lookup child" slot) (d + 1)
+  in
+  go (load64 t "p_art.ml:read root" (root_slot t)) 0
+
+(* Add an entry to an inner node: child (and key byte) are persisted, then
+   the count store commits them; in Node256 the child store itself is the
+   commit. Caller holds the node lock and guarantees room. *)
+let add_entry t n b child =
+  if node_type t n = node256 then begin
+    let slot = n + nd_children node256 + (8 * b) in
+    store64 t "p_art.ml:add256 child" slot child;
+    flush t "p_art.ml:flush add256" slot 8;
+    fence t "p_art.ml:fence add256";
+    store64 t "p_art.ml:count256" (n + nd_count) (node_count t n + 1);
+    flush t "p_art.ml:flush count256" (n + nd_count) 8;
+    fence t "p_art.ml:fence count256"
+  end
+  else begin
+    let c = node_count t n in
+    (* Reuse a deletion tombstone when one exists: the key byte goes down
+       first (the tombstone stays invisible), then the child store commits
+       the entry atomically. *)
+    let rec tombstone i =
+      if i >= c then None else if read_child t n i = 0 then Some i else tombstone (i + 1)
+    in
+    match tombstone 0 with
+    | Some i ->
+        store64 t "p_art.ml:reuse key byte" (key_slot n i) b;
+        flush t "p_art.ml:flush reuse key" (key_slot n i) 8;
+        fence t "p_art.ml:fence reuse key";
+        store64 t "p_art.ml:reuse child" (child_slot t n i) child;
+        flush t "p_art.ml:flush reuse child" (child_slot t n i) 8;
+        fence t "p_art.ml:fence reuse child"
+    | None ->
+        store64 t "p_art.ml:add child" (child_slot t n c) child;
+        store64 t "p_art.ml:add key byte" (key_slot n c) b;
+        flush t "p_art.ml:flush add" (key_slot n c) 8;
+        flush t "p_art.ml:flush add child" (child_slot t n c) 8;
+        fence t "p_art.ml:fence add";
+        store64 t "p_art.ml:commit count" (n + nd_count) (c + 1);
+        flush t "p_art.ml:flush count" (n + nd_count) 8;
+        fence t "p_art.ml:fence count"
+  end
+
+(* Grow a full node into the next size up: the copy is persisted, then the
+   parent slot swap publishes it. The stale node simply leaks. *)
+let grow t n slot =
+  let from_ty = node_type t n in
+  let to_ty = if from_ty = node4 then node16 else node256 in
+  let big = new_node t to_ty in
+  let c = node_count t n in
+  let copied = ref 0 in
+  for i = 0 to c - 1 do
+    let child = read_child t n i in
+    if child <> 0 then begin
+      let b = read_key_byte t n i in
+      let dst =
+        if to_ty = node256 then big + nd_children node256 + (8 * b)
+        else big + nd_children to_ty + (8 * !copied)
+      in
+      if to_ty <> node256 then store64 t "p_art.ml:grow key" (key_slot big !copied) b;
+      store64 t "p_art.ml:grow child" dst child;
+      incr copied
+    end
+  done;
+  store64 t "p_art.ml:grow count" (big + nd_count) !copied;
+  persist_new t "p_art.ml:flush grow" big (node_size to_ty);
+  commit_slot t slot big;
+  big
+
+(* Build the spine of Node4s distinguishing two leaves that agree on key
+   bytes up to depth [d]. *)
+let rec build_spine t existing k v d =
+  let ek = leaf_key t existing in
+  let n = new_node t node4 in
+  if byte_of ek d = byte_of k d then begin
+    let child = build_spine t existing k v (d + 1) in
+    add_entry t n (byte_of k d) child
+  end
+  else begin
+    add_entry t n (byte_of ek d) existing;
+    add_entry t n (byte_of k d) (new_leaf t k v)
+  end;
+  n
+
+let insert t k v =
+  Jaaru.Ctx.check t.ctx ~label:"p_art.ml:insert"
+    (k >= 1 && k < 1 lsl (8 * key_bytes))
+    "key out of range";
+  (* [slot] is the 8-byte cell holding the pointer to the current subtree, so
+     replacements (spines, grows) are single-store commits into it. *)
+  let rec go slot d =
+    Jaaru.Ctx.progress t.ctx ~label:"p_art.ml:insert descend" ();
+    Jaaru.Ctx.check t.ctx ~label:"p_art.ml:insert depth" (d <= key_bytes) "descent too deep";
+    let p = load64 t "p_art.ml:insert read slot" slot in
+    if p = 0 then commit_slot t slot (new_leaf t k v)
+    else if is_leaf p then begin
+      let ck = leaf_key t p in
+      if ck = k then begin
+        store64 t "p_art.ml:update value" (untag p + 8) v;
+        flush t "p_art.ml:flush update" (untag p + 8) 8;
+        fence t "p_art.ml:fence update"
+      end
+      else begin
+        let spine = build_spine t p k v d in
+        commit_slot t slot spine
+      end
+    end
+    else begin
+      lock t p;
+      let b = byte_of k d in
+      match route_slot t p b with
+      | Some child_cell ->
+          unlock t p;
+          go child_cell (d + 1)
+      | None ->
+          let ty = node_type t p in
+          if ty = node256 || node_count t p < ty then begin
+            add_entry t p b (new_leaf t k v);
+            unlock t p
+          end
+          else begin
+            let _big = grow t p slot in
+            unlock t p;
+            go slot d
+          end
+    end
+  in
+  go (root_slot t) 0
+
+let remove t k =
+  Jaaru.Ctx.check t.ctx ~label:"p_art.ml:remove"
+    (k >= 1 && k < 1 lsl (8 * key_bytes))
+    "key out of range";
+  let rec go p d =
+    Jaaru.Ctx.progress t.ctx ~label:"p_art.ml:remove descend" ();
+    if p <> 0 && not (is_leaf p) then
+      match route_slot t p (byte_of k d) with
+      | None -> ()
+      | Some slot ->
+          let child = load64 t "p_art.ml:remove child" slot in
+          if is_leaf child then begin
+            if leaf_key t child = k then begin
+              (* Zeroing the routing slot is the single atomic commit; in a
+                 Node4/16 the key byte stays behind as a tombstone. *)
+              store64 t "p_art.ml:remove commit" slot 0;
+              flush t "p_art.ml:flush remove" slot 8;
+              fence t "p_art.ml:fence remove"
+            end
+          end
+          else go child (d + 1)
+  in
+  go (load64 t "p_art.ml:read root" (root_slot t)) 0
+
+(* --- verification ---------------------------------------------------------- *)
+
+let rec check_node t p ~prefix ~d =
+  Jaaru.Ctx.progress t.ctx ~label:"p_art.ml:check" ();
+  Jaaru.Ctx.check t.ctx ~label:"p_art.ml:check depth" (d <= key_bytes) "tree too deep";
+  if is_leaf p then begin
+    let k = leaf_key t p in
+    (* The leaf's key must match every byte of the path that led to it. *)
+    List.iteri
+      (fun i b ->
+        Jaaru.Ctx.check t.ctx ~label:"p_art.ml:check route" (byte_of k i = b)
+          "leaf key inconsistent with its path")
+      (List.rev prefix)
+  end
+  else begin
+    let ty = node_type t p in
+    Jaaru.Ctx.check t.ctx ~label:"p_art.ml:check type"
+      (ty = node4 || ty = node16 || ty = node256)
+      "node type corrupt";
+    let lk = load64 t "p_art.ml:check lock" (p + nd_lock) in
+    Jaaru.Ctx.check t.ctx ~label:"p_art.ml:check lock" (lk = 0 || lk = 1) "lock word corrupt";
+    if ty = node256 then
+      for b = 0 to 255 do
+        let child = load64 t "p_art.ml:check child256" (p + nd_children node256 + (8 * b)) in
+        if child <> 0 then check_node t child ~prefix:(b :: prefix) ~d:(d + 1)
+      done
+    else begin
+      let c = node_count t p in
+      Jaaru.Ctx.check t.ctx ~label:"p_art.ml:check count" (c >= 0 && c <= ty) "count corrupt";
+      for i = 0 to c - 1 do
+        let b = read_key_byte t p i in
+        Jaaru.Ctx.check t.ctx ~label:"p_art.ml:check byte" (b >= 0 && b <= 0xff)
+          "key byte corrupt";
+        let child = read_child t p i in
+        (* A zero child is a deletion tombstone. *)
+        if child <> 0 then check_node t child ~prefix:(b :: prefix) ~d:(d + 1)
+      done
+    end
+  end
+
+let check t =
+  Jaaru.Ctx.check t.ctx ~label:"p_art.ml:check magic"
+    (load64 t "p_art.ml:read magic" (t.base + off_magic) = magic_value)
+    "magic word corrupt";
+  let root = load64 t "p_art.ml:read root" (root_slot t) in
+  Jaaru.Ctx.check t.ctx ~label:"p_art.ml:check root"
+    (Region_alloc.contains_object t.alloc (untag root))
+    "root outside the heap";
+  check_node t root ~prefix:[] ~d:0

@@ -1,0 +1,48 @@
+(** P-ART — a persistent adaptive radix tree (RECIPE benchmark).
+
+    32-bit keys are consumed a byte at a time through Node4 / Node16 inner
+    nodes (growing adaptively) down to tagged leaf records. Entry additions
+    persist the child pointer and key byte before the count-commit store;
+    node growth persists the replacement node before the single parent-slot
+    swap. Inner nodes carry a ROWEX-style lock word that writers take around
+    mutations; recovery walks the tree and clears every lock before the
+    first operation.
+
+    Toggles seed the paper's three P-ART bugs (Fig. 13 #7–9): the epoch
+    machinery deferring flushes through a volatile (DRAM) list that a crash
+    empties, a missing flush in the tree constructor, and recovery relying
+    on a volatile structure to find locks to release. *)
+
+type bugs = {
+  epoch_volatile_flush : bool;
+      (** New nodes register in a volatile epoch list whose deferred flushes
+          a crash silently drops. *)
+  ctor_skip_root_flush : bool;  (** Tree constructor: root slot not flushed. *)
+  volatile_lock_recovery : bool;
+      (** Recovery consults a volatile pending-unlock list (empty after a
+          crash) instead of sweeping the tree for leaked locks. *)
+}
+
+val no_bugs : bugs
+
+type t
+
+val create_or_open : ?bugs:bugs -> ?alloc_bugs:Region_alloc.bugs -> Jaaru.Ctx.t -> t
+
+val insert : t -> int -> int -> unit
+(** Keys must be in [1, 2^32). *)
+
+val epoch_end : t -> unit
+(** Flushes everything the (buggy) volatile epoch deferred. A no-op in the
+    fixed configuration, whose constructors flush eagerly. *)
+
+val lookup : t -> int -> int option
+
+val remove : t -> int -> unit
+(** Zeroes the leaf's routing slot — a single atomic commit store. In
+    Node4/16 the key byte remains as a tombstone that later inserts reuse;
+    empty spine nodes are not collapsed. *)
+
+val check : t -> unit
+(** Recovery verification: node kinds and counts, key bytes consistent with
+    the descent path, leaf keys routed correctly, locks clear. *)

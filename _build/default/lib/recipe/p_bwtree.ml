@@ -1,0 +1,313 @@
+type bugs = {
+  gc_nonatomic : bool;
+  missing_gc_head_flush : bool;
+  missing_gc_link_flush : bool;
+  ctor_skip_flush : bool;
+}
+
+let no_bugs =
+  {
+    gc_nonatomic = false;
+    missing_gc_head_flush = false;
+    missing_gc_link_flush = false;
+    ctor_skip_flush = false;
+  }
+
+let magic_value = 0xb37e
+let base_capacity = 32
+let consolidate_after = 4
+
+(* Metadata line at the region base. *)
+let off_magic = 0
+let off_mapping = 64
+let off_gc_head = 128 (* head and count on separate lines: flushing one
+   must not persist the other *)
+let off_gc_count = 192
+
+(* Uniform node header: type, GC link. *)
+let type_base = 1
+let type_delta = 2
+let type_delete = 3
+let nd_type = 0
+let nd_gc_next = 8
+
+(* Base node: header, key count, then key/value pairs. *)
+let base_nkeys = 16
+let base_entry i = 24 + (16 * i)
+let base_size = 24 + (16 * base_capacity)
+
+(* Insert delta: header, key, value, chain link. *)
+let d_key = 16
+let d_val = 24
+let d_next = 32
+let delta_size = 40
+
+type t = { ctx : Jaaru.Ctx.t; base : Pmem.Addr.t; alloc : Region_alloc.t; bugs : bugs }
+
+let store64 t label addr v = Jaaru.Ctx.store64 t.ctx ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 t.ctx ~label addr
+let flush t label addr size = Jaaru.Ctx.clflush t.ctx ~label addr size
+let fence t label = Jaaru.Ctx.sfence t.ctx ~label ()
+
+let mapping_slot t = load64 t "p_bwtree.ml:read mapping" (t.base + off_mapping)
+let head t = load64 t "p_bwtree.ml:read head" (mapping_slot t)
+let node_type t n = load64 t "p_bwtree.ml:type" (n + nd_type)
+
+let new_base t entries =
+  let n = Region_alloc.alloc t.alloc ~label:"p_bwtree.ml:alloc base" base_size in
+  store64 t "p_bwtree.ml:base type" (n + nd_type) type_base;
+  store64 t "p_bwtree.ml:base gc" (n + nd_gc_next) 0;
+  store64 t "p_bwtree.ml:base nkeys" (n + base_nkeys) (List.length entries);
+  List.iteri
+    (fun i (k, v) ->
+      store64 t "p_bwtree.ml:base key" (n + base_entry i) k;
+      store64 t "p_bwtree.ml:base val" (n + base_entry i + 8) v)
+    entries;
+  (* Zero the unused tail so recovery never reads allocator poison. *)
+  for i = List.length entries to base_capacity - 1 do
+    store64 t "p_bwtree.ml:base pad" (n + base_entry i) 0;
+    store64 t "p_bwtree.ml:base pad" (n + base_entry i + 8) 0
+  done;
+  flush t "p_bwtree.ml:flush base" n base_size;
+  fence t "p_bwtree.ml:fence base";
+  n
+
+let create_or_open ?(bugs = no_bugs) ?alloc_bugs ctx =
+  let region = Jaaru.Ctx.region ctx in
+  let base = region.Pmem.Region.base in
+  let alloc =
+    Region_alloc.create_or_open ?bugs:alloc_bugs ctx ~base:(base + 256)
+      ~limit:(Pmem.Region.limit region)
+  in
+  let t = { ctx; base; alloc; bugs } in
+  if load64 t "p_bwtree.ml:read magic" (base + off_magic) <> magic_value then begin
+    (* A one-slot mapping table pointing at an empty base node. *)
+    let map = Region_alloc.alloc t.alloc ~label:"p_bwtree.ml:alloc mapping" 8 in
+    let b0 = new_base t [] in
+    store64 t "p_bwtree.ml:ctor slot" map b0;
+    store64 t "p_bwtree.ml:ctor mapping" (base + off_mapping) map;
+    store64 t "p_bwtree.ml:ctor gc head" (base + off_gc_head) 0;
+    store64 t "p_bwtree.ml:ctor gc count" (base + off_gc_count) 0;
+    if not bugs.ctor_skip_flush then begin
+      flush t "p_bwtree.ml:flush ctor slot" map 8;
+      flush t "p_bwtree.ml:flush ctor meta" (base + off_mapping) 8;
+      flush t "p_bwtree.ml:flush ctor gc" (base + off_gc_head) 8;
+      flush t "p_bwtree.ml:flush ctor gc count" (base + off_gc_count) 8;
+      fence t "p_bwtree.ml:fence ctor"
+    end;
+    store64 t "p_bwtree.ml:ctor magic" (base + off_magic) magic_value;
+    flush t "p_bwtree.ml:flush magic" (base + off_magic) 8;
+    fence t "p_bwtree.ml:fence magic"
+  end;
+  t
+
+(* --- chain access ---------------------------------------------------------- *)
+
+let fold_chain t f acc =
+  let rec walk n acc depth =
+    Jaaru.Ctx.progress t.ctx ~label:"p_bwtree.ml:chain" ();
+    Jaaru.Ctx.check t.ctx ~label:"p_bwtree.ml:chain depth" (depth < 1024) "delta chain unbounded";
+    let ty = node_type t n in
+    Jaaru.Ctx.check t.ctx ~label:"p_bwtree.ml:chain type"
+      (ty = type_base || ty = type_delta || ty = type_delete)
+      "node type corrupt";
+    if ty = type_delta then
+      let acc = f (`Delta n) acc in
+      walk (load64 t "p_bwtree.ml:delta next" (n + d_next)) acc (depth + 1)
+    else if ty = type_delete then
+      let acc = f (`Delete n) acc in
+      walk (load64 t "p_bwtree.ml:delta next" (n + d_next)) acc (depth + 1)
+    else f (`Base n) acc
+  in
+  walk (head t) acc 0
+
+let lookup t k =
+  (* The newest chain entry for the key wins; a delete delta hides anything
+     older, including the base. *)
+  let result =
+    fold_chain t
+      (fun node acc ->
+        match (node, acc) with
+        | _, Some _ -> acc
+        | `Delta d, None ->
+            if load64 t "p_bwtree.ml:lookup dkey" (d + d_key) = k then
+              Some (Some (load64 t "p_bwtree.ml:lookup dval" (d + d_val)))
+            else None
+        | `Delete d, None ->
+            if load64 t "p_bwtree.ml:lookup delkey" (d + d_key) = k then Some None else None
+        | `Base b, None ->
+            let n = load64 t "p_bwtree.ml:lookup nkeys" (b + base_nkeys) in
+            let rec scan i =
+              if i >= n then None
+              else if load64 t "p_bwtree.ml:lookup bkey" (b + base_entry i) = k then
+                Some (Some (load64 t "p_bwtree.ml:lookup bval" (b + base_entry i + 8)))
+              else scan (i + 1)
+            in
+            scan 0)
+      None
+  in
+  Option.join result
+
+let chain_length t =
+  fold_chain t
+    (fun node n -> match node with `Delta _ | `Delete _ -> n + 1 | `Base _ -> n)
+    0
+
+(* Retire a replaced chain onto the persistent GC list. The fixed protocol
+   persists the retired node's link before the head swings to it, and the
+   count only moves after the head is durable. *)
+let gc_retire t old_head =
+  let gc_head = load64 t "p_bwtree.ml:gc read head" (t.base + off_gc_head) in
+  let gc_count = load64 t "p_bwtree.ml:gc read count" (t.base + off_gc_count) in
+  if t.bugs.gc_nonatomic then begin
+    (* Atomicity violation: count first, flushed, then the head. *)
+    store64 t "p_bwtree.ml:gc count early" (t.base + off_gc_count) (gc_count + 1);
+    flush t "p_bwtree.ml:gc flush count early" (t.base + off_gc_count) 8;
+    fence t "p_bwtree.ml:gc fence count early"
+  end;
+  store64 t "p_bwtree.ml:gc link" (old_head + nd_gc_next) gc_head;
+  if not t.bugs.missing_gc_link_flush then begin
+    flush t "p_bwtree.ml:gc flush link" (old_head + nd_gc_next) 8;
+    fence t "p_bwtree.ml:gc fence link"
+  end;
+  store64 t "p_bwtree.ml:gc head" (t.base + off_gc_head) old_head;
+  if not t.bugs.missing_gc_head_flush then begin
+    flush t "p_bwtree.ml:gc flush head" (t.base + off_gc_head) 8;
+    fence t "p_bwtree.ml:gc fence head"
+  end;
+  if not t.bugs.gc_nonatomic then begin
+    store64 t "p_bwtree.ml:gc count" (t.base + off_gc_count) (gc_count + 1);
+    flush t "p_bwtree.ml:gc flush count" (t.base + off_gc_count) 8;
+    fence t "p_bwtree.ml:gc fence count"
+  end
+
+(* Merge the chain into a fresh base and publish it in the mapping slot. *)
+let consolidate t =
+  let old_head = head t in
+  let deltas, base_node =
+    fold_chain t
+      (fun node (ds, bn) ->
+        match node with
+        | `Delta d ->
+            let k = load64 t "p_bwtree.ml:cons dkey" (d + d_key) in
+            let v = load64 t "p_bwtree.ml:cons dval" (d + d_val) in
+            ((k, Some v) :: ds, bn)
+        | `Delete d ->
+            let k = load64 t "p_bwtree.ml:cons delkey" (d + d_key) in
+            ((k, None) :: ds, bn)
+        | `Base b -> (ds, Some b))
+      ([], None)
+  in
+  let deltas = List.rev deltas (* newest first: first occurrence wins *) in
+  let base_entries =
+    match base_node with
+    | None -> []
+    | Some b ->
+        let n = load64 t "p_bwtree.ml:cons nkeys" (b + base_nkeys) in
+        List.init n (fun i ->
+            ( load64 t "p_bwtree.ml:cons bkey" (b + base_entry i),
+              Some (load64 t "p_bwtree.ml:cons bval" (b + base_entry i + 8)) ))
+  in
+  (* First (newest) binding wins; delete-delta bindings drop the key. *)
+  let merged =
+    List.fold_left
+      (fun acc (k, v) -> if List.mem_assoc k acc then acc else (k, v) :: acc)
+      [] (deltas @ base_entries)
+  in
+  let merged =
+    List.sort compare (List.filter_map (fun (k, v) -> Option.map (fun v -> (k, v)) v) merged)
+  in
+  Jaaru.Ctx.check t.ctx ~label:"p_bwtree.ml:capacity"
+    (List.length merged <= base_capacity)
+    "base node capacity exceeded";
+  let nb = new_base t merged in
+  store64 t "p_bwtree.ml:publish base" (mapping_slot t) nb;
+  flush t "p_bwtree.ml:flush publish" (mapping_slot t) 8;
+  fence t "p_bwtree.ml:fence publish";
+  gc_retire t old_head
+
+(* Prepend one fully persisted delta; the mapping-slot store commits it. *)
+let prepend_delta t ~ty k v =
+  let d = Region_alloc.alloc t.alloc ~label:"p_bwtree.ml:alloc delta" delta_size in
+  store64 t "p_bwtree.ml:delta type" (d + nd_type) ty;
+  store64 t "p_bwtree.ml:delta gc" (d + nd_gc_next) 0;
+  store64 t "p_bwtree.ml:delta key" (d + d_key) k;
+  store64 t "p_bwtree.ml:delta val" (d + d_val) v;
+  store64 t "p_bwtree.ml:delta next" (d + d_next) (head t);
+  flush t "p_bwtree.ml:flush delta" d delta_size;
+  fence t "p_bwtree.ml:fence delta";
+  store64 t "p_bwtree.ml:prepend" (mapping_slot t) d;
+  flush t "p_bwtree.ml:flush prepend" (mapping_slot t) 8;
+  fence t "p_bwtree.ml:fence prepend";
+  if chain_length t > consolidate_after then consolidate t
+
+let insert t k v =
+  Jaaru.Ctx.check t.ctx ~label:"p_bwtree.ml:insert" (k <> 0) "keys must be non-zero";
+  prepend_delta t ~ty:type_delta k v
+
+let remove t k =
+  Jaaru.Ctx.check t.ctx ~label:"p_bwtree.ml:remove" (k <> 0) "keys must be non-zero";
+  prepend_delta t ~ty:type_delete k 0
+
+let gc_pending t = load64 t "p_bwtree.ml:read gc count" (t.base + off_gc_count)
+
+let check t =
+  Jaaru.Ctx.check t.ctx ~label:"p_bwtree.ml:check magic"
+    (load64 t "p_bwtree.ml:read magic" (t.base + off_magic) = magic_value)
+    "magic word corrupt";
+  let map = mapping_slot t in
+  Jaaru.Ctx.check t.ctx ~label:"p_bwtree.ml:check mapping"
+    (Region_alloc.contains_object t.alloc map)
+    "mapping table outside the heap";
+  (* The chain must be well typed and end in a sorted base node. *)
+  ignore
+    (fold_chain t
+       (fun node () ->
+         match node with
+         | `Delta d | `Delete d ->
+             Jaaru.Ctx.check t.ctx ~label:"p_bwtree.ml:check delta"
+               (load64 t "p_bwtree.ml:check dkey" (d + d_key) <> 0)
+               "delta with a zero key"
+         | `Base b ->
+             let n = load64 t "p_bwtree.ml:check nkeys" (b + base_nkeys) in
+             Jaaru.Ctx.check t.ctx ~label:"p_bwtree.ml:check nkeys"
+               (n >= 0 && n <= base_capacity)
+               "base key count corrupt";
+             let rec sorted i last =
+               if i < n then begin
+                 let k = load64 t "p_bwtree.ml:check bkey" (b + base_entry i) in
+                 Jaaru.Ctx.check t.ctx ~label:"p_bwtree.ml:check sorted" (k > last)
+                   "base keys not strictly sorted";
+                 sorted (i + 1) k
+               end
+             in
+             sorted 0 0)
+       ());
+  (* GC metadata: the list length must match the persisted count. *)
+  let count = gc_pending t in
+  Jaaru.Ctx.check t.ctx ~label:"p_bwtree.ml:check gc count" (count >= 0 && count <= 1_000_000)
+    "gc count corrupt";
+  let rec walk n seen =
+    if n = 0 then seen
+    else begin
+      Jaaru.Ctx.progress t.ctx ~label:"p_bwtree.ml:check gc" ();
+      Jaaru.Ctx.check t.ctx ~label:"p_bwtree.ml:check gc node"
+        (Region_alloc.contains_object t.alloc n)
+        "gc list entry outside the heap";
+      Jaaru.Ctx.check t.ctx ~label:"p_bwtree.ml:gc" (seen < count + 2)
+        "gc list longer than its persisted count";
+      walk (load64 t "p_bwtree.ml:check gc next" (n + nd_gc_next)) (seen + 1)
+    end
+  in
+  let seen = walk (load64 t "p_bwtree.ml:check gc head" (t.base + off_gc_head)) 0 in
+  (* One retire may have been in flight: the head can be durable one step
+     ahead of the count. Anything else is the GC atomicity bug; the valid
+     lag is repaired here, as recovery would. *)
+  Jaaru.Ctx.check t.ctx ~label:"p_bwtree.ml:gc"
+    (seen = count || seen = count + 1)
+    "gc list length inconsistent with its persisted count";
+  if seen <> count then begin
+    store64 t "p_bwtree.ml:gc repair" (t.base + off_gc_count) seen;
+    flush t "p_bwtree.ml:gc flush repair" (t.base + off_gc_count) 8;
+    fence t "p_bwtree.ml:gc fence repair"
+  end

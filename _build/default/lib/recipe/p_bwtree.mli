@@ -1,0 +1,43 @@
+(** P-BwTree — a persistent Bw-tree slice (RECIPE benchmark).
+
+    A mapping table indirects every logical node; writers prepend insert
+    deltas to a node's chain with a single mapping-slot commit, and long
+    chains are consolidated into a fresh base node published the same way.
+    Retired chains go onto a persistent garbage-collection list whose head
+    pointer and count must be updated crash-consistently.
+
+    Toggles seed the paper's five P-BwTree bugs (Fig. 13 #10–14): the GC
+    atomicity violation, missing flushes of the GC metadata pointer and the
+    GC metadata, and — together with {!Region_alloc.bugs} — the
+    AllocationMeta and BwTree constructor flushes. *)
+
+type bugs = {
+  gc_nonatomic : bool;
+      (** The GC count commits before the list head: a crash in between
+          leaves the metadata inconsistent (Fig. 13 #10). *)
+  missing_gc_head_flush : bool;  (** GC list-head store not flushed (#11). *)
+  missing_gc_link_flush : bool;  (** retired node's GC link not flushed (#12). *)
+  ctor_skip_flush : bool;  (** mapping table / tree metadata not flushed (#14). *)
+}
+
+val no_bugs : bugs
+
+type t
+
+val create_or_open : ?bugs:bugs -> ?alloc_bugs:Region_alloc.bugs -> Jaaru.Ctx.t -> t
+
+val insert : t -> int -> int -> unit
+(** Keys must be non-zero. Consolidation triggers on chains longer than 4. *)
+
+val lookup : t -> int -> int option
+
+val remove : t -> int -> unit
+(** Prepends a delete delta — the Bw-tree's native removal mechanism. The
+    key disappears at the next consolidation. *)
+
+val check : t -> unit
+(** Recovery verification: mapping slot and chain sane, base node sorted,
+    GC list consistent with its count. *)
+
+val gc_pending : t -> int
+(** Number of retired chains awaiting GC (reads PM). *)

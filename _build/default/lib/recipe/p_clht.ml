@@ -1,0 +1,244 @@
+type bugs = {
+  ctor_skip_meta_flush : bool;
+  skip_ht_flush : bool;
+  skip_table_flush : bool;
+  skip_lock_reset : bool;
+}
+
+let no_bugs =
+  {
+    ctor_skip_meta_flush = false;
+    skip_ht_flush = false;
+    skip_table_flush = false;
+    skip_lock_reset = false;
+  }
+
+let magic_value = 0xc147
+let slots_per_bucket = 3
+
+(* Metadata line at the region base. *)
+let off_magic = 0
+let off_ht = 64 (* separate line from the magic commit *)
+
+(* The hashtable object. *)
+let ht_nbuckets = 0
+let ht_table = 8
+let ht_size = 16
+
+(* A bucket is exactly one cache line. *)
+let bk_lock = 0
+let bk_key i = 8 + (8 * i)
+let bk_val i = 32 + (8 * i)
+let bk_next = 56
+let bucket_size = 64
+
+type t = { ctx : Jaaru.Ctx.t; base : Pmem.Addr.t; alloc : Region_alloc.t; bugs : bugs }
+
+let store64 t label addr v = Jaaru.Ctx.store64 t.ctx ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 t.ctx ~label addr
+let flush t label addr size = Jaaru.Ctx.clflush t.ctx ~label addr size
+let fence t label = Jaaru.Ctx.sfence t.ctx ~label ()
+
+let hash k = (k * 0x517cc1b727220a95 land max_int) lsr 17
+
+let ht_ptr t = load64 t "p_clht.ml:read ht" (t.base + off_ht)
+let nbuckets t = load64 t "p_clht.ml:read nbuckets" (ht_ptr t + ht_nbuckets)
+let table t = load64 t "p_clht.ml:read table" (ht_ptr t + ht_table)
+let bucket_addr t k = table t + (bucket_size * (hash k mod nbuckets t))
+
+let new_bucket t =
+  let b = Region_alloc.alloc t.alloc ~label:"p_clht.ml:alloc bucket" bucket_size in
+  for w = 0 to (bucket_size / 8) - 1 do
+    store64 t "p_clht.ml:bucket init" (b + (8 * w)) 0
+  done;
+  flush t "p_clht.ml:flush bucket" b bucket_size;
+  fence t "p_clht.ml:fence bucket";
+  b
+
+let constructor t ~nbuckets:n =
+  let table = Region_alloc.alloc t.alloc ~label:"p_clht.ml:alloc table" (bucket_size * n) in
+  for w = 0 to (bucket_size * n / 8) - 1 do
+    store64 t "p_clht.ml:table init" (table + (8 * w)) 0
+  done;
+  if not t.bugs.skip_table_flush then begin
+    flush t "p_clht.ml:flush table" table (bucket_size * n);
+    fence t "p_clht.ml:fence table"
+  end;
+  let ht = Region_alloc.alloc t.alloc ~label:"p_clht.ml:alloc ht" ht_size in
+  store64 t "p_clht.ml:ht nbuckets" (ht + ht_nbuckets) n;
+  store64 t "p_clht.ml:ht table" (ht + ht_table) table;
+  if not t.bugs.skip_ht_flush then begin
+    flush t "p_clht.ml:flush ht" ht ht_size;
+    fence t "p_clht.ml:fence ht"
+  end;
+  store64 t "p_clht.ml:meta ht" (t.base + off_ht) ht;
+  if not t.bugs.ctor_skip_meta_flush then begin
+    flush t "p_clht.ml:flush meta" (t.base + off_ht) 8;
+    fence t "p_clht.ml:fence meta"
+  end;
+  store64 t "p_clht.ml:meta magic" (t.base + off_magic) magic_value;
+  flush t "p_clht.ml:flush magic" (t.base + off_magic) 8;
+  fence t "p_clht.ml:fence magic"
+
+(* Recovery discipline: locks do not survive a crash; clear every lock word
+   in the table and its overflow chains before any operation. *)
+let reset_locks t =
+  let n = nbuckets t in
+  let tbl = table t in
+  for i = 0 to n - 1 do
+    let rec clear b =
+      Jaaru.Ctx.progress t.ctx ~label:"p_clht.ml:lock reset" ();
+      store64 t "p_clht.ml:clear lock" (b + bk_lock) 0;
+      flush t "p_clht.ml:flush clear lock" (b + bk_lock) 8;
+      let nx = load64 t "p_clht.ml:reset next" (b + bk_next) in
+      if nx <> 0 then clear nx
+    in
+    clear (tbl + (bucket_size * i))
+  done;
+  fence t "p_clht.ml:fence lock reset"
+
+let create_or_open ?(bugs = no_bugs) ?alloc_bugs ?(nbuckets = 4) ctx =
+  let region = Jaaru.Ctx.region ctx in
+  let base = region.Pmem.Region.base in
+  let alloc =
+    Region_alloc.create_or_open ?bugs:alloc_bugs ctx ~base:(base + 128)
+      ~limit:(Pmem.Region.limit region)
+  in
+  let t = { ctx; base; alloc; bugs } in
+  if load64 t "p_clht.ml:read magic" (base + off_magic) <> magic_value then
+    constructor t ~nbuckets
+  else if not bugs.skip_lock_reset then reset_locks t;
+  t
+
+let lock t b =
+  let rec spin () =
+    Jaaru.Ctx.progress t.ctx ~label:"p_clht.ml:lock spin" ();
+    if not (Jaaru.Ctx.cas64 t.ctx ~label:"p_clht.ml:lock cas" (b + bk_lock) ~expected:0 ~desired:1)
+    then spin ()
+  in
+  spin ()
+
+let unlock t b = Jaaru.Ctx.store64 t.ctx ~label:"p_clht.ml:unlock" (b + bk_lock) 0
+
+let lookup t k =
+  let rec walk b =
+    Jaaru.Ctx.progress t.ctx ~label:"p_clht.ml:lookup" ();
+    let rec scan i =
+      if i >= slots_per_bucket then
+        let nx = load64 t "p_clht.ml:lookup next" (b + bk_next) in
+        if nx = 0 then None else walk nx
+      else if load64 t "p_clht.ml:lookup key" (b + bk_key i) = k then
+        Some (load64 t "p_clht.ml:lookup val" (b + bk_val i))
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  walk (bucket_addr t k)
+
+let insert t k v =
+  Jaaru.Ctx.check t.ctx ~label:"p_clht.ml:insert" (k <> 0) "keys must be non-zero";
+  let head = bucket_addr t k in
+  lock t head;
+  let write_slot b i =
+    (* Value before key: the key store is the commit. *)
+    store64 t "p_clht.ml:write val" (b + bk_val i) v;
+    flush t "p_clht.ml:flush val" (b + bk_val i) 8;
+    fence t "p_clht.ml:fence val";
+    store64 t "p_clht.ml:commit key" (b + bk_key i) k;
+    flush t "p_clht.ml:flush key" (b + bk_key i) 8;
+    fence t "p_clht.ml:fence key"
+  in
+  let rec place b =
+    Jaaru.Ctx.progress t.ctx ~label:"p_clht.ml:place" ();
+    let rec scan i empty =
+      if i >= slots_per_bucket then `Chain empty
+      else
+        let sk = load64 t "p_clht.ml:place key" (b + bk_key i) in
+        if sk = k then `Update i
+        else if sk = 0 && empty = None then scan (i + 1) (Some i)
+        else scan (i + 1) empty
+    in
+    match scan 0 None with
+    | `Update i ->
+        store64 t "p_clht.ml:update val" (b + bk_val i) v;
+        flush t "p_clht.ml:flush update" (b + bk_val i) 8;
+        fence t "p_clht.ml:fence update"
+    | `Chain (Some i) -> write_slot b i
+    | `Chain None ->
+        let nx = load64 t "p_clht.ml:place next" (b + bk_next) in
+        if nx <> 0 then place nx
+        else begin
+          (* Persist a fresh overflow bucket carrying the pair, then link. *)
+          let ob = new_bucket t in
+          store64 t "p_clht.ml:overflow val" (ob + bk_val 0) v;
+          store64 t "p_clht.ml:overflow key" (ob + bk_key 0) k;
+          flush t "p_clht.ml:flush overflow" ob bucket_size;
+          fence t "p_clht.ml:fence overflow";
+          store64 t "p_clht.ml:link overflow" (b + bk_next) ob;
+          flush t "p_clht.ml:flush link" (b + bk_next) 8;
+          fence t "p_clht.ml:fence link"
+        end
+  in
+  place head;
+  unlock t head
+
+let remove t k =
+  let head = bucket_addr t k in
+  lock t head;
+  let rec walk b =
+    Jaaru.Ctx.progress t.ctx ~label:"p_clht.ml:remove" ();
+    let rec scan i =
+      if i >= slots_per_bucket then begin
+        let nx = load64 t "p_clht.ml:remove next" (b + bk_next) in
+        if nx <> 0 then walk nx
+      end
+      else if load64 t "p_clht.ml:remove key" (b + bk_key i) = k then begin
+        store64 t "p_clht.ml:clear key" (b + bk_key i) 0;
+        flush t "p_clht.ml:flush clear" (b + bk_key i) 8;
+        fence t "p_clht.ml:fence clear"
+      end
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  walk head;
+  unlock t head
+
+let check t =
+  Jaaru.Ctx.check t.ctx ~label:"p_clht.ml:check magic"
+    (load64 t "p_clht.ml:read magic" (t.base + off_magic) = magic_value)
+    "magic word corrupt";
+  let ht = ht_ptr t in
+  Jaaru.Ctx.check t.ctx ~label:"p_clht.ml:check ht"
+    (Region_alloc.contains_object t.alloc ht)
+    "hashtable object outside the heap";
+  let n = nbuckets t in
+  Jaaru.Ctx.check t.ctx ~label:"p_clht.ml:check nbuckets" (n > 0 && n <= 65536)
+    "bucket count corrupt";
+  let tbl = table t in
+  Jaaru.Ctx.check t.ctx ~label:"p_clht.ml:check table"
+    (Region_alloc.contains_object t.alloc tbl)
+    "bucket array outside the heap";
+  for i = 0 to n - 1 do
+    let rec walk b =
+      Jaaru.Ctx.progress t.ctx ~label:"p_clht.ml:check walk" ();
+      let lk = load64 t "p_clht.ml:check lock" (b + bk_lock) in
+      Jaaru.Ctx.check t.ctx ~label:"p_clht.ml:check lockword" (lk = 0 || lk = 1)
+        "lock word corrupt";
+      for s = 0 to slots_per_bucket - 1 do
+        let k = load64 t "p_clht.ml:check key" (b + bk_key s) in
+        if k <> 0 then
+          Jaaru.Ctx.check t.ctx ~label:"p_clht.ml:check routing"
+            (hash k mod n = i)
+            "occupied slot in the wrong bucket"
+      done;
+      let nx = load64 t "p_clht.ml:check next" (b + bk_next) in
+      if nx <> 0 then begin
+        Jaaru.Ctx.check t.ctx ~label:"p_clht.ml:check chain"
+          (Region_alloc.contains_object t.alloc nx)
+          "overflow pointer outside the heap";
+        walk nx
+      end
+    in
+    walk (tbl + (bucket_size * i))
+  done

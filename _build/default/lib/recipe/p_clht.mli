@@ -1,0 +1,36 @@
+(** P-CLHT — a persistent cache-line hash table (RECIPE benchmark).
+
+    One bucket is one cache line: a lock word, three key/value slot pairs and
+    an overflow pointer. Inserts take the bucket lock, persist the value
+    before the key-commit store, and link fully-persisted overflow buckets
+    with a single pointer store. Locks are volatile in spirit: recovery
+    walks the table and resets every lock word before the first operation.
+
+    Toggles seed the paper's three P-CLHT bugs (Fig. 13 #15–17): missing
+    flushes in the clht constructor, the hashtable object and the hashtable
+    array — plus [skip_lock_reset], which turns a crash inside a critical
+    section into the paper's "stuck in an infinite loop" manifestation. *)
+
+type bugs = {
+  ctor_skip_meta_flush : bool;  (** clht constructor: root pointer not flushed *)
+  skip_ht_flush : bool;  (** hashtable object (bucket count / table pointer) *)
+  skip_table_flush : bool;  (** bucket array initialisation *)
+  skip_lock_reset : bool;  (** recovery does not clear persisted lock words *)
+}
+
+val no_bugs : bugs
+
+type t
+
+val create_or_open : ?bugs:bugs -> ?alloc_bugs:Region_alloc.bugs -> ?nbuckets:int -> Jaaru.Ctx.t -> t
+
+val insert : t -> int -> int -> unit
+(** Keys must be non-zero. Spins on the bucket lock (the checker's loop
+    detector reports a lock leaked across a crash). *)
+
+val lookup : t -> int -> int option
+val remove : t -> int -> unit
+
+val check : t -> unit
+(** Recovery verification: metadata sane, locks clear, every occupied slot
+    routed to its bucket, overflow chains valid. *)

@@ -1,0 +1,182 @@
+type bugs = { flush_object_not_pointer : bool }
+
+let no_bugs = { flush_object_not_pointer = false }
+
+let magic_value = 0x3a55
+let slots = 8
+
+(* Metadata line at the region base. *)
+let off_magic = 0
+let off_root = 64 (* separate line from the magic commit *)
+
+(* Layer node: key count, next-node chain, then key and link arrays. *)
+let nd_nkeys = 0
+let nd_next = 8
+let nd_key i = 16 + (8 * i)
+let nd_link i = 16 + (8 * slots) + (8 * i)
+let node_size = 16 + (16 * slots)
+
+type t = { ctx : Jaaru.Ctx.t; base : Pmem.Addr.t; alloc : Region_alloc.t; bugs : bugs }
+
+let store64 t label addr v = Jaaru.Ctx.store64 t.ctx ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 t.ctx ~label addr
+let flush t label addr size = Jaaru.Ctx.clflush t.ctx ~label addr size
+let fence t label = Jaaru.Ctx.sfence t.ctx ~label ()
+
+let new_node t =
+  let n = Region_alloc.alloc t.alloc ~label:"p_masstree.ml:alloc node" node_size in
+  for w = 0 to (node_size / 8) - 1 do
+    store64 t "p_masstree.ml:node init" (n + (8 * w)) 0
+  done;
+  flush t "p_masstree.ml:flush node" n node_size;
+  fence t "p_masstree.ml:fence node";
+  n
+
+let create_or_open ?(bugs = no_bugs) ?alloc_bugs ctx =
+  let region = Jaaru.Ctx.region ctx in
+  let base = region.Pmem.Region.base in
+  let alloc =
+    Region_alloc.create_or_open ?bugs:alloc_bugs ctx ~base:(base + 128)
+      ~limit:(Pmem.Region.limit region)
+  in
+  let t = { ctx; base; alloc; bugs } in
+  if load64 t "p_masstree.ml:read magic" (base + off_magic) <> magic_value then begin
+    let root = new_node t in
+    store64 t "p_masstree.ml:ctor root" (base + off_root) root;
+    flush t "p_masstree.ml:flush root" (base + off_root) 8;
+    fence t "p_masstree.ml:fence root";
+    store64 t "p_masstree.ml:ctor magic" (base + off_magic) magic_value;
+    flush t "p_masstree.ml:flush magic" (base + off_magic) 8;
+    fence t "p_masstree.ml:fence magic"
+  end;
+  t
+
+let root t = load64 t "p_masstree.ml:read root" (t.base + off_root)
+
+(* Find a key's link slot within a layer's node chain. *)
+let find_in_layer t first key =
+  let rec walk n =
+    Jaaru.Ctx.progress t.ctx ~label:"p_masstree.ml:layer walk" ();
+    let c = load64 t "p_masstree.ml:read nkeys" (n + nd_nkeys) in
+    Jaaru.Ctx.check t.ctx ~label:"p_masstree.ml:nkeys sanity" (c >= 0 && c <= slots)
+      "node key count corrupt";
+    let rec scan i =
+      if i >= c then
+        let nx = load64 t "p_masstree.ml:read next" (n + nd_next) in
+        if nx = 0 then `Absent n else walk nx
+      else if load64 t "p_masstree.ml:read key" (n + nd_key i) = key then `Found (n + nd_link i)
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  walk first
+
+(* Append (key, link) to the layer: link slot persists first, the key-count
+   commit makes the entry visible. A full tail grows the chain with a fresh
+   persisted node before the next pointer publishes it. *)
+let rec add_entry t node key link ~flush_link_slot =
+  let c = load64 t "p_masstree.ml:add nkeys" (node + nd_nkeys) in
+  if c >= slots then begin
+    let fresh = new_node t in
+    store64 t "p_masstree.ml:grow link" (node + nd_next) fresh;
+    flush t "p_masstree.ml:flush grow" (node + nd_next) 8;
+    fence t "p_masstree.ml:fence grow";
+    add_entry t fresh key link ~flush_link_slot
+  end
+  else begin
+    store64 t "p_masstree.ml:add key" (node + nd_key c) key;
+    store64 t "p_masstree.ml:add link" (node + nd_link c) link;
+    flush t "p_masstree.ml:flush key" (node + nd_key c) 8;
+    flush_link_slot (node + nd_link c);
+    fence t "p_masstree.ml:fence entry";
+    store64 t "p_masstree.ml:commit nkeys" (node + nd_nkeys) (c + 1);
+    flush t "p_masstree.ml:flush nkeys" (node + nd_nkeys) 8;
+    fence t "p_masstree.ml:fence nkeys"
+  end
+
+let insert t ~slice0 ~slice1 v =
+  Jaaru.Ctx.check t.ctx ~label:"p_masstree.ml:insert"
+    (slice0 <> 0 && slice1 <> 0 && v <> 0)
+    "slices and value must be non-zero";
+  let layer1 =
+    match find_in_layer t (root t) slice0 with
+    | `Found slot -> load64 t "p_masstree.ml:read layer link" slot
+    | `Absent tail ->
+        let l1 = new_node t in
+        let flush_link_slot slot_addr =
+          if t.bugs.flush_object_not_pointer then
+            (* The bug: flush the referenced node again, not the pointer. *)
+            flush t "p_masstree.ml:flush object (bug)" l1 node_size
+          else flush t "p_masstree.ml:flush link slot" slot_addr 8
+        in
+        add_entry t tail slice0 l1 ~flush_link_slot;
+        l1
+  in
+  Jaaru.Ctx.check t.ctx ~label:"p_masstree.ml:layer sane"
+    (Region_alloc.contains_object t.alloc layer1)
+    "second-layer pointer outside the heap";
+  match find_in_layer t layer1 slice1 with
+  | `Found slot ->
+      store64 t "p_masstree.ml:update value" slot v;
+      flush t "p_masstree.ml:flush update" slot 8;
+      fence t "p_masstree.ml:fence update"
+  | `Absent tail ->
+      add_entry t tail slice1 v ~flush_link_slot:(fun slot_addr ->
+          flush t "p_masstree.ml:flush value slot" slot_addr 8)
+
+let remove t ~slice0 ~slice1 =
+  match find_in_layer t (root t) slice0 with
+  | `Absent _ -> ()
+  | `Found slot -> (
+      let layer1 = load64 t "p_masstree.ml:remove layer" slot in
+      match find_in_layer t layer1 slice1 with
+      | `Absent _ -> ()
+      | `Found vslot ->
+          (* A zero value is the absence tombstone; the single 8-byte store
+             is the atomic commit. *)
+          store64 t "p_masstree.ml:remove tombstone" vslot 0;
+          flush t "p_masstree.ml:flush remove" vslot 8;
+          fence t "p_masstree.ml:fence remove")
+
+let lookup t ~slice0 ~slice1 =
+  match find_in_layer t (root t) slice0 with
+  | `Absent _ -> None
+  | `Found slot -> (
+      let layer1 = load64 t "p_masstree.ml:lookup layer" slot in
+      match find_in_layer t layer1 slice1 with
+      | `Absent _ -> None
+      | `Found vslot ->
+          let v = load64 t "p_masstree.ml:lookup value" vslot in
+          if v = 0 then None else Some v)
+
+let check t =
+  Jaaru.Ctx.check t.ctx ~label:"p_masstree.ml:check magic"
+    (load64 t "p_masstree.ml:read magic" (t.base + off_magic) = magic_value)
+    "magic word corrupt";
+  let check_layer first ~on_link =
+    let rec walk n =
+      Jaaru.Ctx.progress t.ctx ~label:"p_masstree.ml:check walk" ();
+      Jaaru.Ctx.check t.ctx ~label:"p_masstree.ml:check node"
+        (Region_alloc.contains_object t.alloc n)
+        "layer node outside the heap";
+      let c = load64 t "p_masstree.ml:check nkeys" (n + nd_nkeys) in
+      Jaaru.Ctx.check t.ctx ~label:"p_masstree.ml:check count" (c >= 0 && c <= slots)
+        "node key count corrupt";
+      for i = 0 to c - 1 do
+        let k = load64 t "p_masstree.ml:check key" (n + nd_key i) in
+        Jaaru.Ctx.check t.ctx ~label:"p_masstree.ml:check key" (k <> 0)
+          "committed entry with a zero key";
+        on_link (load64 t "p_masstree.ml:check link" (n + nd_link i))
+      done;
+      let nx = load64 t "p_masstree.ml:check next" (n + nd_next) in
+      if nx <> 0 then walk nx
+    in
+    walk first
+  in
+  check_layer (root t) ~on_link:(fun l1 ->
+      Jaaru.Ctx.check t.ctx ~label:"p_masstree.ml:check layer link"
+        (Region_alloc.contains_object t.alloc l1)
+        "layer link outside the heap";
+      (* Zero values are removal tombstones, so any value is acceptable in
+         the second layer. *)
+      check_layer l1 ~on_link:(fun _ -> ()))

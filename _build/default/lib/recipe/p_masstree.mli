@@ -1,0 +1,36 @@
+(** P-Masstree — a persistent two-layer masstree slice (RECIPE benchmark).
+
+    Keys are two 8-byte slices. The first layer maps slice 0 to a
+    second-layer node; the second layer maps slice 1 to the value. Each
+    layer is a chain of 8-slot nodes; entry insertion persists the link
+    before the key-commit store, and fresh nodes are persisted before the
+    chain pointer publishes them.
+
+    The toggle seeds the paper's P-Masstree bug (Fig. 13 #18, "Flushed
+    referenced object instead of pointer"): when linking a new second-layer
+    node the code flushes the {e node} (again) instead of the 8-byte slot
+    holding the pointer to it. *)
+
+type bugs = {
+  flush_object_not_pointer : bool;
+      (** Flush the referenced layer node instead of the pointer slot. *)
+}
+
+val no_bugs : bugs
+
+type t
+
+val create_or_open : ?bugs:bugs -> ?alloc_bugs:Region_alloc.bugs -> Jaaru.Ctx.t -> t
+
+val insert : t -> slice0:int -> slice1:int -> int -> unit
+(** Both slices must be non-zero; the value must be non-zero. *)
+
+val remove : t -> slice0:int -> slice1:int -> unit
+(** Stores the zero tombstone over the value slot — a single atomic commit;
+    the slot is revived in place by a later insert of the same key. *)
+
+val lookup : t -> slice0:int -> slice1:int -> int option
+
+val check : t -> unit
+(** Recovery verification: node shapes and layer links valid (zero values
+    are removal tombstones and legal). *)

@@ -1,0 +1,58 @@
+type bugs = { missing_meta_flush : bool; missing_bump_flush : bool }
+
+let no_bugs = { missing_meta_flush = false; missing_bump_flush = false }
+
+let magic_value = 0x52414c4c4f43 (* "RALLOC" *)
+let off_magic = 0
+let off_bump = 64 (* its own line: flushing the magic must not persist the bump *)
+
+type t = { ctx : Jaaru.Ctx.t; base : Pmem.Addr.t; limit : Pmem.Addr.t; bugs : bugs }
+
+let store64 t label addr v = Jaaru.Ctx.store64 t.ctx ~label addr v
+let load64 t label addr = Jaaru.Ctx.load64 t.ctx ~label addr
+let flush t label addr size = Jaaru.Ctx.clflush t.ctx ~label addr size
+let fence t label = Jaaru.Ctx.sfence t.ctx ~label ()
+
+let create_or_open ?(bugs = no_bugs) ctx ~base ~limit =
+  let t = { ctx; base; limit; bugs } in
+  let magic = load64 t "region_alloc.ml:read magic" (base + off_magic) in
+  if magic <> magic_value then begin
+    store64 t "region_alloc.ml:init bump" (base + off_bump) (base + 128);
+    if not bugs.missing_meta_flush then begin
+      flush t "region_alloc.ml:flush bump" (base + off_bump) 8;
+      fence t "region_alloc.ml:fence bump"
+    end;
+    store64 t "region_alloc.ml:init magic" (base + off_magic) magic_value;
+    flush t "region_alloc.ml:flush magic" (base + off_magic) 8;
+    fence t "region_alloc.ml:fence magic"
+  end;
+  t
+
+let align_up n a = (n + a - 1) / a * a
+
+let alloc t ?(label = "region_alloc.ml:alloc") size =
+  let size = align_up (max size 8) 16 in
+  let p = load64 t "region_alloc.ml:read bump" (t.base + off_bump) in
+  Jaaru.Ctx.check t.ctx ~label:"region_alloc.ml:sanity"
+    (p >= t.base + 128 && p <= t.limit)
+    "allocator bump pointer corrupt";
+  Jaaru.Ctx.check t.ctx ~label:"region_alloc.ml:oom" (p + size <= t.limit)
+    "persistent region exhausted";
+  store64 t label (t.base + off_bump) (p + size);
+  if not t.bugs.missing_bump_flush then begin
+    flush t "region_alloc.ml:flush alloc" (t.base + off_bump) 8;
+    fence t "region_alloc.ml:fence alloc"
+  end;
+  (* Model recycled, DRAM-dirty memory: scribble an out-of-region poison
+     pattern with plain (unflushed) stores. A constructor that flushes its
+     initialisation hides the poison from every post-crash reader; one that
+     forgets the flush lets recovery observe it — exactly how RECIPE's
+     missing-constructor-flush bugs manifest on recycled allocations. *)
+  for word = 0 to (size / 8) - 1 do
+    store64 t "region_alloc.ml:poison" (p + (8 * word)) 0x6b6b6b6b6b6b
+  done;
+  p
+
+let end_of_heap t = load64 t "region_alloc.ml:read bump" (t.base + off_bump)
+
+let contains_object t p = p >= t.base + 128 && p < end_of_heap t

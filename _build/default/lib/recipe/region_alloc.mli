@@ -1,0 +1,35 @@
+(** The persistent bump allocator backing the RECIPE indexes.
+
+    RECIPE's indexes allocate from a persistent memory pool whose allocation
+    metadata must itself be crash consistent. This is a minimal such
+    allocator: a root block holding a magic word and the bump pointer. The
+    bump advance is flushed before control returns, so an object handed out
+    before a crash is still accounted for afterwards; several of the paper's
+    P-BwTree bugs (Fig. 13 #13, "Missing flush in AllocationMeta
+    constructor") live exactly here. *)
+
+type bugs = {
+  missing_meta_flush : bool;
+      (** The allocator constructor does not flush the bump pointer before
+          committing the magic word. *)
+  missing_bump_flush : bool;  (** Allocations do not flush the bump advance. *)
+}
+
+val no_bugs : bugs
+
+type t
+
+val create_or_open : ?bugs:bugs -> Jaaru.Ctx.t -> base:Pmem.Addr.t -> limit:Pmem.Addr.t -> t
+(** Metadata occupies two cache lines at [base] (the magic commit and the
+    bump pointer must not share a line); objects are carved from
+    [base + 128] up to [limit]. *)
+
+val alloc : t -> ?label:string -> int -> Pmem.Addr.t
+(** 16-byte-aligned allocation. Fails the checker when the region is
+    exhausted. *)
+
+val end_of_heap : t -> Pmem.Addr.t
+(** Current committed bump pointer (reads PM). *)
+
+val contains_object : t -> Pmem.Addr.t -> bool
+(** Whether an address lies inside the allocated part of the region. *)

@@ -1,0 +1,32 @@
+(** Ready-made failure scenarios over the RECIPE mini-suite.
+
+    [fig13_cases] seeds the eighteen bugs of the paper's Fig. 13 (one case
+    per row, same numbering); [fixed_cases] are the bug-free variants used
+    for the Fig. 14 state-space-reduction experiment. *)
+
+type case = {
+  id : string;  (** e.g. "CCEH-1" — the paper's Fig. 15 bug id *)
+  benchmark : string;  (** e.g. "CCEH" *)
+  description : string;  (** the paper's Fig. 13 "type of bug" text *)
+  expected_symptom : string list option;
+      (** fragments, at least one of which must appear in a reported
+          symptom; [None] for fixed variants that must verify clean *)
+  scenario : Jaaru.Explorer.scenario;
+  config : Jaaru.Config.t;
+}
+
+val fig13_cases : unit -> case list
+val fixed_cases : unit -> case list
+
+val fixed_scenario : string -> int -> Jaaru.Explorer.scenario
+(** [fixed_scenario benchmark n] builds the bug-free scenario for one of
+    "CCEH", "FAST_FAIR", "P-ART", "P-BwTree", "P-CLHT", "P-Masstree" with an
+    [n]-key workload — the knob behind the Fig. 14 sweep. Raises
+    [Invalid_argument] on an unknown name. *)
+
+val concurrent_cases : unit -> case list
+(** Multithreaded P-CLHT workloads (two writers under the cooperative
+    scheduler): a correct lock-protected variant and a racy one whose bug
+    only some schedules expose — inputs for schedule fuzzing. *)
+
+val find : case list -> string -> case

@@ -1,0 +1,1 @@
+lib/tso/constraints.ml: Format List String

@@ -1,0 +1,1 @@
+lib/tso/constraints.mli: Format

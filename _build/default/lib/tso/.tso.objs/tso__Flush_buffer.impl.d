@@ -1,0 +1,1 @@
+lib/tso/flush_buffer.ml: List Pmem Queue

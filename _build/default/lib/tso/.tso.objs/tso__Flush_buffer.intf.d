@@ -1,0 +1,1 @@
+lib/tso/flush_buffer.mli: Pmem

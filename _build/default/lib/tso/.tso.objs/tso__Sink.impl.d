@@ -1,0 +1,1 @@
+lib/tso/sink.ml: Exec Pmem

@@ -1,0 +1,1 @@
+lib/tso/sink.mli: Exec Pmem

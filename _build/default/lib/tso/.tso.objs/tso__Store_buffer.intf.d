@@ -1,0 +1,1 @@
+lib/tso/store_buffer.mli: Pmem

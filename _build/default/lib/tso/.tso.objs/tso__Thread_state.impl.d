@@ -1,0 +1,1 @@
+lib/tso/thread_state.ml: Array Flush_buffer Hashtbl List Option Pmem Sink Store_buffer

@@ -1,0 +1,1 @@
+lib/tso/thread_state.mli: Flush_buffer Pmem Sink Store_buffer

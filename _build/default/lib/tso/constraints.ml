@@ -1,0 +1,58 @@
+type kind = Read | Write | Rmw | Mfence | Sfence | Clflushopt | Clflush
+
+type ordering = Ordered | Reorderable | Same_line_only
+
+let all_kinds = [ Read; Write; Rmw; Mfence; Sfence; Clflushopt; Clflush ]
+
+let kind_name = function
+  | Read -> "Read"
+  | Write -> "Write"
+  | Rmw -> "RMW"
+  | Mfence -> "mfence"
+  | Sfence -> "sfence"
+  | Clflushopt -> "clflushopt"
+  | Clflush -> "clflush"
+
+let ordering_symbol = function
+  | Ordered -> "Y"
+  | Reorderable -> "N"
+  | Same_line_only -> "CL"
+
+let preserved ~earlier ~later =
+  match (earlier, later) with
+  (* Reads, RMWs and mfences are ordered against everything later. *)
+  | (Read | Rmw | Mfence), _ -> Ordered
+  (* A later read may bypass earlier buffered stores, fences and flushes
+     (store-buffer forwarding / load reordering on TSO). *)
+  | (Write | Sfence | Clflushopt | Clflush), Read -> Reorderable
+  (* Stores stay ordered among themselves and against clflush; a clflushopt
+     may move above a store to a different line. *)
+  | Write, (Write | Rmw | Mfence | Sfence | Clflush) -> Ordered
+  | Write, Clflushopt -> Same_line_only
+  (* sfence orders all later store-class operations. *)
+  | Sfence, (Write | Rmw | Mfence | Sfence | Clflushopt | Clflush) -> Ordered
+  (* clflushopt is weakly ordered: later stores, other clflushopts and
+     clflushes to other lines may overtake it; RMW, mfence and sfence drain
+     the flush buffer. *)
+  | Clflushopt, (Write | Clflushopt) -> Reorderable
+  | Clflushopt, (Rmw | Mfence | Sfence) -> Ordered
+  | Clflushopt, Clflush -> Same_line_only
+  (* clflush behaves like a store: ordered, except against clflushopt where
+     only same-line order is kept. *)
+  | Clflush, (Write | Rmw | Mfence | Sfence | Clflush) -> Ordered
+  | Clflush, Clflushopt -> Same_line_only
+
+let pp_table ppf () =
+  let pad s n = s ^ String.make (max 0 (n - String.length s)) ' ' in
+  Format.fprintf ppf "%s" (pad "earlier \\ later" 16);
+  List.iter (fun k -> Format.fprintf ppf "%s" (pad (kind_name k) 12)) all_kinds;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun earlier ->
+      Format.fprintf ppf "%s" (pad (kind_name earlier) 16);
+      List.iter
+        (fun later ->
+          Format.fprintf ppf "%s" (pad (ordering_symbol (preserved ~earlier ~later)) 12))
+        all_kinds;
+      Format.fprintf ppf "@.")
+    all_kinds

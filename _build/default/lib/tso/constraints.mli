@@ -1,0 +1,25 @@
+(** The Px86sim reordering-constraint matrix (paper Table 1).
+
+    For a pair of instructions (earlier, later) in program order, the matrix
+    states whether the Px86sim model preserves their order. [Same_line_only]
+    is the table's "CL": order is preserved only when both operate on the same
+    cache line. The simulator in {!Thread_state} implements these constraints
+    operationally (store buffer + flush buffer); this module is the
+    declarative form, used by the litmus tests to check the two agree and by
+    the bench harness to print the table. *)
+
+type kind = Read | Write | Rmw | Mfence | Sfence | Clflushopt | Clflush
+
+type ordering = Ordered | Reorderable | Same_line_only
+
+val preserved : earlier:kind -> later:kind -> ordering
+
+val all_kinds : kind list
+(** In the table's row/column order. *)
+
+val kind_name : kind -> string
+val ordering_symbol : ordering -> string
+(** "Y", "N", or "CL". *)
+
+val pp_table : Format.formatter -> unit -> unit
+(** Prints the full 7x7 matrix in the paper's layout. *)

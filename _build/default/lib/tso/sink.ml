@@ -1,0 +1,18 @@
+type t = {
+  next_seq : unit -> int;
+  cur_seq : unit -> int;
+  push_store : Pmem.Addr.t -> value:int -> seq:int -> label:string -> unit;
+  flush_line : Pmem.Addr.t -> seq:int -> unit;
+}
+
+let to_exec_record ~seq record =
+  {
+    next_seq =
+      (fun () ->
+        incr seq;
+        !seq);
+    cur_seq = (fun () -> !seq);
+    push_store =
+      (fun addr ~value ~seq ~label -> Exec.Exec_record.push_store record addr ~value ~seq ~label);
+    flush_line = (fun addr ~seq -> Exec.Exec_record.flush_line record addr ~seq);
+  }

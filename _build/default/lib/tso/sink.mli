@@ -1,0 +1,22 @@
+(** Where evicted instructions take effect.
+
+    The store-buffer machinery is independent of the model checker: evictions
+    report their effects (cache-visible stores and line flushes) through this
+    record, which the checker wires to the top of its execution stack. Keeping
+    the dependency inverted makes the TSO simulation unit-testable on its
+    own. *)
+
+type t = {
+  next_seq : unit -> int;
+      (** Draws the next global sequence number (the paper's σ_curr + 1). *)
+  cur_seq : unit -> int;
+      (** Reads the current global sequence number without advancing it. *)
+  push_store : Pmem.Addr.t -> value:int -> seq:int -> label:string -> unit;
+      (** One byte store takes effect in the cache. *)
+  flush_line : Pmem.Addr.t -> seq:int -> unit;
+      (** The byte's cache line is guaranteed written back at or after [seq]. *)
+}
+
+val to_exec_record : seq:int ref -> Exec.Exec_record.t -> t
+(** The standard wiring: sequence numbers from [seq], effects into the given
+    execution record. *)

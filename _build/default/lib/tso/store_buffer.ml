@@ -1,0 +1,31 @@
+type entry =
+  | Store of { addr : Pmem.Addr.t; bytes : int array; label : string }
+  | Clflush of { addr : Pmem.Addr.t; label : string }
+  | Clflushopt of { addr : Pmem.Addr.t; enq_seq : int; label : string }
+  | Sfence
+
+type t = { q : entry Queue.t }
+
+let create () = { q = Queue.create () }
+let is_empty sb = Queue.is_empty sb.q
+let length sb = Queue.length sb.q
+let enqueue sb e = Queue.add e sb.q
+let dequeue sb = Queue.take_opt sb.q
+
+let bypass sb a =
+  (* Newest matching store wins: scan the whole FIFO, keep the last hit. *)
+  Queue.fold
+    (fun acc e ->
+      match e with
+      | Store { addr; bytes; label } when a >= addr && a < addr + Array.length bytes ->
+          Some (bytes.(a - addr), label)
+      | Store _ | Clflush _ | Clflushopt _ | Sfence -> acc)
+    None sb.q
+
+let pending_writes sb =
+  Queue.fold
+    (fun acc e -> acc || match e with Store _ -> true | Clflush _ | Clflushopt _ | Sfence -> false)
+    false sb.q
+
+let entries sb = List.of_seq (Queue.to_seq sb.q)
+let clear sb = Queue.clear sb.q

@@ -1,0 +1,39 @@
+(** A per-thread x86-TSO store buffer.
+
+    Stores, [clflush]es, [clflushopt]s and [sfence]s are buffered in FIFO
+    order when executed and take effect in the cache only when evicted
+    (paper Fig. 1 and Fig. 7). Loads forward from the newest buffered store to
+    the same byte (store-buffer bypass). *)
+
+type entry =
+  | Store of { addr : Pmem.Addr.t; bytes : int array; label : string }
+      (** A possibly multi-byte store; [bytes] are the little-endian byte
+          values written starting at [addr]. All bytes hit the cache
+          atomically with one sequence number. *)
+  | Clflush of { addr : Pmem.Addr.t; label : string }
+  | Clflushopt of { addr : Pmem.Addr.t; enq_seq : int; label : string }
+      (** [enq_seq] is σ_curr captured when the instruction executed
+          (Fig. 7, Exec_CLFLUSHOPT). *)
+  | Sfence
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val length : t -> int
+val enqueue : t -> entry -> unit
+
+val dequeue : t -> entry option
+(** Oldest entry, removed. *)
+
+val bypass : t -> Pmem.Addr.t -> (int * string) option
+(** [bypass sb a] is the value (and store label) the newest buffered store
+    writes to byte [a], if any — the TSO load-forwarding path. *)
+
+val pending_writes : t -> bool
+(** Whether any buffered entry is a store. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val clear : t -> unit

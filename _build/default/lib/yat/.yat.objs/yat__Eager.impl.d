@@ -1,0 +1,1 @@
+lib/yat/eager.ml: Exec Hashtbl Jaaru List Option Pmem Printexc

@@ -1,0 +1,1 @@
+lib/yat/eager.mli: Jaaru

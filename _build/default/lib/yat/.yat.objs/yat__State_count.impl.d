@@ -1,0 +1,1 @@
+lib/yat/state_count.ml: Exec Format Hashtbl Jaaru List Pmem

@@ -1,0 +1,1 @@
+lib/yat/state_count.mli: Exec Format Jaaru

@@ -1,0 +1,32 @@
+(** Analytic counting of the post-failure states an eager model checker (Yat,
+    paper §1 and §5.2) would have to enumerate.
+
+    At a failure point, each cache line with [k] store events that are not
+    certainly persisted can be in [k + 1] distinct persistent states (the
+    content at the last guaranteed flush, plus the content after each
+    unflushed store — the paper's "array of n integers has 9^(n/8) states"
+    calculation). The number of memory states at the point is the product
+    over lines, and the Yat execution count for a program is the sum over
+    its failure-injection points. The counts overflow native integers (the
+    paper reports up to 1.93x10^605), so everything is carried in log10. *)
+
+type t = {
+  log10_total : float;  (** log10 of the summed state count; [neg_infinity] for 0 *)
+  failure_points : int;
+  max_line_states : int;  (** largest per-line state count seen at any point *)
+}
+
+val log10_states_at : Exec.Exec_record.t -> float
+(** log10 of the number of post-failure memory states of one execution
+    record at this instant. 0.0 when everything is persisted (one state). *)
+
+val analyze : ?config:Jaaru.Config.t -> (Jaaru.Ctx.t -> unit) -> t
+(** Runs the pre-failure program once (no failures actually injected),
+    evaluating the eager state count at every failure-injection point Jaaru
+    would use. *)
+
+val pp_count : Format.formatter -> float -> unit
+(** Pretty-prints a log10 count in the paper's ["2.17x10^182"] style (plain
+    decimal below 10^6). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_bug_coverage.ml: Alcotest Bug Config Ctx Explorer Format Jaaru List Pmdk Recipe Stats

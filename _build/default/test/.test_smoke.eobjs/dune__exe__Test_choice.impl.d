@@ -1,0 +1,1 @@
+test/test_choice.ml: Alcotest Choice Gen Jaaru List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ctx.ml: Alcotest Bug Config Ctx Explorer Jaaru List Printf Scheduler Stats String Yat

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Exec Gen List Option Pmem Printf QCheck QCheck_alcotest

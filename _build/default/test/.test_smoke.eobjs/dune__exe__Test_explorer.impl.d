@@ -1,0 +1,1 @@
+test/test_explorer.ml: Alcotest Bug Config Ctx Explorer Format Fuzz Jaaru List Stats String Trace

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Config Ctx Explorer Format Jaaru List Recipe Stats String

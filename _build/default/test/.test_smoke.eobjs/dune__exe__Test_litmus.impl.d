@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Config Ctx Jaaru Printf Yat

@@ -1,0 +1,1 @@
+test/test_pmdk_suite.ml: Alcotest Bug Config Ctx Explorer Format Jaaru List Pmdk Stats String

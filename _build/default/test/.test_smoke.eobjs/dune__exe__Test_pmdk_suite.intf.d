@@ -1,0 +1,1 @@
+test/test_pmdk_suite.mli:

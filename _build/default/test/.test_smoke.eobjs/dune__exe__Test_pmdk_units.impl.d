@@ -1,0 +1,1 @@
+test/test_pmdk_units.ml: Alcotest Bug Config Ctx Explorer Format Jaaru List Pmdk Pmem Printf Stats

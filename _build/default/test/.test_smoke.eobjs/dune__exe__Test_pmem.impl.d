@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Gen List Pmem QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Bug Config Ctx Explorer Format Gen Int Jaaru List Map Pmdk Printf QCheck QCheck_alcotest Recipe Stats String Yat

@@ -1,0 +1,1 @@
+test/test_recipe_suite.ml: Alcotest Bug Config Ctx Explorer Format Jaaru List Recipe Stats String

@@ -1,0 +1,1 @@
+test/test_recipe_suite.mli:

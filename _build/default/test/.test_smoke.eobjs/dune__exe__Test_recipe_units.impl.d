@@ -1,0 +1,1 @@
+test/test_recipe_units.ml: Alcotest Bug Config Ctx Explorer Format Jaaru List Pmem Printf Recipe Stats

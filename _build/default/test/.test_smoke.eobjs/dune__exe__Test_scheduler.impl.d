@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Jaaru List Printf Scheduler

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Ctx Explorer Format Jaaru List Printf Stats Yat

@@ -1,0 +1,1 @@
+test/test_tso.ml: Alcotest Exec List Option Pmem Tso

@@ -1,0 +1,1 @@
+test/test_yat.ml: Alcotest Ctx Explorer Format Jaaru Printf Recipe Yat

@@ -1,0 +1,209 @@
+(* Every seeded bug toggle in the tree must be findable by the checker —
+   this suite covers the toggles the Fig. 12/13 case tables do not use. *)
+open Jaaru
+
+let bug_config =
+  { Config.default with Config.stop_at_first_bug = true; Config.max_steps = 60_000 }
+
+let expect_bug name scenario =
+  let o = Explorer.run ~config:bug_config scenario in
+  if not (Explorer.found_bug o) then
+    Alcotest.failf "%s: seeded bug was not found (%d executions)" name
+      o.Explorer.stats.Stats.executions
+
+let expect_clean name scenario =
+  let o = Explorer.run ~config:{ bug_config with Config.stop_at_first_bug = false } scenario in
+  List.iter (fun b -> Format.printf "%s unexpected: %a@." name Bug.pp b) o.Explorer.bugs;
+  Alcotest.(check bool) (name ^ " clean") false (Explorer.found_bug o)
+
+let keys n = List.init n (fun i -> ((i * 13) mod 61) + 1)
+
+(* --- btree: missing_root_flush ------------------------------------------------ *)
+
+let btree_missing_root_flush () =
+  (* Losing the new-root pointer is SILENT data loss (the surviving subtree
+     is internally consistent — the paper's §5.1 remark about missing sanity
+     checks). The workload therefore carries a durability oracle: each
+     insert is fully fenced before the next begins, so the set of present
+     keys must be a prefix of the insertion order. A reverted root makes
+     mid-sequence keys vanish while later ones survive. *)
+  let bugs = { Pmdk.Btree_map.no_bugs with missing_root_flush = true } in
+  let ks = keys 8 in
+  let pre ctx =
+    let t = Pmdk.Btree_map.create_or_open ~bugs ctx in
+    List.iter (fun k -> Pmdk.Btree_map.insert t k k) ks
+  in
+  let post ctx =
+    let t = Pmdk.Btree_map.create_or_open ~bugs ctx in
+    Pmdk.Btree_map.check t;
+    let present = List.map (fun k -> Pmdk.Btree_map.lookup t k <> None) ks in
+    let rec prefix_shape = function
+      | true :: rest -> prefix_shape rest
+      | [] -> true
+      | false :: rest -> List.for_all not rest
+    in
+    Ctx.check ctx (prefix_shape present) "durable keys must form an insertion-order prefix"
+  in
+  expect_bug "btree root flush" (Explorer.scenario ~name:"btree-root" ~pre ~post)
+
+(* --- ctree: missing_leaf_flush ------------------------------------------------- *)
+
+let ctree_missing_leaf_flush () =
+  let bugs = { Pmdk.Ctree_map.no_bugs with missing_leaf_flush = true } in
+  let pre ctx =
+    let t = Pmdk.Ctree_map.create_or_open ~bugs ctx in
+    List.iter (fun k -> Pmdk.Ctree_map.insert t k (k + 1000)) (keys 6)
+  in
+  let post ctx =
+    let t = Pmdk.Ctree_map.create_or_open ~bugs ctx in
+    Pmdk.Ctree_map.check t;
+    List.iter
+      (fun k ->
+        match Pmdk.Ctree_map.lookup t k with
+        | Some v -> Ctx.check ctx (v = k + 1000) "value corrupt"
+        | None -> ())
+      (keys 6)
+  in
+  expect_bug "ctree leaf flush" (Explorer.scenario ~name:"ctree-leaf" ~pre ~post)
+
+(* --- hashmap_atomic: missing_entry_flush ---------------------------------------- *)
+
+let hashmap_missing_entry_flush () =
+  let bugs = { Pmdk.Hashmap_atomic.missing_entry_flush = true } in
+  let pre ctx =
+    let t = Pmdk.Hashmap_atomic.create_or_open ~bugs ctx in
+    List.iter (fun k -> Pmdk.Hashmap_atomic.insert t k (k + 1000)) (keys 6)
+  in
+  let post ctx =
+    let t = Pmdk.Hashmap_atomic.create_or_open ~bugs ctx in
+    Pmdk.Hashmap_atomic.check t;
+    List.iter
+      (fun k ->
+        match Pmdk.Hashmap_atomic.lookup t k with
+        | Some v -> Ctx.check ctx (v = k + 1000) "value corrupt"
+        | None -> ())
+      (keys 6)
+  in
+  expect_bug "hashmap entry flush" (Explorer.scenario ~name:"hma-entry" ~pre ~post)
+
+(* --- pmalloc: missing_init_flush -------------------------------------------------- *)
+
+let pmalloc_missing_init_flush () =
+  (* The heap constructor's bump/free-head are unflushed when the magic
+     commits; the next execution's allocations go off the rails. The pool is
+     zero-initialised (not poisoned), so the window is the magic line flush
+     that can persist while the init line does not across a crash between
+     the two allocator uses. *)
+  let alloc_bugs = { Pmdk.Pmalloc.no_bugs with missing_init_flush = true } in
+  let pre ctx =
+    let t = Pmdk.Hashmap_atomic.create_or_open ~alloc_bugs ctx in
+    List.iter (fun k -> Pmdk.Hashmap_atomic.insert t k k) (keys 4)
+  in
+  let post ctx =
+    let t = Pmdk.Hashmap_atomic.create_or_open ~alloc_bugs ctx in
+    Pmdk.Hashmap_atomic.check t;
+    (* Recovery-side allocation exercises the possibly-stale bump pointer:
+       handing out memory that live entries occupy corrupts them. *)
+    Pmdk.Hashmap_atomic.insert t 251 77;
+    Pmdk.Hashmap_atomic.check t;
+    List.iter
+      (fun k ->
+        match Pmdk.Hashmap_atomic.lookup t k with
+        | Some v -> Ctx.check ctx (v = k) "value corrupt"
+        | None -> ())
+      (keys 4)
+  in
+  expect_bug "pmalloc init flush" (Explorer.scenario ~name:"pmalloc-init" ~pre ~post)
+
+(* --- tx: missing_log_flush and missing_stage_flush -------------------------------- *)
+
+let tx_scenario tx_bugs =
+  let pre ctx =
+    let t = Pmdk.Rbtree_map.create_or_open ~tx_bugs ctx in
+    List.iter (fun k -> Pmdk.Rbtree_map.insert t k (k * 10)) (keys 8)
+  in
+  let post ctx =
+    let t = Pmdk.Rbtree_map.create_or_open ~tx_bugs ctx in
+    Pmdk.Rbtree_map.check t;
+    List.iter
+      (fun k ->
+        match Pmdk.Rbtree_map.lookup t k with
+        | Some v -> Ctx.check ctx (v = k * 10) "value corrupt"
+        | None -> ())
+      (keys 8)
+  in
+  Explorer.scenario ~name:"tx-bugs" ~pre ~post
+
+let tx_missing_log_flush () =
+  expect_bug "tx log flush" (tx_scenario { Pmdk.Tx.no_bugs with missing_log_flush = true })
+
+let tx_missing_stage_flush () =
+  expect_bug "tx stage flush" (tx_scenario { Pmdk.Tx.no_bugs with missing_stage_flush = true })
+
+(* --- region_alloc: missing_bump_flush ----------------------------------------------- *)
+
+let region_alloc_missing_bump_flush () =
+  let alloc_bugs = { Recipe.Region_alloc.no_bugs with missing_bump_flush = true } in
+  let pre ctx =
+    let t = Recipe.Fast_fair.create_or_open ~alloc_bugs ctx in
+    List.iter (fun k -> Recipe.Fast_fair.insert t k k) (keys 6)
+  in
+  let post ctx =
+    let t = Recipe.Fast_fair.create_or_open ~alloc_bugs ctx in
+    Recipe.Fast_fair.check t;
+    (* A recovery-side insert allocates from the stale bump pointer and can
+       scribble over a committed node. *)
+    Recipe.Fast_fair.insert t 97 97;
+    Recipe.Fast_fair.check t;
+    List.iter
+      (fun k ->
+        match Recipe.Fast_fair.lookup t k with
+        | Some v -> Ctx.check ctx (v = k) "value corrupt"
+        | None -> ())
+      (keys 6)
+  in
+  expect_bug "region_alloc bump flush" (Explorer.scenario ~name:"ralloc-bump" ~pre ~post)
+
+(* --- p_clht: skip_table_flush ---------------------------------------------------------- *)
+
+let clht_skip_table_flush () =
+  let bugs = { Recipe.P_clht.no_bugs with skip_table_flush = true } in
+  let pre ctx =
+    let t = Recipe.P_clht.create_or_open ~bugs ctx in
+    List.iter (fun k -> Recipe.P_clht.insert t k k) (keys 4)
+  in
+  let post ctx =
+    let t = Recipe.P_clht.create_or_open ~bugs ctx in
+    Recipe.P_clht.check t
+  in
+  expect_bug "clht table flush" (Explorer.scenario ~name:"clht-table" ~pre ~post)
+
+(* --- sanity: all-false toggles stay clean ----------------------------------------------- *)
+
+let all_toggles_off_clean () =
+  let pre ctx =
+    let t = Pmdk.Btree_map.create_or_open ~bugs:Pmdk.Btree_map.no_bugs ctx in
+    List.iter (fun k -> Pmdk.Btree_map.insert t k k) (keys 4)
+  in
+  let post ctx =
+    let t = Pmdk.Btree_map.create_or_open ctx in
+    Pmdk.Btree_map.check t
+  in
+  expect_clean "no-bugs btree" (Explorer.scenario ~name:"clean" ~pre ~post)
+
+let () =
+  Alcotest.run "bug-coverage"
+    [
+      ( "remaining-toggles",
+        [
+          Alcotest.test_case "btree missing_root_flush" `Quick btree_missing_root_flush;
+          Alcotest.test_case "ctree missing_leaf_flush" `Quick ctree_missing_leaf_flush;
+          Alcotest.test_case "hashmap missing_entry_flush" `Quick hashmap_missing_entry_flush;
+          Alcotest.test_case "pmalloc missing_init_flush" `Quick pmalloc_missing_init_flush;
+          Alcotest.test_case "tx missing_log_flush" `Quick tx_missing_log_flush;
+          Alcotest.test_case "tx missing_stage_flush" `Quick tx_missing_stage_flush;
+          Alcotest.test_case "region_alloc missing_bump_flush" `Quick region_alloc_missing_bump_flush;
+          Alcotest.test_case "clht skip_table_flush" `Quick clht_skip_table_flush;
+          Alcotest.test_case "all toggles off" `Quick all_toggles_off_clean;
+        ] );
+    ]

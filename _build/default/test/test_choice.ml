@@ -1,0 +1,127 @@
+(* The replay DFS: completeness, ordering, truncation, divergence. *)
+open Jaaru
+
+(* Drive a "program" that consumes a fixed shape of decisions and record
+   every complete path. *)
+let enumerate shape =
+  let choice = Choice.create () in
+  let paths = ref [] in
+  let stop = ref false in
+  while not !stop do
+    Choice.begin_replay choice;
+    let path = List.map (fun n -> Choice.choose choice Choice.Read_from n) shape in
+    paths := path :: !paths;
+    if not (Choice.advance choice) then stop := true
+  done;
+  List.rev !paths
+
+let test_exhaustive_product () =
+  let paths = enumerate [ 2; 3 ] in
+  Alcotest.(check int) "count" 6 (List.length paths);
+  Alcotest.(check bool) "all distinct" true
+    (List.length (List.sort_uniq compare paths) = 6);
+  Alcotest.(check (list (list int))) "first is all-defaults" [ [ 0; 0 ] ]
+    [ List.hd paths ]
+
+let test_single_alternative_no_branch () =
+  let paths = enumerate [ 1; 1; 1 ] in
+  Alcotest.(check int) "one path" 1 (List.length paths)
+
+let test_dependent_tree () =
+  (* The second decision exists only on one branch of the first: the DFS
+     must truncate the record correctly. *)
+  let choice = Choice.create () in
+  let paths = ref [] in
+  let stop = ref false in
+  while not !stop do
+    Choice.begin_replay choice;
+    let a = Choice.choose choice Choice.Failure_point 2 in
+    let path = if a = 0 then [ a ] else [ a; Choice.choose choice Choice.Read_from 3 ] in
+    paths := path :: !paths;
+    if not (Choice.advance choice) then stop := true
+  done;
+  let paths = List.rev !paths in
+  Alcotest.(check (list (list int)))
+    "four leaves" [ [ 0 ]; [ 1; 0 ]; [ 1; 1 ]; [ 1; 2 ] ] paths
+
+let test_early_termination_truncates () =
+  (* A replay may end (e.g. a bug) before consuming recorded decisions; the
+     stale suffix must be dropped. *)
+  let choice = Choice.create () in
+  let visits = ref [] in
+  let stop = ref false in
+  while not !stop do
+    Choice.begin_replay choice;
+    let a = Choice.choose choice Choice.Read_from 2 in
+    (* On branch a=0 consume a second decision; on a=1 "crash" early. *)
+    let b = if a = 0 then Some (Choice.choose choice Choice.Read_from 2) else None in
+    visits := (a, b) :: !visits;
+    if not (Choice.advance choice) then stop := true
+  done;
+  Alcotest.(check (list (pair int (option int))))
+    "paths" [ (0, Some 0); (0, Some 1); (1, None) ] (List.rev !visits)
+
+let test_divergence_detection () =
+  let choice = Choice.create () in
+  Choice.begin_replay choice;
+  ignore (Choice.choose choice Choice.Read_from 2);
+  ignore (Choice.advance choice);
+  Choice.begin_replay choice;
+  (* Same position now claims a different arity: the program under test is
+     nondeterministic. *)
+  (match Choice.choose choice Choice.Read_from 3 with
+  | _ -> Alcotest.fail "expected Divergence"
+  | exception Choice.Divergence _ -> ());
+  (* Kind mismatches too. *)
+  let choice = Choice.create () in
+  Choice.begin_replay choice;
+  ignore (Choice.choose choice Choice.Read_from 2);
+  ignore (Choice.advance choice);
+  Choice.begin_replay choice;
+  match Choice.choose choice Choice.Failure_point 2 with
+  | _ -> Alcotest.fail "expected Divergence on kind"
+  | exception Choice.Divergence _ -> ()
+
+let test_created_counters () =
+  let choice = Choice.create () in
+  let stop = ref false in
+  while not !stop do
+    Choice.begin_replay choice;
+    ignore (Choice.choose choice Choice.Failure_point 2);
+    ignore (Choice.choose choice Choice.Read_from 2);
+    if not (Choice.advance choice) then stop := true
+  done;
+  Alcotest.(check int) "fp decisions" 1 (Choice.created choice Choice.Failure_point);
+  (* The rf decision is re-created on the second fp branch. *)
+  Alcotest.(check int) "rf decisions" 2 (Choice.created choice Choice.Read_from)
+
+let test_invalid_arity () =
+  let choice = Choice.create () in
+  Choice.begin_replay choice;
+  Alcotest.check_raises "zero alternatives" (Invalid_argument "Choice.choose: no alternatives")
+    (fun () -> ignore (Choice.choose choice Choice.Read_from 0))
+
+let prop_dfs_visits_full_product =
+  QCheck.Test.make ~name:"DFS visits the full cartesian product" ~count:50
+    QCheck.(list_of_size (Gen.int_range 0 5) (int_range 1 4))
+    (fun shape ->
+      let paths = enumerate shape in
+      let expected = List.fold_left (fun acc n -> acc * n) 1 shape in
+      List.length paths = expected
+      && List.length (List.sort_uniq compare paths) = expected)
+
+let () =
+  Alcotest.run "choice"
+    [
+      ( "dfs",
+        [
+          Alcotest.test_case "exhaustive product" `Quick test_exhaustive_product;
+          Alcotest.test_case "single alternative" `Quick test_single_alternative_no_branch;
+          Alcotest.test_case "dependent tree" `Quick test_dependent_tree;
+          Alcotest.test_case "early termination" `Quick test_early_termination_truncates;
+          Alcotest.test_case "divergence" `Quick test_divergence_detection;
+          Alcotest.test_case "created counters" `Quick test_created_counters;
+          Alcotest.test_case "invalid arity" `Quick test_invalid_arity;
+          QCheck_alcotest.to_alcotest prop_dfs_visits_full_product;
+        ] );
+    ]

