@@ -1,0 +1,27 @@
+# Development entry points. `make check` is the tier-1 verify: full build,
+# the whole test suite (which includes the jobs>1 determinism tests in
+# test_parallel.ml), and a CLI smoke run of the parallel explorer.
+
+.PHONY: all build test check parallel-smoke bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Exercise parallel mode end-to-end on every verify: one seeded-bug case and
+# one clean workload, both explored with several domains.
+parallel-smoke: build
+	dune exec bin/jaaru_cli.exe -- check pmdk-1 --jobs 3
+	dune exec bin/jaaru_cli.exe -- perf --benchmark P-CLHT -n 3 --jobs 3
+
+check: build test parallel-smoke
+
+bench: build
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -6,6 +6,8 @@
      fig13/15 - bugs found in RECIPE (+ manifestation detail)
      fig14    - Jaaru state-space reduction vs. the eager (Yat) baseline,
                 with a Bechamel timing run per benchmark
+     scaling  - domain-parallel exploration: jobs=1 vs jobs=N wall time and
+                the determinism cross-check
      ablation - constraint refinement / commit-store design points
 
    Run with no arguments for everything, or pass section names. *)
@@ -25,7 +27,7 @@ let table1 () =
 
 let table2 () =
   section_header "Table 2: system configuration";
-  Format.printf "CPU                 %d-core host (the simulation itself is single-threaded)@."
+  Format.printf "CPU                 %d-core host (exploration parallelises across domains: --jobs)@."
     (Domain.recommended_domain_count ());
   Format.printf "Volatile memory     host RAM@.";
   Format.printf "Non-volatile memory full Px86sim semantics simulated (store buffers,@.";
@@ -141,6 +143,48 @@ let fig14_bechamel () =
          match Analyze.OLS.estimates result with
          | Some [ ns ] -> Format.printf "%-24s %10.3f ms / full exploration@." name (ns /. 1e6)
          | Some _ | None -> Format.printf "%-24s (no estimate)@." name)
+
+(* --- scaling: domain-parallel exploration -------------------------------------- *)
+
+(* jobs=1 vs jobs=N over the Fig. 14 workloads: the whole lazy search is
+   embarrassingly parallel at the granularity of complete executions, so the
+   frontier of choice-tree prefixes should scale until the host runs out of
+   cores. Also asserts the determinism guarantee: every jobs value must
+   report identical bugs/multi-rf/perf and identical stats modulo wall
+   time. *)
+let same_outcome (a : Explorer.outcome) (b : Explorer.outcome) =
+  a.Explorer.bugs = b.Explorer.bugs
+  && a.Explorer.multi_rf = b.Explorer.multi_rf
+  && a.Explorer.perf = b.Explorer.perf
+  && { a.Explorer.stats with Stats.wall_time = 0. }
+     = { b.Explorer.stats with Stats.wall_time = 0. }
+
+let scaling () =
+  section_header "Scaling: domain-parallel exploration (jobs=1 vs jobs=N, Fig. 14 workloads)";
+  let cores = Domain.recommended_domain_count () in
+  let njobs = List.sort_uniq compare [ 1; 2; 4; cores ] in
+  Format.printf "host reports %d usable core(s)@.@." cores;
+  Format.printf "%-12s" "Benchmark";
+  List.iter (fun j -> Format.printf " %8s" (Printf.sprintf "j=%d" j)) njobs;
+  Format.printf " %9s %s@." "speedup" "identical";
+  List.iter
+    (fun (benchmark, n) ->
+      let scn = Recipe.Workloads.fixed_scenario benchmark n in
+      let run jobs =
+        let config = { Config.default with Config.max_steps = 200_000; jobs } in
+        let t0 = Unix.gettimeofday () in
+        let o = Explorer.run ~config scn in
+        (o, Unix.gettimeofday () -. t0)
+      in
+      let results = List.map (fun j -> (j, run j)) njobs in
+      let (_, (base_o, base_t)) = List.hd results in
+      let best_t = List.fold_left (fun acc (_, (_, t)) -> min acc t) base_t results in
+      let identical = List.for_all (fun (_, (o, _)) -> same_outcome base_o o) results in
+      Format.printf "%-12s" benchmark;
+      List.iter (fun (_, (_, t)) -> Format.printf " %7.2fs" t) results;
+      Format.printf " %8.2fx %s@." (base_t /. best_t) (if identical then "yes" else "NO");
+      assert identical)
+    fig14_sizes
 
 (* --- ablations ----------------------------------------------------------------- *)
 
@@ -318,4 +362,5 @@ let () =
     fig14 ();
     fig14_bechamel ()
   end;
+  if want "scaling" then scaling ();
   if want "ablation" then ablations ()

@@ -78,6 +78,14 @@ let max_steps_arg =
     & opt (some int) None
     & info [ "max-steps" ] ~docv:"N" ~doc:"Per-execution step budget (loop detection)")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Explore the choice tree with $(docv) parallel OCaml domains. Exhaustive runs report \
+           identical results for every value; only wall time changes.")
+
 let exhaustive_arg =
   Arg.(
     value & flag
@@ -93,7 +101,7 @@ let multi_rf_arg =
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the event trace of each reported bug")
 
-let apply_overrides config ~max_failures ~max_steps ~exhaustive =
+let apply_overrides config ~max_failures ~max_steps ~exhaustive ~jobs =
   let config =
     match max_failures with
     | Some n -> { config with Jaaru.Config.max_failures = n }
@@ -102,13 +110,14 @@ let apply_overrides config ~max_failures ~max_steps ~exhaustive =
   let config =
     match max_steps with Some n -> { config with Jaaru.Config.max_steps = n } | None -> config
   in
+  let config = { config with Jaaru.Config.jobs = max 1 jobs } in
   if exhaustive then { config with Jaaru.Config.stop_at_first_bug = false } else config
 
-let check_run id max_failures max_steps exhaustive show_multi_rf show_trace =
+let check_run id max_failures max_steps exhaustive jobs show_multi_rf show_trace =
   match find_entry id with
   | Error e -> Error e
   | Ok entry ->
-      let config = apply_overrides entry.config ~max_failures ~max_steps ~exhaustive in
+      let config = apply_overrides entry.config ~max_failures ~max_steps ~exhaustive ~jobs in
       Format.printf "checking %s (%s): %s@." entry.id entry.benchmark entry.description;
       Format.printf "config: %a@.@." Jaaru.Config.pp config;
       let o = Jaaru.Explorer.run ~config entry.scenario in
@@ -139,7 +148,7 @@ let check_cmd =
     (Cmd.info "check" ~doc)
     Term.(
       term_result
-        (const check_run $ id_arg $ max_failures_arg $ max_steps_arg $ exhaustive_arg
+        (const check_run $ id_arg $ max_failures_arg $ max_steps_arg $ exhaustive_arg $ jobs_arg
        $ multi_rf_arg $ trace_arg))
 
 (* --- yat ------------------------------------------------------------------ *)
@@ -167,11 +176,13 @@ let bench_arg =
 
 let n_arg = Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Workload size (keys inserted)")
 
-let perf_run benchmark n =
+let perf_run benchmark n jobs =
   match Recipe.Workloads.fixed_scenario benchmark n with
   | exception Invalid_argument m -> Error (`Msg m)
   | scn ->
-      let config = { Jaaru.Config.default with Jaaru.Config.max_steps = 200_000 } in
+      let config =
+        { Jaaru.Config.default with Jaaru.Config.max_steps = 200_000; jobs = max 1 jobs }
+      in
       let t0 = Unix.gettimeofday () in
       let o = Jaaru.Explorer.run ~config scn in
       let dt = Unix.gettimeofday () -. t0 in
@@ -184,20 +195,21 @@ let perf_run benchmark n =
 
 let perf_cmd =
   let doc = "Exhaustively explore a fixed RECIPE benchmark and report statistics" in
-  Cmd.v (Cmd.info "perf" ~doc) Term.(term_result (const perf_run $ bench_arg $ n_arg))
+  Cmd.v (Cmd.info "perf" ~doc) Term.(term_result (const perf_run $ bench_arg $ n_arg $ jobs_arg))
 
 (* --- fuzz ------------------------------------------------------------------ *)
 
 let seeds_arg =
   Arg.(value & opt int 16 & info [ "seeds" ] ~docv:"N" ~doc:"Number of schedule seeds to fuzz")
 
-let fuzz_run id nseeds =
+let fuzz_run id nseeds jobs =
   match find_entry id with
   | Error e -> Error e
   | Ok entry ->
       let seeds = List.init nseeds succ in
       Format.printf "fuzzing %s over %d schedules...@." entry.id nseeds;
-      let r = Jaaru.Fuzz.run ~config:entry.config ~seeds entry.scenario in
+      let config = { entry.config with Jaaru.Config.jobs = max 1 jobs } in
+      let r = Jaaru.Fuzz.run ~config ~seeds entry.scenario in
       Format.printf "%a@." Jaaru.Fuzz.pp r;
       let expected_bug = entry.expected <> None in
       if expected_bug && not (Jaaru.Fuzz.found_bug r) then
@@ -208,7 +220,7 @@ let fuzz_run id nseeds =
 
 let fuzz_cmd =
   let doc = "Fuzz a bundled case across seeded thread schedules (concurrency bugs)" in
-  Cmd.v (Cmd.info "fuzz" ~doc) Term.(term_result (const fuzz_run $ id_arg $ seeds_arg))
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(term_result (const fuzz_run $ id_arg $ seeds_arg $ jobs_arg))
 
 (* --- main ------------------------------------------------------------------ *)
 

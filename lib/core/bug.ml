@@ -28,7 +28,8 @@ let kind_tag = function
   | Infinite_loop _ -> 2
   | Program_exception _ -> 3
 
-let same_report a b = kind_tag a.kind = kind_tag b.kind && String.equal a.location b.location
+let report_key bug = (kind_tag bug.kind, bug.location)
+let same_report a b = report_key a = report_key b
 
 let pp ppf bug =
   Format.fprintf ppf "@[<v 2>%a at %s (after %d injected failure%s)" pp_kind bug.kind bug.location

@@ -33,5 +33,9 @@ val same_report : t -> t -> bool
 (** Deduplication: same kind shape and location (the paper conservatively
     groups failure points with the same symptom as one bug). *)
 
+val report_key : t -> int * string
+(** The identity {!same_report} compares — a hashtable key for
+    deduplicating reports without a quadratic scan. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_kind : Format.formatter -> kind -> unit

@@ -44,4 +44,57 @@ val count_kind : t -> kind -> int
 
 val created : t -> kind -> int
 (** Cumulative count of fresh decisions of a kind created over the whole
-    exploration (never decreases on truncation). *)
+    exploration (never decreases on truncation). Decisions replayed out of a
+    resumed prefix are {e not} counted again — summing [created] across the
+    workers of a parallel exploration equals the sequential count. *)
+
+(** {1 Prefixes: forking subtrees for parallel exploration}
+
+    A prefix pins the first decisions of an execution: cells below [frozen]
+    are replayed verbatim and never advanced; the remaining cells (in
+    practice exactly one, the forked decision) start at [chosen] and are
+    advanced up to [limit - 1] as usual. A searcher resumed from a prefix
+    therefore explores exactly the subtrees of the alternatives
+    [\[chosen, limit)] of the forked decision — the other side of a
+    {!split}. *)
+
+type prefix
+
+val root : prefix
+(** The empty prefix: resuming from it is a full sequential exploration. *)
+
+val prefix_depth : prefix -> int
+(** Number of pinned cells; [0] only for {!root}. *)
+
+val prefix_frozen : prefix -> int
+(** Number of leading cells that {!advance} may never flip. *)
+
+val prefix_cells : prefix -> (kind * int * int * int) list
+(** [(kind, num, chosen, limit)] per cell, shallowest first. *)
+
+val prefix_of_cells : frozen:int -> (kind * int * int * int) list -> prefix
+(** Inverse of {!prefix_cells}. Raises [Invalid_argument] unless every cell
+    satisfies [0 <= chosen < limit <= num] and [0 <= frozen <= length]. *)
+
+val encode_prefix : prefix -> string
+(** A compact printable encoding, e.g. ["2;F2:0:1;R3:1:2;D4:2:4"] — suitable
+    for handing subtree tasks to another process. *)
+
+val decode_prefix : string -> prefix option
+(** Inverse of {!encode_prefix}; [None] on malformed or invalid input. *)
+
+val resume_from_prefix : prefix -> t
+(** A fresh searcher over the subtree the prefix describes. Replays the
+    pinned decisions first, then explores depth-first exactly as {!create}
+    would, never flipping a frozen cell. [resume_from_prefix root] is
+    equivalent to {!create}. *)
+
+val split : t -> prefix option
+(** Donates the unexplored sibling range of the shallowest splittable
+    decision: picks the shallowest non-frozen on-path cell with alternatives
+    [chosen + 1 < limit], returns a prefix covering [\[chosen + 1, limit)] of
+    that cell, and shrinks the local [limit] so this searcher never visits
+    the donated subtrees. [None] when the current path has nothing left to
+    donate. Call it between {!advance} and the next replay (or after a
+    completed replay): only decisions consumed by the last replay are
+    considered. *)

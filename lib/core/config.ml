@@ -5,6 +5,7 @@ type t = {
   evict_policy : evict_policy;
   max_steps : int;
   max_executions : int;
+  jobs : int;
   stop_at_first_bug : bool;
   report_multi_rf : bool;
   report_perf : bool;
@@ -20,6 +21,7 @@ let default =
     evict_policy = Eager;
     max_steps = 2_000_000;
     max_executions = 100_000;
+    jobs = 1;
     stop_at_first_bug = false;
     report_multi_rf = true;
     report_perf = true;
@@ -33,5 +35,6 @@ let policy_name = function Eager -> "eager" | Buffered -> "buffered"
 
 let pp ppf c =
   Format.fprintf ppf
-    "max_failures=%d evict=%s max_steps=%d max_executions=%d region=[0x%x,+%d)" c.max_failures
-    (policy_name c.evict_policy) c.max_steps c.max_executions c.region_base c.region_size
+    "max_failures=%d evict=%s max_steps=%d max_executions=%d jobs=%d region=[0x%x,+%d)"
+    c.max_failures (policy_name c.evict_policy) c.max_steps c.max_executions c.jobs c.region_base
+    c.region_size

@@ -20,6 +20,17 @@ type t = {
           "stuck in an infinite loop" bug manifestation. *)
   max_executions : int;
       (** Safety valve on the total number of explored executions. *)
+  jobs : int;
+      (** Number of OCaml domains exploring the choice tree in parallel.
+          [1] (the default) explores on the calling domain only. Exhaustive
+          explorations report identical bugs, multi-rf and perf reports and
+          identical statistics (other than [wall_time]) for every [jobs]
+          value; runs cut short by [max_executions] or [stop_at_first_bug]
+          may explore a different subset of executions per [jobs] value.
+          With [jobs > 1] the scenario's [pre]/[post] closures run on
+          several domains concurrently, so they must not share mutable
+          OCaml state — all the bundled workloads derive their state from
+          the per-execution {!Ctx.t}. *)
   stop_at_first_bug : bool;
   report_multi_rf : bool;
       (** Record loads that can read from more than one store — the paper's

@@ -26,17 +26,36 @@ let replay_once scn ctx =
     Ctx.finish_execution ctx
   with Ctx.Power_failure -> recover ()
 
-let run ?(config = Config.default) scn =
-  let choice = Choice.create () in
-  let bugs = ref [] in
+(* Deduplicating accumulators. To keep the outcome identical for every
+   [jobs] value, deduplication cannot keep the first-discovered
+   representative (discovery order depends on the work schedule): each key
+   keeps the least representative under polymorphic compare, which is the
+   same record no matter how the executions were partitioned. *)
+let keep_min tbl key v = match Hashtbl.find_opt tbl key with
+  | None -> Hashtbl.replace tbl key v
+  | Some prev -> if compare v prev < 0 then Hashtbl.replace tbl key v
+
+(* What one worker accumulated over the subtrees it explored. *)
+type worker_result = {
+  wr_bugs : ((int * string), Bug.t) Hashtbl.t;
+  wr_multi_rf : ((string * Pmem.Addr.t), Ctx.multi_rf) Hashtbl.t;
+  wr_perf : (Ctx.perf_report, unit) Hashtbl.t;
+  wr_stats : Stats.t;
+}
+
+(* The per-worker replay loop: drain subtree tasks off the frontier until
+   the exploration completes or is stopped. [reserved] hands out global
+   execution slots so the [max_executions] budget holds across workers;
+   [stopped] is the stop-at-first-bug / budget-exhausted flag. *)
+let worker ~config ~scn ~frontier ~reserved ~stopped ~capped () =
+  let bugs = Hashtbl.create 16 in
   let multi_rf : (string * Pmem.Addr.t, Ctx.multi_rf) Hashtbl.t = Hashtbl.create 16 in
   let perf : (Ctx.perf_report, unit) Hashtbl.t = Hashtbl.create 16 in
   let executions = ref 0 in
+  let rf_created = ref 0 in
   let failure_points = ref 0 in
   let stores = ref 0 in
   let flushes = ref 0 in
-  let exhausted = ref false in
-  let t0 = Unix.gettimeofday () in
   let record_bug ctx kind location =
     let bug =
       {
@@ -46,60 +65,152 @@ let run ?(config = Config.default) scn =
         trace = Ctx.trace_events ctx;
       }
     in
-    if not (List.exists (Bug.same_report bug) !bugs) then bugs := bug :: !bugs
+    keep_min bugs (Bug.report_key bug) bug
   in
-  let stop = ref false in
-  while not !stop do
-    Choice.begin_replay choice;
-    let ctx = Ctx.create ~config ~choice in
-    (try replay_once scn ctx with
-    | Ctx.Power_failure -> assert false
-    | Choice.Divergence _ as e -> raise e
-    | Bug.Found (kind, location) -> record_bug ctx kind location
-    | Stack_overflow | Out_of_memory -> record_bug ctx (Bug.Program_exception "resource exhaustion") (Ctx.last_label ctx)
-    | e -> record_bug ctx (Bug.Program_exception (Printexc.to_string e)) (Ctx.last_label ctx));
-    incr executions;
-    if !executions = 1 then begin
-      (* The first replay takes every continue branch: it is the original
-         failure-free execution, whose counts Fig. 14 reports. *)
-      failure_points := Ctx.fp_count ctx;
-      match List.rev (Exec.Exec_stack.to_list (Ctx.exec_stack ctx)) with
-      | _ :: first :: _ ->
-          stores := Exec.Exec_record.store_count first;
-          flushes := Exec.Exec_record.flush_count first
-      | [ _ ] | [] -> ()
-    end;
-    List.iter
-      (fun (r : Ctx.multi_rf) ->
-        let key = (r.load_label, r.load_addr) in
-        if not (Hashtbl.mem multi_rf key) then Hashtbl.add multi_rf key r)
-      (Ctx.multi_rf_reports ctx);
-    List.iter (fun r -> Hashtbl.replace perf r ()) (Ctx.perf_reports ctx);
-    if config.Config.stop_at_first_bug && !bugs <> [] then stop := true
-    else if !executions >= config.Config.max_executions then stop := true
-    else if not (Choice.advance choice) then begin
-      exhausted := true;
-      stop := true
+  let explore prefix =
+    let choice = Choice.resume_from_prefix prefix in
+    (* Only the root task starts with the all-defaults replay — the original
+       failure-free execution whose counts Fig. 14 reports. *)
+    let original = ref (Choice.prefix_depth prefix = 0) in
+    let continue = ref true in
+    while !continue do
+      if Atomic.get stopped then continue := false
+      else begin
+        let slot = Atomic.fetch_and_add reserved 1 in
+        if slot >= config.Config.max_executions then begin
+          Atomic.set capped true;
+          Atomic.set stopped true;
+          Frontier.close frontier;
+          continue := false
+        end
+        else begin
+          Choice.begin_replay choice;
+          let ctx = Ctx.create ~config ~choice in
+          (try replay_once scn ctx with
+          | Ctx.Power_failure -> assert false
+          | Choice.Divergence _ as e -> raise e
+          | Bug.Found (kind, location) -> record_bug ctx kind location
+          | Stack_overflow | Out_of_memory ->
+              record_bug ctx (Bug.Program_exception "resource exhaustion") (Ctx.last_label ctx)
+          | e -> record_bug ctx (Bug.Program_exception (Printexc.to_string e)) (Ctx.last_label ctx));
+          incr executions;
+          if !original then begin
+            failure_points := Ctx.fp_count ctx;
+            (match List.rev (Exec.Exec_stack.to_list (Ctx.exec_stack ctx)) with
+            | _ :: first :: _ ->
+                stores := Exec.Exec_record.store_count first;
+                flushes := Exec.Exec_record.flush_count first
+            | [ _ ] | [] -> ());
+            original := false
+          end;
+          List.iter
+            (fun (r : Ctx.multi_rf) -> keep_min multi_rf (r.load_label, r.load_addr) r)
+            (Ctx.multi_rf_reports ctx);
+          List.iter (fun r -> Hashtbl.replace perf r ()) (Ctx.perf_reports ctx);
+          if config.Config.stop_at_first_bug && Hashtbl.length bugs > 0 then begin
+            Atomic.set stopped true;
+            Frontier.close frontier;
+            continue := false
+          end
+          else begin
+            if not (Choice.advance choice) then continue := false
+            else if Frontier.needs_work frontier then
+              (* An idle peer: donate the shallowest unexplored sibling
+                 range — the largest subtree this worker can give away. *)
+              match Choice.split choice with
+              | Some donated -> Frontier.push frontier donated
+              | None -> ()
+          end
+        end
+      end
+    done;
+    rf_created := !rf_created + Choice.created choice Choice.Read_from
+  in
+  let rec drain () =
+    match Frontier.pop frontier with
+    | None -> ()
+    | Some prefix ->
+        explore prefix;
+        drain ()
+  in
+  drain ();
+  {
+    wr_bugs = bugs;
+    wr_multi_rf = multi_rf;
+    wr_perf = perf;
+    wr_stats =
+      {
+        Stats.zero with
+        Stats.executions = !executions;
+        rf_decisions = !rf_created;
+        failure_points = !failure_points;
+        stores = !stores;
+        flushes = !flushes;
+      };
+  }
+
+let run ?(config = Config.default) scn =
+  let jobs = max 1 config.Config.jobs in
+  let t0 = Unix.gettimeofday () in
+  let frontier = Frontier.create ~workers:jobs () in
+  Frontier.push frontier Choice.root;
+  let reserved = Atomic.make 0 in
+  let stopped = Atomic.make false in
+  let capped = Atomic.make false in
+  let work = worker ~config ~scn ~frontier ~reserved ~stopped ~capped in
+  (* A worker that dies (Choice.Divergence — a broken harness) must not
+     leave its peers blocked on the frontier forever: close it, join
+     everyone, then re-raise. *)
+  let guarded () =
+    match work () with
+    | r -> Ok r
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Atomic.set stopped true;
+        Frontier.close frontier;
+        Error (e, bt)
+  in
+  let results =
+    if jobs = 1 then [ guarded () ]
+    else begin
+      let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn guarded) in
+      let mine = guarded () in
+      mine :: List.map Domain.join spawned
     end
-  done;
+  in
+  let results =
+    List.map
+      (function Ok r -> r | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+      results
+  in
+  (* Deterministic merge: per-key least representative, then a total order
+     on the reports — byte-identical output for any [jobs] value. *)
+  let bug_tbl = Hashtbl.create 16 in
+  let multi_rf_tbl = Hashtbl.create 16 in
+  let perf_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      Hashtbl.iter (fun key b -> keep_min bug_tbl key b) r.wr_bugs;
+      Hashtbl.iter (fun key m -> keep_min multi_rf_tbl key m) r.wr_multi_rf;
+      Hashtbl.iter (fun p () -> Hashtbl.replace perf_tbl p ()) r.wr_perf)
+    results;
+  let bugs = List.sort compare (Hashtbl.fold (fun _ b acc -> b :: acc) bug_tbl []) in
+  let multi_rf =
+    List.sort
+      (fun a b -> compare (a.Ctx.load_label, a.Ctx.load_addr) (b.Ctx.load_label, b.Ctx.load_addr))
+      (Hashtbl.fold (fun _ r acc -> r :: acc) multi_rf_tbl [])
+  in
+  let perf = List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) perf_tbl []) in
+  let stats = List.fold_left Stats.merge Stats.zero (List.map (fun r -> r.wr_stats) results) in
   let stats =
     {
-      Stats.executions = !executions;
-      failure_points = !failure_points;
-      rf_decisions = Choice.created choice Choice.Read_from;
-      multi_rf_loads = Hashtbl.length multi_rf;
-      stores = !stores;
-      flushes = !flushes;
+      stats with
+      Stats.multi_rf_loads = Hashtbl.length multi_rf_tbl;
       wall_time = Unix.gettimeofday () -. t0;
-      exhausted = !exhausted;
+      exhausted = not (Atomic.get capped) && not (config.Config.stop_at_first_bug && bugs <> []);
     }
   in
-  let multi_rf = Hashtbl.fold (fun _ r acc -> r :: acc) multi_rf [] in
-  let multi_rf =
-    List.sort (fun a b -> compare (a.Ctx.load_label, a.Ctx.load_addr) (b.Ctx.load_label, b.Ctx.load_addr)) multi_rf
-  in
-  let perf = List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) perf []) in
-  { bugs = List.rev !bugs; stats; multi_rf; perf }
+  { bugs; stats; multi_rf; perf }
 
 let found_bug o = o.bugs <> []
 

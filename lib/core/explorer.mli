@@ -23,7 +23,7 @@ val scenario_single : name:string -> (Ctx.t -> unit) -> scenario
     programs. *)
 
 type outcome = {
-  bugs : Bug.t list;  (** deduplicated, in discovery order *)
+  bugs : Bug.t list;  (** deduplicated, in a deterministic sorted order *)
   stats : Stats.t;
   multi_rf : Ctx.multi_rf list;  (** deduplicated debugging reports *)
   perf : Ctx.perf_report list;
@@ -33,7 +33,17 @@ type outcome = {
 val run : ?config:Config.t -> scenario -> outcome
 (** Explores the scenario exhaustively. Checked-program bugs become entries
     in [outcome.bugs]; {!Choice.Divergence} propagates (it indicates a broken
-    test harness, not a program bug). *)
+    test harness, not a program bug).
+
+    With [config.jobs > 1] the choice tree is explored by that many OCaml
+    domains: each worker replays executions out of a shared {!Frontier} of
+    subtree prefixes and donates unexplored sibling subtrees ({!Choice.split})
+    whenever a peer runs dry. Reports are deduplicated keeping a
+    schedule-independent representative and sorted, so an exhaustive run
+    produces byte-identical [bugs]/[multi_rf]/[perf] and identical [stats]
+    (other than [wall_time]) for every [jobs] value. Runs cut short by
+    [max_executions] or [stop_at_first_bug] may explore a different subset
+    of executions depending on [jobs] and timing. *)
 
 val found_bug : outcome -> bool
 val pp_outcome : Format.formatter -> outcome -> unit

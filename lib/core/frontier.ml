@@ -1,0 +1,68 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a Queue.t;
+  workers : int;
+  mutable waiting : int;  (* workers blocked in pop *)
+  mutable closed : bool;
+  hungry : int Atomic.t;  (* = waiting, readable without the lock *)
+}
+
+let create ~workers () =
+  if workers <= 0 then invalid_arg "Frontier.create: workers must be positive";
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    queue = Queue.create ();
+    workers;
+    waiting = 0;
+    closed = false;
+    hungry = Atomic.make 0;
+  }
+
+let push t task =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    Queue.add task t.queue;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.lock
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock
+
+let closed t =
+  Mutex.lock t.lock;
+  let c = t.closed in
+  Mutex.unlock t.lock;
+  c
+
+let needs_work t = Atomic.get t.hungry > 0
+
+let pop t =
+  Mutex.lock t.lock;
+  let rec wait () =
+    if t.closed then None
+    else if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.waiting + 1 = t.workers then begin
+      (* Every worker is here and the queue is empty: nobody can produce
+         work any more, so the exploration is complete. *)
+      t.closed <- true;
+      Condition.broadcast t.nonempty;
+      None
+    end
+    else begin
+      t.waiting <- t.waiting + 1;
+      Atomic.incr t.hungry;
+      Condition.wait t.nonempty t.lock;
+      t.waiting <- t.waiting - 1;
+      Atomic.decr t.hungry;
+      wait ()
+    end
+  in
+  let r = wait () in
+  Mutex.unlock t.lock;
+  r

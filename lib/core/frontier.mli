@@ -1,0 +1,36 @@
+(** A shared work queue of choice-tree subtree tasks for domain-parallel
+    exploration.
+
+    Workers {!pop} tasks; a worker that is mid-search donates unexplored
+    sibling subtrees (via {!Choice.split}) whenever {!needs_work} reports an
+    idle peer — cheap cooperative work stealing without per-deque
+    synchronisation on the hot path. Termination is detected globally: when
+    every worker is blocked in {!pop} on an empty queue, no task can ever be
+    produced again and all poppers receive [None]. *)
+
+type 'a t
+
+val create : workers:int -> unit -> 'a t
+(** [workers] is the exact number of threads that will call {!pop};
+    termination detection depends on it. Raises [Invalid_argument] on
+    [workers <= 0]. *)
+
+val push : 'a t -> 'a -> unit
+(** Enqueue a task and wake one idle worker. Silently dropped after
+    {!close} — the exploration is being abandoned anyway. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until a task is available ([Some task]) or no task can ever
+    arrive — the queue is empty with every worker idle, or the frontier was
+    closed ([None]). After a [None], every later [pop] returns [None]. *)
+
+val close : 'a t -> unit
+(** Early stop (first bug found, execution budget exhausted): wakes every
+    blocked worker and makes all subsequent {!pop}s return [None]. *)
+
+val closed : 'a t -> bool
+
+val needs_work : 'a t -> bool
+(** Whether at least one worker is currently blocked in {!pop} — the hint
+    that busy workers should donate a subtree. Lock-free; may be stale by
+    the time the donation lands, which only costs an extra queued task. *)

@@ -9,6 +9,34 @@ type t = {
   exhausted : bool;
 }
 
+let zero =
+  {
+    executions = 0;
+    failure_points = 0;
+    rf_decisions = 0;
+    multi_rf_loads = 0;
+    stores = 0;
+    flushes = 0;
+    wall_time = 0.;
+    exhausted = true;
+  }
+
+let merge a b =
+  {
+    (* Per-worker additive counters. *)
+    executions = a.executions + b.executions;
+    rf_decisions = a.rf_decisions + b.rf_decisions;
+    (* Properties of the original (failure-free) execution: exactly one
+       worker — whichever ran the root subtree — observed them. *)
+    failure_points = max a.failure_points b.failure_points;
+    stores = max a.stores b.stores;
+    flushes = max a.flushes b.flushes;
+    multi_rf_loads = max a.multi_rf_loads b.multi_rf_loads;
+    (* Workers ran concurrently, so the slowest one bounds the wall clock. *)
+    wall_time = max a.wall_time b.wall_time;
+    exhausted = a.exhausted && b.exhausted;
+  }
+
 let executions_per_fp s =
   if s.failure_points = 0 then 0. else float_of_int s.executions /. float_of_int s.failure_points
 

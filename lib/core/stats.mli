@@ -17,6 +17,17 @@ type t = {
           stop-at-first-bug cut it short) *)
 }
 
+val zero : t
+(** The identity of {!merge}: all counters 0, [exhausted = true]. *)
+
+val merge : t -> t -> t
+(** Combines the statistics of workers that explored disjoint subtrees:
+    [executions] and [rf_decisions] add; the original-execution counters
+    ([failure_points], [stores], [flushes]) and [multi_rf_loads] take the
+    max (only one worker observed them); [wall_time] takes the max
+    (workers ran concurrently); [exhausted] ands. Associative and
+    commutative, with {!zero} as identity. *)
+
 val executions_per_fp : t -> float
 (** The paper's §5.2 ratio; 0 when there were no failure points. *)
 

@@ -1,17 +1,15 @@
+(* Built eagerly at module init: a [lazy] here would be forced concurrently
+   by parallel explorer domains, and OCaml 5 lazy is not domain-safe. *)
 let table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
 
 let empty = 0xffffffff
-
-let update crc byte =
-  let t = Lazy.force table in
-  t.((crc lxor byte) land 0xff) lxor (crc lsr 8)
+let update crc byte = table.((crc lxor byte) land 0xff) lxor (crc lsr 8)
 
 let finish crc = crc lxor 0xffffffff
 let digest_bytes bs = finish (List.fold_left update empty bs)

@@ -101,6 +101,159 @@ let test_invalid_arity () =
   Alcotest.check_raises "zero alternatives" (Invalid_argument "Choice.choose: no alternatives")
     (fun () -> ignore (Choice.choose choice Choice.Read_from 0))
 
+(* --- prefixes and splitting -------------------------------------------------- *)
+
+(* Explore [shape] the way the parallel explorer does: a queue of subtree
+   prefixes, each explored to exhaustion, donating a sibling subtree via
+   [split] after every [split_every]-th execution. *)
+let enumerate_with_splits ?(kind = Choice.Read_from) shape ~split_every =
+  let pending = Queue.create () in
+  Queue.add Choice.root pending;
+  let paths = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty pending) do
+    let choice = Choice.resume_from_prefix (Queue.pop pending) in
+    let stop = ref false in
+    while not !stop do
+      Choice.begin_replay choice;
+      let path = List.map (fun n -> Choice.choose choice kind n) shape in
+      paths := path :: !paths;
+      incr count;
+      let advanced = Choice.advance choice in
+      if !count mod split_every = 0 then
+        (match Choice.split choice with Some p -> Queue.add p pending | None -> ());
+      if not advanced then stop := true
+    done
+  done;
+  List.rev !paths
+
+let test_resume_root_equals_create () =
+  Alcotest.(check (list (list int)))
+    "same leaves" (enumerate [ 2; 3; 2 ])
+    (enumerate_with_splits [ 2; 3; 2 ] ~split_every:max_int)
+
+let test_split_partitions_the_tree () =
+  let sequential = List.sort compare (enumerate [ 3; 2; 4 ]) in
+  List.iter
+    (fun split_every ->
+      let parallel = enumerate_with_splits [ 3; 2; 4 ] ~split_every in
+      Alcotest.(check int)
+        (Printf.sprintf "no duplicates (split_every=%d)" split_every)
+        (List.length parallel)
+        (List.length (List.sort_uniq compare parallel));
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "union is the full tree (split_every=%d)" split_every)
+        sequential
+        (List.sort compare parallel))
+    [ 1; 2; 3 ]
+
+let test_split_dependent_tree () =
+  (* Splitting must also be sound when deeper decisions only exist on some
+     branches (the donated prefix replays into a different subtree shape). *)
+  let explore_one choice paths =
+    Choice.begin_replay choice;
+    let a = Choice.choose choice Choice.Failure_point 2 in
+    let path = if a = 0 then [ a ] else [ a; Choice.choose choice Choice.Read_from 3 ] in
+    paths := path :: !paths
+  in
+  let pending = Queue.create () in
+  Queue.add Choice.root pending;
+  let paths = ref [] in
+  while not (Queue.is_empty pending) do
+    let choice = Choice.resume_from_prefix (Queue.pop pending) in
+    let stop = ref false in
+    while not !stop do
+      explore_one choice paths;
+      let advanced = Choice.advance choice in
+      (match Choice.split choice with Some p -> Queue.add p pending | None -> ());
+      if not advanced then stop := true
+    done
+  done;
+  Alcotest.(check (list (list int)))
+    "four leaves, once each" [ [ 0 ]; [ 1; 0 ]; [ 1; 1 ]; [ 1; 2 ] ]
+    (List.sort compare !paths)
+
+let test_prefix_roundtrip () =
+  let cells =
+    [
+      (Choice.Failure_point, 2, 0, 1);
+      (Choice.Read_from, 5, 1, 2);
+      (Choice.Drain, 4, 2, 4);
+    ]
+  in
+  let p = Choice.prefix_of_cells ~frozen:2 cells in
+  Alcotest.(check int) "depth" 3 (Choice.prefix_depth p);
+  Alcotest.(check int) "frozen" 2 (Choice.prefix_frozen p);
+  let s = Choice.encode_prefix p in
+  (match Choice.decode_prefix s with
+  | None -> Alcotest.failf "decode failed on %S" s
+  | Some p' ->
+      Alcotest.(check int) "roundtrip frozen" 2 (Choice.prefix_frozen p');
+      Alcotest.(check bool) "roundtrip cells" true (Choice.prefix_cells p' = cells));
+  Alcotest.(check bool) "root depth" true (Choice.prefix_depth Choice.root = 0);
+  (* Malformed inputs are rejected, not crashed on. *)
+  List.iter
+    (fun s -> Alcotest.(check bool) s true (Choice.decode_prefix s = None))
+    [ ""; "x"; "1;R2:0"; "1;Q2:0:2"; "9;R2:0:2"; "0;R2:2:2"; "0;R2:0:3"; "-1;R2:0:2" ]
+
+let test_split_resumes_where_donated () =
+  (* A split prefix must survive serialization and resume into exactly the
+     donated subtree. *)
+  let choice = Choice.create () in
+  Choice.begin_replay choice;
+  ignore (Choice.choose choice Choice.Read_from 3);
+  ignore (Choice.choose choice Choice.Read_from 2);
+  let p =
+    match Choice.split choice with
+    | Some p -> p
+    | None -> Alcotest.fail "expected a donation"
+  in
+  let p =
+    match Choice.decode_prefix (Choice.encode_prefix p) with
+    | Some p -> p
+    | None -> Alcotest.fail "roundtrip failed"
+  in
+  (* The donation owns alternatives 1 and 2 of the shallowest decision. *)
+  let resumed = Choice.resume_from_prefix p in
+  let paths = ref [] in
+  let stop = ref false in
+  while not !stop do
+    Choice.begin_replay resumed;
+    let a = Choice.choose resumed Choice.Read_from 3 in
+    let b = Choice.choose resumed Choice.Read_from 2 in
+    paths := (a, b) :: !paths;
+    if not (Choice.advance resumed) then stop := true
+  done;
+  Alcotest.(check (list (pair int int)))
+    "donated subtree" [ (1, 0); (1, 1); (2, 0); (2, 1) ]
+    (List.sort compare !paths);
+  (* ...and the donor no longer visits them. *)
+  let donor_paths = ref [] in
+  let stop = ref false in
+  (* The donor's current replay was (0, 0); continue its loop. *)
+  donor_paths := [ (0, 0) ];
+  while not !stop do
+    if Choice.advance choice then begin
+      Choice.begin_replay choice;
+      let a = Choice.choose choice Choice.Read_from 3 in
+      let b = Choice.choose choice Choice.Read_from 2 in
+      donor_paths := (a, b) :: !donor_paths
+    end
+    else stop := true
+  done;
+  Alcotest.(check (list (pair int int)))
+    "donor keeps the rest" [ (0, 0); (0, 1) ]
+    (List.sort compare !donor_paths)
+
+let prop_split_partitions =
+  QCheck.Test.make ~name:"splitting partitions the tree for any shape and cadence" ~count:100
+    QCheck.(pair (list_of_size (Gen.int_range 0 5) (int_range 1 4)) (int_range 1 4))
+    (fun (shape, split_every) ->
+      let parallel = enumerate_with_splits shape ~split_every in
+      let sequential = List.sort compare (enumerate shape) in
+      List.sort compare parallel = sequential
+      && List.length parallel = List.length (List.sort_uniq compare parallel))
+
 let prop_dfs_visits_full_product =
   QCheck.Test.make ~name:"DFS visits the full cartesian product" ~count:50
     QCheck.(list_of_size (Gen.int_range 0 5) (int_range 1 4))
@@ -123,5 +276,14 @@ let () =
           Alcotest.test_case "created counters" `Quick test_created_counters;
           Alcotest.test_case "invalid arity" `Quick test_invalid_arity;
           QCheck_alcotest.to_alcotest prop_dfs_visits_full_product;
+        ] );
+      ( "prefix",
+        [
+          Alcotest.test_case "resume from root = create" `Quick test_resume_root_equals_create;
+          Alcotest.test_case "split partitions the tree" `Quick test_split_partitions_the_tree;
+          Alcotest.test_case "split on a dependent tree" `Quick test_split_dependent_tree;
+          Alcotest.test_case "encode/decode roundtrip" `Quick test_prefix_roundtrip;
+          Alcotest.test_case "split resumes where donated" `Quick test_split_resumes_where_donated;
+          QCheck_alcotest.to_alcotest prop_split_partitions;
         ] );
     ]
