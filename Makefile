@@ -2,7 +2,7 @@
 # the whole test suite (which includes the jobs>1 determinism tests in
 # test_parallel.ml), and a CLI smoke run of the parallel explorer.
 
-.PHONY: all build test check parallel-smoke bench clean
+.PHONY: all build test check parallel-smoke lint bench clean
 
 all: build
 
@@ -18,7 +18,13 @@ parallel-smoke: build
 	dune exec bin/jaaru_cli.exe -- check pmdk-1 --jobs 3
 	dune exec bin/jaaru_cli.exe -- perf --benchmark P-CLHT -n 3 --jobs 3
 
-check: build test parallel-smoke
+# Static persistency lint over every bundled case: fails on any
+# high-severity finding on a clean case and on any seeded missing-flush bug
+# the passes fail to root-cause.
+lint: build
+	dune exec bin/jaaru_cli.exe -- lint --fail-on high
+
+check: build test parallel-smoke lint
 
 bench: build
 	dune exec bench/main.exe

@@ -8,6 +8,7 @@
                 with a Bechamel timing run per benchmark
      scaling  - domain-parallel exploration: jobs=1 vs jobs=N wall time and
                 the determinism cross-check
+     analysis - overhead of the online persistency-sanitizer passes
      ablation - constraint refinement / commit-store design points
 
    Run with no arguments for everything, or pass section names. *)
@@ -156,6 +157,7 @@ let same_outcome (a : Explorer.outcome) (b : Explorer.outcome) =
   a.Explorer.bugs = b.Explorer.bugs
   && a.Explorer.multi_rf = b.Explorer.multi_rf
   && a.Explorer.perf = b.Explorer.perf
+  && a.Explorer.findings = b.Explorer.findings
   && { a.Explorer.stats with Stats.wall_time = 0. }
      = { b.Explorer.stats with Stats.wall_time = 0. }
 
@@ -184,6 +186,31 @@ let scaling () =
       List.iter (fun (_, (_, t)) -> Format.printf " %7.2fs" t) results;
       Format.printf " %8.2fx %s@." (base_t /. best_t) (if identical then "yes" else "NO");
       assert identical)
+    fig14_sizes
+
+(* --- analysis overhead ---------------------------------------------------------- *)
+
+(* Cost of the online persistency-sanitizer passes: each Fig. 14 workload
+   explored exhaustively with the analysis engine off and on. The passes are
+   O(1) hashtable work per event, so the overhead should be a small constant
+   factor on the event rate. *)
+let analysis_overhead () =
+  section_header "Analysis: sanitizer-pass overhead (analyze off vs on, Fig. 14 workloads)";
+  Format.printf "%-12s %10s %10s %10s %10s@." "Benchmark" "off" "on" "overhead" "findings";
+  List.iter
+    (fun (benchmark, n) ->
+      let scn = Recipe.Workloads.fixed_scenario benchmark n in
+      let run analyze =
+        let config = { Config.default with Config.max_steps = 200_000; analyze } in
+        let t0 = Unix.gettimeofday () in
+        let o = Explorer.run ~config scn in
+        (o, Unix.gettimeofday () -. t0)
+      in
+      let _, t_off = run false in
+      let o_on, t_on = run true in
+      Format.printf "%-12s %9.2fs %9.2fs %9.1f%% %10d@." benchmark t_off t_on
+        (100. *. ((t_on /. t_off) -. 1.))
+        o_on.Explorer.stats.Stats.findings)
     fig14_sizes
 
 (* --- ablations ----------------------------------------------------------------- *)
@@ -363,4 +390,5 @@ let () =
     fig14_bechamel ()
   end;
   if want "scaling" then scaling ();
+  if want "analysis" then analysis_overhead ();
   if want "ablation" then ablations ()

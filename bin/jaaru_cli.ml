@@ -8,6 +8,7 @@ type entry = {
   benchmark : string;
   description : string;
   expected : string list option;
+  lint_roots : string list;
   scenario : Jaaru.Explorer.scenario;
   config : Jaaru.Config.t;
 }
@@ -19,6 +20,7 @@ let all_entries () =
       benchmark = c.benchmark;
       description = c.description;
       expected = c.expected_symptom;
+      lint_roots = c.lint_roots;
       scenario = c.scenario;
       config = c.config;
     }
@@ -29,6 +31,7 @@ let all_entries () =
       benchmark = c.benchmark;
       description = c.description;
       expected = c.expected_symptom;
+      lint_roots = c.lint_roots;
       scenario = c.scenario;
       config = c.config;
     }
@@ -101,6 +104,14 @@ let multi_rf_arg =
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the event trace of each reported bug")
 
+let analyze_arg =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:
+          "Run the persistency analysis passes alongside exploration and print their findings \
+           (missing flush/fence root causes, torn writes, redundant flushes)")
+
 let apply_overrides config ~max_failures ~max_steps ~exhaustive ~jobs =
   let config =
     match max_failures with
@@ -113,11 +124,12 @@ let apply_overrides config ~max_failures ~max_steps ~exhaustive ~jobs =
   let config = { config with Jaaru.Config.jobs = max 1 jobs } in
   if exhaustive then { config with Jaaru.Config.stop_at_first_bug = false } else config
 
-let check_run id max_failures max_steps exhaustive jobs show_multi_rf show_trace =
+let check_run id max_failures max_steps exhaustive jobs show_multi_rf show_trace analyze =
   match find_entry id with
   | Error e -> Error e
   | Ok entry ->
       let config = apply_overrides entry.config ~max_failures ~max_steps ~exhaustive ~jobs in
+      let config = if analyze then { config with Jaaru.Config.analyze = true } else config in
       Format.printf "checking %s (%s): %s@." entry.id entry.benchmark entry.description;
       Format.printf "config: %a@.@." Jaaru.Config.pp config;
       let o = Jaaru.Explorer.run ~config entry.scenario in
@@ -149,7 +161,115 @@ let check_cmd =
     Term.(
       term_result
         (const check_run $ id_arg $ max_failures_arg $ max_steps_arg $ exhaustive_arg $ jobs_arg
-       $ multi_rf_arg $ trace_arg))
+       $ multi_rf_arg $ trace_arg $ analyze_arg))
+
+(* --- lint ------------------------------------------------------------------ *)
+
+(* Lint runs the pre-failure program once, failure-free, with the analysis
+   passes on ([max_executions = 1] keeps exploration to exactly the root
+   all-defaults execution, so the report is deterministic for any --jobs and
+   never waits on the full state space). Missing-flush bugs are root-caused
+   at the guilty store label without ever replaying the crash that would
+   expose the symptom. *)
+let lint_config config ~jobs =
+  {
+    config with
+    Jaaru.Config.analyze = true;
+    stop_at_first_bug = false;
+    max_executions = 1;
+    jobs = max 1 jobs;
+  }
+
+let lint_one ~fail_on ~jobs entry =
+  let config = lint_config entry.config ~jobs in
+  let o = Jaaru.Explorer.run ~config entry.scenario in
+  let findings = o.Jaaru.Explorer.findings in
+  Format.printf "@[<v>linting %-26s %d finding(s)" entry.id (List.length findings);
+  List.iter (fun f -> Format.printf "@,  %a" Analysis.Report.pp_finding f) findings;
+  Format.printf "@]@.";
+  let flagged =
+    match fail_on with
+    | None -> []
+    | Some threshold ->
+        List.filter
+          (fun (f : Analysis.Report.finding) ->
+            Analysis.Report.severity_at_least ~threshold f.Analysis.Report.severity)
+          findings
+  in
+  if entry.lint_roots <> [] then begin
+    (* A seeded missing-flush case: lint must name one of the guilty store
+       labels in a high-severity missing-flush finding. *)
+    let root_caused =
+      List.exists
+        (fun (f : Analysis.Report.finding) ->
+          f.Analysis.Report.severity = Analysis.Report.High
+          && f.Analysis.Report.pass = "missing-flush"
+          && List.exists (fun l -> List.mem l entry.lint_roots) f.Analysis.Report.labels)
+        findings
+    in
+    if root_caused then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s: failed to root-cause seeded bug (expected a store label among: %s)"
+           entry.id
+           (String.concat ", " entry.lint_roots))
+  end
+  else if entry.expected = None && flagged <> [] then
+    Error
+      (Printf.sprintf "%s: clean case has %d finding(s) at or above the fail threshold" entry.id
+         (List.length flagged))
+  else Ok ()
+
+let ids_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"CASE" ~doc:"Case ids to lint (default: all)")
+
+let fail_on_arg =
+  let sev =
+    Arg.enum
+      [
+        ("low", Some Analysis.Report.Low);
+        ("medium", Some Analysis.Report.Medium);
+        ("high", Some Analysis.Report.High);
+        ("none", None);
+      ]
+  in
+  Arg.(
+    value
+    & opt sev (Some Analysis.Report.High)
+    & info [ "fail-on" ] ~docv:"SEVERITY"
+        ~doc:
+          "Fail clean cases that have findings at or above $(docv) (low, medium, high, or none to \
+           never fail on severity)")
+
+let lint_run ids fail_on jobs =
+  let entries =
+    match ids with
+    | [] -> Ok (all_entries ())
+    | ids -> (
+        match List.find_opt (fun id -> Result.is_error (find_entry id)) ids with
+        | Some bad -> Error (`Msg (Printf.sprintf "unknown case %S; try `jaaru list'" bad))
+        | None -> Ok (List.map (fun id -> Result.get_ok (find_entry id)) ids))
+  in
+  match entries with
+  | Error e -> Error e
+  | Ok entries ->
+      let errors =
+        List.filter_map
+          (fun entry -> match lint_one ~fail_on ~jobs entry with Ok () -> None | Error m -> Some m)
+          entries
+      in
+      if errors = [] then begin
+        Format.printf "lint: %d case(s) ok@." (List.length entries);
+        Ok ()
+      end
+      else begin
+        List.iter (fun m -> Format.printf "lint error: %s@." m) errors;
+        Error (`Msg (Printf.sprintf "%d lint failure(s)" (List.length errors)))
+      end
+
+let lint_cmd =
+  let doc = "Statically root-cause persistency bugs with the analysis passes (no crash replay)" in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(term_result (const lint_run $ ids_arg $ fail_on_arg $ jobs_arg))
 
 (* --- yat ------------------------------------------------------------------ *)
 
@@ -227,4 +347,4 @@ let fuzz_cmd =
 let () =
   let doc = "Jaaru: a model checker for persistent-memory programs" in
   let info = Cmd.info "jaaru" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; check_cmd; yat_cmd; perf_cmd; fuzz_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; check_cmd; lint_cmd; yat_cmd; perf_cmd; fuzz_cmd ]))

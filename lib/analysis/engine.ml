@@ -1,0 +1,27 @@
+type t = {
+  passes : Pass.instance list;
+  findings : (Report.finding, unit) Hashtbl.t;
+  suppress : string list;
+}
+
+let create ?(suppress = []) passes = { passes; findings = Hashtbl.create 32; suppress }
+
+let emit t ev =
+  List.iter
+    (fun (p : Pass.instance) ->
+      match p.feed ev with
+      | [] -> ()
+      | fs -> List.iter (fun f -> Hashtbl.replace t.findings f ()) fs)
+    t.passes
+
+(* Suppression removes suppressed labels from a finding; a finding whose
+   labels are all suppressed is dropped entirely (a finding that never had
+   labels is kept — suppression is per-label by design). Sorting with the
+   total finding order makes the result independent of hash iteration. *)
+let findings t =
+  Hashtbl.fold (fun f () acc -> f :: acc) t.findings []
+  |> List.filter_map (fun (f : Report.finding) ->
+         match List.filter (fun l -> not (List.mem l t.suppress)) f.labels with
+         | [] when f.labels <> [] -> None
+         | labels -> Some { f with labels })
+  |> List.sort_uniq Report.compare_finding

@@ -1,0 +1,20 @@
+(** Runs a set of analysis passes over one execution's event stream.
+
+    An engine is created per execution (its passes are stateful), fed every
+    event with {!emit}, and asked for its accumulated findings at the end.
+    Findings are deduplicated, label-suppressed, and sorted with
+    {!Report.compare_finding}, so the result is a deterministic function of
+    the event stream — the explorer's cross-worker merge relies on this. *)
+
+type t
+
+val create : ?suppress:string list -> Pass.instance list -> t
+(** [suppress] lists store labels whose findings are acknowledged noise
+    (e.g. a volatile-by-design lock word on a persistent line). A suppressed
+    label is removed from every finding; findings left with no labels are
+    dropped. *)
+
+val emit : t -> Event.t -> unit
+
+val findings : t -> Report.finding list
+(** Deduplicated, suppressed, sorted (most severe first). *)

@@ -1,0 +1,29 @@
+type flush_kind = Clflush | Clflushopt
+type fence_kind = Sfence | Mfence
+
+type t =
+  | Store of { addr : Pmem.Addr.t; width : int; value : int; tid : int; label : string }
+  | Load of { addr : Pmem.Addr.t; width : int; value : int; tid : int; label : string }
+  | Flush of { line_addr : Pmem.Addr.t; kind : flush_kind; tid : int; label : string }
+  | Fence of { kind : fence_kind; tid : int; label : string }
+  | Failure_point of { label : string }
+  | Crash of { label : string option }
+  | End_execution
+
+let render = function
+  | Store { addr; width; value; tid = _; label } ->
+      Printf.sprintf "store%-2d %s [0x%x] := %d" (8 * width) label addr value
+  | Load { addr; width; value; tid = _; label } ->
+      Printf.sprintf "load%-2d %s [0x%x] -> %d" (8 * width) label addr value
+  | Flush { line_addr; kind; tid = _; label } ->
+      Printf.sprintf "%s %s line 0x%x"
+        (match kind with Clflush -> "clflush" | Clflushopt -> "clflushopt")
+        label line_addr
+  | Fence { kind = Sfence; tid = _; label } -> Printf.sprintf "sfence %s" label
+  | Fence { kind = Mfence; tid = _; label } -> Printf.sprintf "mfence %s" label
+  | Failure_point { label } -> Printf.sprintf "failure point before %s" label
+  | Crash { label = Some label } -> Printf.sprintf "power failure injected before %s" label
+  | Crash { label = None } -> "explicit crash injected"
+  | End_execution -> "<end of execution>"
+
+let pp ppf ev = Format.pp_print_string ppf (render ev)

@@ -1,0 +1,33 @@
+(** The typed checker event stream.
+
+    Every PM-visible operation the checker context executes is mirrored as one
+    of these events, carrying the byte address, access width, cache line,
+    issuing thread and source label. The bounded {i trace ring} stores them for
+    bug reports (rendered lazily — nothing is formatted unless a bug is
+    printed) and the {!Engine} feeds them to the analysis passes online. *)
+
+type flush_kind = Clflush | Clflushopt  (** [clflushopt] also covers [clwb]. *)
+
+type fence_kind = Sfence | Mfence
+
+type t =
+  | Store of { addr : Pmem.Addr.t; width : int; value : int; tid : int; label : string }
+  | Load of { addr : Pmem.Addr.t; width : int; value : int; tid : int; label : string }
+  | Flush of { line_addr : Pmem.Addr.t; kind : flush_kind; tid : int; label : string }
+      (** One flush instruction for one whole cache line; [line_addr] is the
+          line's base address. *)
+  | Fence of { kind : fence_kind; tid : int; label : string }
+  | Failure_point of { label : string }
+      (** A failure-injection point was considered here (whether or not the
+          exploration chose to fail). *)
+  | Crash of { label : string option }
+      (** A power failure was injected; [None] for an explicit {!Ctx.crash}.
+          Volatile state — including every unpersisted ordering obligation —
+          is gone; passes must reset. *)
+  | End_execution
+      (** The scenario ran to completion (not emitted on the crash path). *)
+
+val render : t -> string
+(** The human-readable one-line form used in bug-report traces. *)
+
+val pp : Format.formatter -> t -> unit

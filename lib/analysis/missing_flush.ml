@@ -1,0 +1,137 @@
+(* The missing-flush/fence detector: per-cache-line persist-epoch state,
+   flagging PM stores whose line can reach a failure point — the end of the
+   execution, or a dependent commit (a fence that persists other lines) —
+   without an intervening flush+fence. It reports the root-cause store
+   label(s), not the recovery symptom the explorer would eventually crash on.
+
+   Epoch discipline (after Khyzha & Lahav's Px86 persistency obligations):
+   every fence ends an epoch. A correct persist of a store is
+   store; flush(line); fence — all obligations of the line discharged by the
+   fence. A line that is still dirty when a fence commits *other* lines is a
+   persist-ordering violation candidate: whatever that fence publishes (commit
+   stores, magic words) can survive a crash while the dirty line's data does
+   not. Stores made in the current epoch are exempt at that fence — their
+   flush legitimately belongs to a later batch — so only lines dirty since
+   before the previous fence are flagged.
+
+   Flagged lines are not reported at the fence itself: undo-log designs
+   legitimately let data stores cross log-commit fences unflushed, because a
+   persisted log entry can roll them back, and they are flushed later at
+   transaction commit. A flag is therefore an *obligation*: it is discharged
+   silently if the line is persisted (flush + fence) later in the execution,
+   and becomes a finding only when the execution ends with it still open. *)
+
+let name = "missing-flush"
+
+type line_state = {
+  mutable dirty : (string list * int) option;
+      (* labels of unflushed stores to the line, epoch of the first of them *)
+  mutable pending : string list;  (* labels flushed but not yet fenced *)
+  mutable flagged : (string list * string) option;
+      (* open obligation: stores that crossed a commit fence dirty
+         (labels, label of the fence that committed other lines); cleared
+         when the line is subsequently persisted — a flush covers the whole
+         line, so flush + fence discharges the old stores too *)
+}
+
+type state = { lines : (int, line_state) Hashtbl.t; mutable epoch : int }
+
+let create () = { lines = Hashtbl.create 64; epoch = 0 }
+
+let get st line =
+  match Hashtbl.find_opt st.lines line with
+  | Some ls -> ls
+  | None ->
+      let ls = { dirty = None; pending = []; flagged = None } in
+      Hashtbl.add st.lines line ls;
+      ls
+
+let add_label labels l = if List.mem l labels then labels else l :: labels
+
+let finding rule labels line detail =
+  {
+    Report.severity = High;
+    pass = name;
+    rule;
+    labels = List.sort_uniq String.compare labels;
+    line = Some (line * Pmem.Addr.cache_line_size);
+    detail;
+  }
+
+let on_event st (ev : Event.t) =
+  match ev with
+  | Store { addr; width; label; _ } ->
+      List.iter
+        (fun line ->
+          let ls = get st line in
+          match ls.dirty with
+          | None -> ls.dirty <- Some ([ label ], st.epoch)
+          | Some (labels, e) -> ls.dirty <- Some (add_label labels label, e))
+        (Pmem.Addr.lines_spanned addr width);
+      []
+  | Flush { line_addr; _ } ->
+      (match Hashtbl.find_opt st.lines (Pmem.Addr.line_of line_addr) with
+      | Some ({ dirty = Some (labels, _); _ } as ls) ->
+          ls.pending <- List.fold_left add_label ls.pending labels;
+          ls.dirty <- None
+      | Some _ | None -> ());
+      []
+  | Fence { label = fence_label; _ } ->
+      let committed = ref false in
+      Hashtbl.iter
+        (fun _ ls ->
+          if ls.pending <> [] then begin
+            committed := true;
+            ls.pending <- [];
+            (* The flush persisted the whole line, discharging any open
+               obligation on it. *)
+            ls.flagged <- None
+          end)
+        st.lines;
+      if !committed then
+        Hashtbl.iter
+          (fun _ ls ->
+            match ls.dirty with
+            | Some (labels, e) when e < st.epoch && ls.flagged = None ->
+                ls.flagged <- Some (labels, fence_label)
+            | _ -> ())
+          st.lines;
+      st.epoch <- st.epoch + 1;
+      []
+  | End_execution ->
+      let fs = ref [] in
+      Hashtbl.iter
+        (fun line ls ->
+          match ls.flagged with
+          | Some (labels, fence_label) ->
+              fs :=
+                finding "unpersisted-at-commit" labels line
+                  (Printf.sprintf
+                     "line was still unflushed when '%s' persisted other lines and was never \
+                      persisted afterwards; a crash keeps the committed state but loses these \
+                      stores"
+                     fence_label)
+                :: !fs
+          | None -> (
+              match ls.dirty with
+              | Some (labels, _) ->
+                  fs :=
+                    finding "unflushed-at-end" labels line
+                      "stored but never flushed; a failure at the end of the execution can \
+                       lose the data"
+                    :: !fs
+              | None ->
+                  if ls.pending <> [] then
+                    fs :=
+                      finding "unfenced-at-end" ls.pending line
+                        "flushed but never fenced; the flush may not have completed at a \
+                         failure"
+                      :: !fs))
+        st.lines;
+      !fs
+  | Crash _ ->
+      (* Volatile obligations die with the machine; recovery starts clean. *)
+      Hashtbl.reset st.lines;
+      st.epoch <- 0;
+      []
+  | Load _ | Failure_point _ -> []

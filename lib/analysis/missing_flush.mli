@@ -1,0 +1,17 @@
+(** The missing-flush/fence detector (High severity).
+
+    Tracks per-cache-line persist-epoch state. Rules:
+    - ["unpersisted-at-commit"]: the line was dirty since before the previous
+      fence when a fence persisted {e other} lines — the classic RECIPE
+      constructor bug, caught at the first dependent commit without
+      exploration ever reaching the recovery symptom;
+    - ["unflushed-at-end"]: dirty when the execution completed;
+    - ["unfenced-at-end"]: flushed but never fenced when the execution
+      completed.
+
+    Findings carry the root-cause {e store} labels (for at-commit and
+    at-end-unflushed rules) so the fix site is named directly. Obligations
+    reset at {!Event.Crash} — crash-induced data loss is the explorer's
+    business, not a lint finding. *)
+
+include Pass.S

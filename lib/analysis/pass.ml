@@ -1,0 +1,14 @@
+module type S = sig
+  val name : string
+
+  type state
+
+  val create : unit -> state
+  val on_event : state -> Event.t -> Report.finding list
+end
+
+type instance = { name : string; feed : Event.t -> Report.finding list }
+
+let instantiate (module P : S) =
+  let state = P.create () in
+  { name = P.name; feed = (fun ev -> P.on_event state ev) }

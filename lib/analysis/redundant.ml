@@ -1,0 +1,53 @@
+(* The redundant-flush / redundant-fence performance hints (the §5.1
+   extension the paper proposes), previously computed inline by
+   [Ctx.note_perf]. Low severity: they cost cycles, not data. *)
+
+let name = "redundant"
+
+type state = {
+  dirty : (int, unit) Hashtbl.t;  (* lines stored to since their last flush *)
+  mutable unfenced : int;  (* stores/flushes since the last fence *)
+}
+
+let create () = { dirty = Hashtbl.create 32; unfenced = 0 }
+
+let finding rule label line detail =
+  { Report.severity = Low; pass = name; rule; labels = [ label ]; line; detail }
+
+let on_event st (ev : Event.t) =
+  match ev with
+  | Store { addr; width; _ } ->
+      List.iter
+        (fun line -> Hashtbl.replace st.dirty line ())
+        (Pmem.Addr.lines_spanned addr width);
+      st.unfenced <- st.unfenced + 1;
+      []
+  | Flush { line_addr; label; _ } ->
+      let line = Pmem.Addr.line_of line_addr in
+      let fs =
+        if Hashtbl.mem st.dirty line then []
+        else
+          [
+            finding "redundant-flush" label (Some line_addr)
+              "flush of a cache line with no new stores to persist";
+          ]
+      in
+      Hashtbl.remove st.dirty line;
+      st.unfenced <- st.unfenced + 1;
+      fs
+  | Fence { kind = Sfence; label; _ } ->
+      let fs =
+        if st.unfenced = 0 then
+          [ finding "redundant-fence" label None "sfence with nothing pending to order" ]
+        else []
+      in
+      st.unfenced <- 0;
+      fs
+  | Fence { kind = Mfence; _ } ->
+      st.unfenced <- 0;
+      []
+  | Crash _ ->
+      Hashtbl.reset st.dirty;
+      st.unfenced <- 0;
+      []
+  | Load _ | Failure_point _ | End_execution -> []

@@ -1,0 +1,7 @@
+(** Redundant-flush / redundant-fence hints (performance, not correctness):
+    flushing a cache line with no new stores to persist, or an [sfence] with
+    no stores or flushes pending since the previous fence. Low severity;
+    rules ["redundant-flush"] and ["redundant-fence"], with the flush/fence
+    label as the reported label. *)
+
+include Pass.S

@@ -1,0 +1,35 @@
+type severity = Low | Medium | High
+
+let severity_rank = function High -> 0 | Medium -> 1 | Low -> 2
+let severity_name = function Low -> "low" | Medium -> "medium" | High -> "high"
+let severity_of_name = function
+  | "low" -> Some Low
+  | "medium" -> Some Medium
+  | "high" -> Some High
+  | _ -> None
+
+let severity_at_least ~threshold s = severity_rank s <= severity_rank threshold
+
+type finding = {
+  severity : severity;
+  pass : string;
+  rule : string;
+  labels : string list;
+  line : Pmem.Addr.t option;
+  detail : string;
+}
+
+(* Total order: most severe first, then a stable lexicographic tiebreak on
+   every remaining field — the merge across workers sorts with this, so the
+   report list is byte-identical for any work partition. *)
+let compare_finding a b =
+  compare
+    (severity_rank a.severity, a.pass, a.rule, a.labels, a.line, a.detail)
+    (severity_rank b.severity, b.pass, b.rule, b.labels, b.line, b.detail)
+
+let pp_finding ppf f =
+  Format.fprintf ppf "[%s] %s/%s: store%s %s%s — %s" (severity_name f.severity) f.pass f.rule
+    (if List.length f.labels > 1 then "s" else "")
+    (String.concat ", " (List.map (fun l -> "'" ^ l ^ "'") f.labels))
+    (match f.line with None -> "" | Some l -> Printf.sprintf " (line 0x%x)" l)
+    f.detail

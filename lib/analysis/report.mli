@@ -1,0 +1,34 @@
+(** Analysis findings: what a pass reports, with severity, the root-cause
+    store label(s), and a deterministic total order. *)
+
+type severity =
+  | Low  (** advisory — e.g. a redundant flush (performance, not correctness) *)
+  | Medium  (** suspicious but idiomatic in some protocols *)
+  | High  (** a crash-consistency bug candidate *)
+
+val severity_rank : severity -> int
+(** [High] ranks 0 (first), [Low] last. *)
+
+val severity_name : severity -> string
+val severity_of_name : string -> severity option
+
+val severity_at_least : threshold:severity -> severity -> bool
+(** Whether a severity meets a reporting threshold ([High] meets every
+    threshold; [Low] only meets [Low]). *)
+
+type finding = {
+  severity : severity;
+  pass : string;  (** name of the pass that produced it *)
+  rule : string;  (** pass-local rule identifier, e.g. ["unpersisted-at-commit"] *)
+  labels : string list;
+      (** the root-cause {e store} labels (sorted, deduplicated) — the
+          source locations to fix, not the symptom location *)
+  line : Pmem.Addr.t option;  (** base address of the affected cache line *)
+  detail : string;
+}
+
+val compare_finding : finding -> finding -> int
+(** Severity-major total order; ties broken on every other field, so sorted
+    report lists are byte-identical regardless of discovery order. *)
+
+val pp_finding : Format.formatter -> finding -> unit

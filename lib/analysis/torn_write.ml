@@ -1,0 +1,95 @@
+(* Persistency-race / torn-write detector. Three shapes:
+
+   - a single store whose byte range straddles a cache-line boundary: the
+     two halves live on lines that persist independently, so a failure can
+     tear the value (High);
+   - overlapping writes to the same bytes by two threads with no intervening
+     fence by the first writer: a persistency race — the persisted winner is
+     undefined (High);
+   - a same-thread store overwriting bytes whose flush has not yet been
+     fenced: the in-flight flush may persist either value (Medium). Plain
+     overwrites of unflushed bytes are normal program behaviour (initialise
+     then update) and are not reported. *)
+
+let name = "torn-write"
+
+type entry = { tid : int; label : string; mutable flushed : bool }
+type state = { bytes : (int, entry) Hashtbl.t }
+(* byte address -> latest writer; cleared per writer at its fences *)
+
+let create () = { bytes = Hashtbl.create 64 }
+
+let on_event st (ev : Event.t) =
+  match ev with
+  | Store { addr; width; tid; label; _ } ->
+      let fs = ref [] in
+      (match Pmem.Addr.lines_spanned addr width with
+      | _ :: _ :: _ ->
+          fs :=
+            [
+              {
+                Report.severity = High;
+                pass = name;
+                rule = "straddles-cache-line";
+                labels = [ label ];
+                line = Some (Pmem.Addr.line_base addr);
+                detail =
+                  Printf.sprintf
+                    "%d-byte store crosses a cache-line boundary; the halves persist \
+                     independently and a failure can tear the value"
+                    width;
+              };
+            ]
+      | _ -> ());
+      for i = 0 to width - 1 do
+        let b = addr + i in
+        (match Hashtbl.find_opt st.bytes b with
+        | Some e when e.label <> label ->
+            let report =
+              if e.tid <> tid then
+                Some
+                  ( "cross-thread-overlap",
+                    Report.High,
+                    "the same bytes were written by two threads with no intervening fence; \
+                     the persisted winner is undefined" )
+              else if e.flushed then
+                Some
+                  ( "unfenced-overwrite",
+                    Report.Medium,
+                    "store overwrites bytes whose flush has not been fenced yet; the \
+                     in-flight flush may persist either value" )
+              else None
+            in
+            (match report with
+            | Some (rule, severity, detail) ->
+                let f =
+                  {
+                    Report.severity;
+                    pass = name;
+                    rule;
+                    labels = List.sort_uniq String.compare [ e.label; label ];
+                    line = Some (Pmem.Addr.line_base b);
+                    detail;
+                  }
+                in
+                if not (List.mem f !fs) then fs := f :: !fs
+            | None -> ())
+        | _ -> ());
+        Hashtbl.replace st.bytes b { tid; label; flushed = false }
+      done;
+      !fs
+  | Flush { line_addr; _ } ->
+      for b = line_addr to line_addr + Pmem.Addr.cache_line_size - 1 do
+        match Hashtbl.find_opt st.bytes b with
+        | Some e -> e.flushed <- true
+        | None -> ()
+      done;
+      []
+  | Fence { tid; _ } ->
+      let mine = Hashtbl.fold (fun b e acc -> if e.tid = tid then b :: acc else acc) st.bytes [] in
+      List.iter (Hashtbl.remove st.bytes) mine;
+      []
+  | Crash _ ->
+      Hashtbl.reset st.bytes;
+      []
+  | Load _ | Failure_point _ | End_execution -> []

@@ -1,0 +1,10 @@
+(** Persistency-race / torn-write detector. Rules:
+    - ["straddles-cache-line"] (High): one store spanning two cache lines —
+      the halves persist independently;
+    - ["cross-thread-overlap"] (High): two threads wrote the same bytes with
+      no intervening fence — the persisted winner is undefined;
+    - ["unfenced-overwrite"] (Medium): one thread overwrote its own unfenced
+      bytes under a different label — idiomatic for initialise-then-fill
+      protocols, so advisory only. *)
+
+include Pass.S

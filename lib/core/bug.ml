@@ -4,7 +4,13 @@ type kind =
   | Infinite_loop of { steps : int }
   | Program_exception of string
 
-type t = { kind : kind; location : string; exec_depth : int; trace : string list }
+type t = {
+  kind : kind;
+  location : string;
+  exec_depth : int;
+  trace : string list;
+  dropped : int;
+}
 
 exception Found of kind * string
 
@@ -37,6 +43,9 @@ let pp ppf bug =
     (if bug.exec_depth = 1 then "" else "s");
   if bug.trace <> [] then begin
     Format.fprintf ppf "@,recent events:";
+    if bug.dropped > 0 then
+      Format.fprintf ppf "@,  … %d earlier event%s dropped" bug.dropped
+        (if bug.dropped = 1 then "" else "s");
     List.iter (fun ev -> Format.fprintf ppf "@,  %s" ev) bug.trace
   end;
   Format.fprintf ppf "@]"

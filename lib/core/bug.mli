@@ -19,6 +19,9 @@ type t = {
   location : string;  (** source label of the faulting operation *)
   exec_depth : int;  (** how many failures had been injected when it fired *)
   trace : string list;  (** recent events, oldest first *)
+  dropped : int;
+      (** events older than the trace window that the bounded ring discarded;
+          surfaced by {!pp} as "… N earlier events dropped" *)
 }
 
 exception Found of kind * string

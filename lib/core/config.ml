@@ -13,6 +13,8 @@ type t = {
   region_base : Pmem.Addr.t;
   region_size : int;
   trace_depth : int;
+  analyze : bool;
+  suppress : string list;
 }
 
 let default =
@@ -29,6 +31,8 @@ let default =
     region_base = 0x1000;
     region_size = 64 * 1024;
     trace_depth = 64;
+    analyze = false;
+    suppress = [];
   }
 
 let policy_name = function Eager -> "eager" | Buffered -> "buffered"

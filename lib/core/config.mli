@@ -46,7 +46,18 @@ type t = {
           fuzz for concurrency bugs, the future-work use the paper names. *)
   region_base : Pmem.Addr.t;
   region_size : int;  (** Size in bytes of the simulated PM pool. *)
-  trace_depth : int;  (** How many recent events to keep for bug reports. *)
+  trace_depth : int;
+      (** How many recent events to keep for bug reports; [<= 0] disables
+          tracing entirely (no event is recorded or formatted). *)
+  analyze : bool;
+      (** Run the full analysis-pass suite ({!Analysis.Missing_flush},
+          {!Analysis.Torn_write}, {!Analysis.Redundant}) over every explored
+          execution and surface the findings on the outcome. Off by default;
+          [report_perf] alone runs only the redundant-flush/fence pass. *)
+  suppress : string list;
+      (** Store labels whose analysis findings are acknowledged noise (e.g.
+          a volatile-by-design lock word living on a persistent cache line).
+          See {!Analysis.Engine.create}. *)
 }
 
 val default : t

@@ -26,9 +26,8 @@ type t = {
   mutable writes_since_fp : bool;
   mutable fp_count : int;
   mutable multi_rf : multi_rf list;
-  mutable perf : perf_report list;
-  dirty_lines : (int, unit) Hashtbl.t;  (* lines stored to since their last flush *)
-  mutable unfenced_events : int;  (* stores/flushes since the last fence *)
+  engine : Analysis.Engine.t option;  (* analysis passes fed the event stream *)
+  events_on : bool;  (* emit typed events at all (trace or engine present) *)
   mutable parallel_depth : int;
   mutable atomic_depth : int;
   mutable last : string;
@@ -40,13 +39,32 @@ let create ~config ~choice =
   let stack = Exec.Exec_stack.create () in
   let seq = ref 0 in
   let thread0 = Tso.Thread_state.create ~tid:0 in
+  let trace = Trace.create ~depth:config.Config.trace_depth in
+  let engine =
+    let passes =
+      if config.Config.analyze then
+        [
+          Analysis.Pass.instantiate (module Analysis.Missing_flush);
+          Analysis.Pass.instantiate (module Analysis.Torn_write);
+        ]
+      else []
+    in
+    let passes =
+      if config.Config.report_perf || config.Config.analyze then
+        Analysis.Pass.instantiate (module Analysis.Redundant) :: passes
+      else passes
+    in
+    match passes with
+    | [] -> None
+    | _ -> Some (Analysis.Engine.create ~suppress:config.Config.suppress passes)
+  in
   {
     cfg = config;
     reg = Pmem.Region.v ~base:config.Config.region_base ~size:config.Config.region_size;
     choice;
     stack;
     seq;
-    trace = Trace.create ~depth:config.Config.trace_depth;
+    trace;
     sink = Tso.Sink.to_exec_record ~seq (Exec.Exec_stack.top stack);
     threads = [ thread0 ];
     cur = thread0;
@@ -56,9 +74,8 @@ let create ~config ~choice =
     writes_since_fp = true;
     fp_count = 0;
     multi_rf = [];
-    perf = [];
-    dirty_lines = Hashtbl.create 32;
-    unfenced_events = 0;
+    engine;
+    events_on = Trace.enabled trace || engine <> None;
     parallel_depth = 0;
     atomic_depth = 0;
     last = "<start>";
@@ -76,16 +93,40 @@ let region ctx = ctx.reg
 let in_recovery ctx = ctx.failure_count > 0
 let fp_count ctx = ctx.fp_count
 let multi_rf_reports ctx = List.rev ctx.multi_rf
-let perf_reports ctx = List.rev ctx.perf
 
-let note_perf ctx perf_kind perf_label =
-  if ctx.cfg.Config.report_perf then ctx.perf <- { perf_kind; perf_label } :: ctx.perf
-let trace_events ctx = Trace.events ctx.trace
+let analysis_findings ctx =
+  match ctx.engine with None -> [] | Some e -> Analysis.Engine.findings e
+
+(* Legacy view of the redundant pass's findings, for callers of the pre-
+   framework perf-report API. *)
+let perf_reports ctx =
+  if not ctx.cfg.Config.report_perf then []
+  else
+    List.filter_map
+      (fun (f : Analysis.Report.finding) ->
+        if f.pass <> "redundant" then None
+        else
+          let perf_kind =
+            if f.rule = "redundant-flush" then Redundant_flush else Redundant_fence
+          in
+          match f.labels with [ perf_label ] -> Some { perf_kind; perf_label } | _ -> None)
+      (analysis_findings ctx)
+
+let trace_events ctx = List.map Analysis.Event.render (Trace.events ctx.trace)
+let trace_dropped ctx = Trace.dropped ctx.trace
 let last_label ctx = ctx.last
 let exec_stack ctx = ctx.stack
 let failures ctx = ctx.failure_count
 
-let tracef ctx fmt = Format.kasprintf (Trace.add ctx.trace) fmt
+(* The one event-emission point: the ring stores the event unrendered (no
+   formatting unless a bug report is printed) and the analysis engine feeds
+   its passes. Call sites guard on [events_on] so event construction itself
+   costs nothing when both are disabled. *)
+let emit ctx ev =
+  Trace.add ctx.trace ev;
+  match ctx.engine with Some e -> Analysis.Engine.emit e ev | None -> ()
+
+let tid ctx = Tso.Thread_state.tid ctx.cur
 
 let step ctx label =
   ctx.last <- label;
@@ -124,11 +165,12 @@ let failure_point ?(force = false) ctx label =
     ctx.writes_since_fp <- false;
     ctx.fp_count <- ctx.fp_count + 1;
     (match ctx.fp_hook with Some hook -> hook label | None -> ());
+    if ctx.events_on then emit ctx (Analysis.Event.Failure_point { label });
     match Choice.choose ctx.choice Choice.Failure_point 2 with
     | 0 -> ()
     | _ ->
         if not (eager ctx) then drain_choices ctx;
-        tracef ctx "power failure injected before %s" label;
+        if ctx.events_on then emit ctx (Analysis.Event.Crash { label = Some label });
         ctx.failure_count <- ctx.failure_count + 1;
         raise Power_failure
   end
@@ -144,14 +186,12 @@ let after_crash ctx =
   ctx.next_tid <- 1;
   ctx.steps <- 0;
   ctx.writes_since_fp <- true;
-  Hashtbl.reset ctx.dirty_lines;
-  ctx.unfenced_events <- 0;
   ctx.parallel_depth <- 0;
   ctx.atomic_depth <- 0
 
 let crash ctx =
   if not (eager ctx) then drain_choices ctx;
-  tracef ctx "explicit crash injected";
+  if ctx.events_on then emit ctx (Analysis.Event.Crash { label = None });
   ctx.failure_count <- ctx.failure_count + 1;
   raise Power_failure
 
@@ -163,7 +203,8 @@ let finish_execution ctx =
     (fun th ->
       Tso.Thread_state.drain th ctx.sink;
       Tso.Thread_state.drain_flush_buffer th ctx.sink)
-    ctx.threads
+    ctx.threads;
+  if ctx.events_on then emit ctx Analysis.Event.End_execution
 
 (* --- stores and flushes ------------------------------------------------ *)
 
@@ -174,9 +215,8 @@ let store ctx ?(label = "store") ~width addr v =
   let bytes = Array.of_list (Pmem.Bytes_le.explode ~width v) in
   Tso.Thread_state.exec_store ctx.cur addr ~bytes ~label;
   ctx.writes_since_fp <- true;
-  List.iter (fun line -> Hashtbl.replace ctx.dirty_lines line ()) (Pmem.Addr.lines_spanned addr width);
-  ctx.unfenced_events <- ctx.unfenced_events + 1;
-  tracef ctx "store%-2d %s [0x%x] := %d" (8 * width) label addr v;
+  if ctx.events_on then
+    emit ctx (Analysis.Event.Store { addr; width; value = v; tid = tid ctx; label });
   if eager ctx then Tso.Thread_state.drain ctx.cur ctx.sink
 
 let flush_lines ctx ~opt ~label addr size =
@@ -186,12 +226,17 @@ let flush_lines ctx ~opt ~label addr size =
       let line_addr = line * Pmem.Addr.cache_line_size in
       failure_point ctx label;
       step ctx label;
-      if not (Hashtbl.mem ctx.dirty_lines line) then note_perf ctx Redundant_flush label;
-      Hashtbl.remove ctx.dirty_lines line;
-      ctx.unfenced_events <- ctx.unfenced_events + 1;
+      if ctx.events_on then
+        emit ctx
+          (Analysis.Event.Flush
+             {
+               line_addr;
+               kind = (if opt then Analysis.Event.Clflushopt else Analysis.Event.Clflush);
+               tid = tid ctx;
+               label;
+             });
       if opt then Tso.Thread_state.exec_clflushopt ctx.cur ctx.sink line_addr ~label
       else Tso.Thread_state.exec_clflush ctx.cur line_addr ~label;
-      tracef ctx "%s %s line 0x%x" (if opt then "clflushopt" else "clflush") label line_addr;
       if eager ctx then Tso.Thread_state.drain ctx.cur ctx.sink)
     (Pmem.Addr.lines_spanned addr (max size 1));
   maybe_yield ctx
@@ -202,18 +247,17 @@ let clwb ctx ?(label = "clwb") addr size = flush_lines ctx ~opt:true ~label addr
 
 let sfence ctx ?(label = "sfence") () =
   step ctx label;
-  if ctx.unfenced_events = 0 then note_perf ctx Redundant_fence label;
-  ctx.unfenced_events <- 0;
+  if ctx.events_on then
+    emit ctx (Analysis.Event.Fence { kind = Analysis.Event.Sfence; tid = tid ctx; label });
   Tso.Thread_state.exec_sfence ctx.cur;
-  tracef ctx "sfence %s" label;
   if eager ctx then Tso.Thread_state.drain ctx.cur ctx.sink;
   maybe_yield ctx
 
 let mfence ctx ?(label = "mfence") () =
   step ctx label;
-  ctx.unfenced_events <- 0;
+  if ctx.events_on then
+    emit ctx (Analysis.Event.Fence { kind = Analysis.Event.Mfence; tid = tid ctx; label });
   Tso.Thread_state.exec_mfence ctx.cur ctx.sink;
-  tracef ctx "mfence %s" label;
   maybe_yield ctx
 
 (* --- loads -------------------------------------------------------------- *)
@@ -247,7 +291,8 @@ let load ctx ?(label = "load") ~width addr =
   maybe_yield ctx;
   let bytes = List.init width (fun i -> read_byte ctx (addr + i) label) in
   let v = Pmem.Bytes_le.implode bytes in
-  tracef ctx "load%-2d %s [0x%x] -> %d" (8 * width) label addr v;
+  if ctx.events_on then
+    emit ctx (Analysis.Event.Load { addr; width; value = v; tid = tid ctx; label });
   v
 
 let store8 ctx ?label addr v = store ctx ?label ~width:1 addr v
@@ -361,6 +406,7 @@ let install_concrete_state ctx bytes =
       incr ctx.seq;
       Exec.Exec_record.flush_line record (line * Pmem.Addr.cache_line_size) ~seq:!(ctx.seq))
     touched;
+  if ctx.events_on then emit ctx (Analysis.Event.Crash { label = Some "<concrete state>" });
   ctx.failure_count <- ctx.failure_count + 1;
   after_crash ctx
 

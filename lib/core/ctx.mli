@@ -55,8 +55,24 @@ val finish_execution : t -> unit
 val after_crash : t -> unit
 val fp_count : t -> int
 val multi_rf_reports : t -> multi_rf list
+
 val perf_reports : t -> perf_report list
+(** Legacy view of the {!Analysis.Redundant} pass findings (empty when
+    [config.report_perf] is false). *)
+
+val analysis_findings : t -> Analysis.Report.finding list
+(** Everything the configured analysis passes reported for this execution:
+    deduplicated, label-suppressed ([config.suppress]) and sorted. The
+    passes run only when [config.analyze] (full suite) or
+    [config.report_perf] (redundant pass only) is set. *)
+
 val trace_events : t -> string list
+(** Rendered trace-ring events, oldest first. Rendering happens here, not at
+    emission — an execution that reports no bug never formats a string. *)
+
+val trace_dropped : t -> int
+(** How many older events fell out of the bounded trace ring. *)
+
 val last_label : t -> string
 val exec_stack : t -> Exec.Exec_stack.t
 val failures : t -> int

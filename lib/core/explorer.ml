@@ -8,6 +8,7 @@ type outcome = {
   stats : Stats.t;
   multi_rf : Ctx.multi_rf list;
   perf : Ctx.perf_report list;
+  findings : Analysis.Report.finding list;
 }
 
 (* One complete scenario execution: run the pre-failure program; every
@@ -40,6 +41,7 @@ type worker_result = {
   wr_bugs : ((int * string), Bug.t) Hashtbl.t;
   wr_multi_rf : ((string * Pmem.Addr.t), Ctx.multi_rf) Hashtbl.t;
   wr_perf : (Ctx.perf_report, unit) Hashtbl.t;
+  wr_findings : (Analysis.Report.finding, unit) Hashtbl.t;
   wr_stats : Stats.t;
 }
 
@@ -51,6 +53,7 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~capped () =
   let bugs = Hashtbl.create 16 in
   let multi_rf : (string * Pmem.Addr.t, Ctx.multi_rf) Hashtbl.t = Hashtbl.create 16 in
   let perf : (Ctx.perf_report, unit) Hashtbl.t = Hashtbl.create 16 in
+  let findings : (Analysis.Report.finding, unit) Hashtbl.t = Hashtbl.create 16 in
   let executions = ref 0 in
   let rf_created = ref 0 in
   let failure_points = ref 0 in
@@ -63,6 +66,7 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~capped () =
         location;
         exec_depth = Ctx.failures ctx;
         trace = Ctx.trace_events ctx;
+        dropped = Ctx.trace_dropped ctx;
       }
     in
     keep_min bugs (Bug.report_key bug) bug
@@ -107,6 +111,8 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~capped () =
             (fun (r : Ctx.multi_rf) -> keep_min multi_rf (r.load_label, r.load_addr) r)
             (Ctx.multi_rf_reports ctx);
           List.iter (fun r -> Hashtbl.replace perf r ()) (Ctx.perf_reports ctx);
+          if config.Config.analyze then
+            List.iter (fun f -> Hashtbl.replace findings f ()) (Ctx.analysis_findings ctx);
           if config.Config.stop_at_first_bug && Hashtbl.length bugs > 0 then begin
             Atomic.set stopped true;
             Frontier.close frontier;
@@ -138,6 +144,7 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~capped () =
     wr_bugs = bugs;
     wr_multi_rf = multi_rf;
     wr_perf = perf;
+    wr_findings = findings;
     wr_stats =
       {
         Stats.zero with
@@ -188,11 +195,13 @@ let run ?(config = Config.default) scn =
   let bug_tbl = Hashtbl.create 16 in
   let multi_rf_tbl = Hashtbl.create 16 in
   let perf_tbl = Hashtbl.create 16 in
+  let findings_tbl = Hashtbl.create 16 in
   List.iter
     (fun r ->
       Hashtbl.iter (fun key b -> keep_min bug_tbl key b) r.wr_bugs;
       Hashtbl.iter (fun key m -> keep_min multi_rf_tbl key m) r.wr_multi_rf;
-      Hashtbl.iter (fun p () -> Hashtbl.replace perf_tbl p ()) r.wr_perf)
+      Hashtbl.iter (fun p () -> Hashtbl.replace perf_tbl p ()) r.wr_perf;
+      Hashtbl.iter (fun f () -> Hashtbl.replace findings_tbl f ()) r.wr_findings)
     results;
   let bugs = List.sort compare (Hashtbl.fold (fun _ b acc -> b :: acc) bug_tbl []) in
   let multi_rf =
@@ -201,16 +210,21 @@ let run ?(config = Config.default) scn =
       (Hashtbl.fold (fun _ r acc -> r :: acc) multi_rf_tbl [])
   in
   let perf = List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) perf_tbl []) in
+  let findings =
+    List.sort Analysis.Report.compare_finding
+      (Hashtbl.fold (fun f () acc -> f :: acc) findings_tbl [])
+  in
   let stats = List.fold_left Stats.merge Stats.zero (List.map (fun r -> r.wr_stats) results) in
   let stats =
     {
       stats with
       Stats.multi_rf_loads = Hashtbl.length multi_rf_tbl;
+      findings = List.length findings;
       wall_time = Unix.gettimeofday () -. t0;
       exhausted = not (Atomic.get capped) && not (config.Config.stop_at_first_bug && bugs <> []);
     }
   in
-  { bugs; stats; multi_rf; perf }
+  { bugs; stats; multi_rf; perf; findings }
 
 let found_bug o = o.bugs <> []
 
@@ -231,5 +245,11 @@ let pp_outcome ppf o =
           | Ctx.Redundant_fence -> "redundant fence")
           r.Ctx.perf_label)
       o.perf
+  end;
+  if o.findings <> [] then begin
+    Format.fprintf ppf "@,%d analysis finding(s):" (List.length o.findings);
+    List.iter
+      (fun f -> Format.fprintf ppf "@,  %a" Analysis.Report.pp_finding f)
+      o.findings
   end;
   Format.fprintf ppf "@]"

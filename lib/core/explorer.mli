@@ -28,6 +28,11 @@ type outcome = {
   multi_rf : Ctx.multi_rf list;  (** deduplicated debugging reports *)
   perf : Ctx.perf_report list;
       (** deduplicated redundant-flush/fence reports (advisory, not bugs) *)
+  findings : Analysis.Report.finding list;
+      (** analysis-pass findings across every explored execution, merged with
+          the same deterministic discipline as [bugs] (deduplicated, sorted
+          with {!Analysis.Report.compare_finding}); empty unless
+          [config.analyze] *)
 }
 
 val run : ?config:Config.t -> scenario -> outcome

@@ -5,6 +5,7 @@ type t = {
   multi_rf_loads : int;
   stores : int;
   flushes : int;
+  findings : int;
   wall_time : float;
   exhausted : bool;
 }
@@ -17,6 +18,7 @@ let zero =
     multi_rf_loads = 0;
     stores = 0;
     flushes = 0;
+    findings = 0;
     wall_time = 0.;
     exhausted = true;
   }
@@ -32,6 +34,7 @@ let merge a b =
     stores = max a.stores b.stores;
     flushes = max a.flushes b.flushes;
     multi_rf_loads = max a.multi_rf_loads b.multi_rf_loads;
+    findings = max a.findings b.findings;
     (* Workers ran concurrently, so the slowest one bounds the wall clock. *)
     wall_time = max a.wall_time b.wall_time;
     exhausted = a.exhausted && b.exhausted;
@@ -46,4 +49,5 @@ let pp ppf s =
      stores, %d flushes, %.3fs%s"
     s.executions s.failure_points (executions_per_fp s) s.rf_decisions s.multi_rf_loads s.stores
     s.flushes s.wall_time
-    (if s.exhausted then "" else " (cut short)")
+    ((if s.findings > 0 then Printf.sprintf ", %d analysis findings" s.findings else "")
+    ^ if s.exhausted then "" else " (cut short)")

@@ -11,6 +11,9 @@ type t = {
   multi_rf_loads : int;  (** distinct loads flagged by the debugging aid *)
   stores : int;  (** byte stores of the original execution *)
   flushes : int;  (** line flushes of the original execution *)
+  findings : int;
+      (** distinct analysis findings across the exploration (0 unless
+          [Config.analyze]) *)
   wall_time : float;  (** seconds spent exploring (JTime) *)
   exhausted : bool;
       (** whether the search space was fully explored (false when a limit or
@@ -23,8 +26,8 @@ val zero : t
 val merge : t -> t -> t
 (** Combines the statistics of workers that explored disjoint subtrees:
     [executions] and [rf_decisions] add; the original-execution counters
-    ([failure_points], [stores], [flushes]) and [multi_rf_loads] take the
-    max (only one worker observed them); [wall_time] takes the max
+    ([failure_points], [stores], [flushes]) and the post-merge totals
+    ([multi_rf_loads], [findings]) take the max; [wall_time] takes the max
     (workers ran concurrently); [exhausted] ands. Associative and
     commutative, with {!zero} as identity. *)
 

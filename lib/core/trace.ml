@@ -1,18 +1,40 @@
-type t = { slots : string array; mutable next : int; mutable count : int }
+type t = {
+  slots : Analysis.Event.t array;
+  mutable next : int;
+  mutable count : int;
+  mutable dropped : int;
+}
 
-let create ~depth = { slots = Array.make (max 1 depth) ""; next = 0; count = 0 }
+let create ~depth =
+  {
+    slots = Array.make (max 0 depth) Analysis.Event.End_execution;
+    next = 0;
+    count = 0;
+    dropped = 0;
+  }
+
+let enabled t = Array.length t.slots > 0
 
 let add t ev =
   let depth = Array.length t.slots in
-  t.slots.(t.next) <- ev;
-  t.next <- (t.next + 1) mod depth;
-  if t.count < depth then t.count <- t.count + 1
+  if depth > 0 then begin
+    if t.count = depth then t.dropped <- t.dropped + 1;
+    t.slots.(t.next) <- ev;
+    t.next <- (t.next + 1) mod depth;
+    if t.count < depth then t.count <- t.count + 1
+  end
 
 let clear t =
   t.next <- 0;
-  t.count <- 0
+  t.count <- 0;
+  t.dropped <- 0
+
+let dropped t = t.dropped
 
 let events t =
   let depth = Array.length t.slots in
-  let start = (t.next - t.count + depth) mod depth in
-  List.init t.count (fun i -> t.slots.((start + i) mod depth))
+  if depth = 0 then []
+  else begin
+    let start = (t.next - t.count + depth) mod depth in
+    List.init t.count (fun i -> t.slots.((start + i) mod depth))
+  end

@@ -1,11 +1,21 @@
-(** A bounded ring of recent execution events, attached to bug reports so a
-    developer can see what led to the crash (paper §4, Debugging support). *)
+(** A bounded ring of recent typed execution events, attached to bug reports
+    so a developer can see what led to the crash (paper §4, Debugging
+    support). Events are stored as {!Analysis.Event.t} values and rendered to
+    strings only when a report is actually printed — keeping the ring
+    zero-format-cost on the happy path. *)
 
 type t
 
 val create : depth:int -> t
-val add : t -> string -> unit
+(** [depth <= 0] disables the ring: {!add} is a no-op and {!events} is
+    empty. *)
+
+val enabled : t -> bool
+val add : t -> Analysis.Event.t -> unit
 val clear : t -> unit
 
-val events : t -> string list
+val events : t -> Analysis.Event.t list
 (** Oldest first, at most [depth] entries. *)
+
+val dropped : t -> int
+(** How many older events were overwritten because the ring was full. *)

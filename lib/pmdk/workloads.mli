@@ -13,6 +13,10 @@ type case = {
       (** [Some fragments]: a seeded bug whose symptom should contain at
           least one of [fragments]; [None]: a fixed variant that must verify
           clean. *)
+  lint_roots : string list;
+      (** for seeded missing-flush bugs: store labels [jaaru lint] must name
+          as the root cause (naming any one of them counts); [[]] when the
+          case is not lint-detectable *)
   scenario : Jaaru.Explorer.scenario;
   config : Jaaru.Config.t;
 }

@@ -3,13 +3,33 @@ type case = {
   benchmark : string;
   description : string;
   expected_symptom : string list option;
+  lint_roots : string list;
+      (* for seeded missing-flush bugs: the store labels `jaaru lint` must
+         name as the root cause (any one of them suffices) *)
   scenario : Jaaru.Explorer.scenario;
   config : Jaaru.Config.t;
 }
 
 let keys n = List.init n (fun i -> ((i * 17) mod 97) + 1)
 
-let config ?(max_steps = 40_000) () = { Jaaru.Config.default with max_steps }
+(* Analysis-pass suppressions that hold for every RECIPE workload: the
+   allocator's dirty-memory poison is unflushed by design (a constructor
+   that persists the object discharges it), and P-CLHT lock words are
+   volatile-by-design state living on persistent cache lines (recovery
+   resets them). *)
+let recipe_suppress =
+  [
+    "region_alloc.ml:poison";
+    (* lock words are volatile-by-design state living on persistent cache
+       lines; recovery re-initialises them *)
+    "p_clht.ml:unlock";
+    "p_clht.ml:lock cas";
+    "p_art.ml:unlock";
+    "p_art.ml:lock cas";
+  ]
+
+let config ?(max_steps = 40_000) () =
+  { Jaaru.Config.default with max_steps; suppress = recipe_suppress }
 
 (* --- scenario builders ----------------------------------------------------- *)
 
@@ -127,8 +147,8 @@ let fixed_scenario benchmark n =
 
 (* --- case tables ------------------------------------------------------------ *)
 
-let case ~id ~benchmark ~description ?expected ?(config = config ()) scenario =
-  { id; benchmark; description; expected_symptom = expected; scenario; config }
+let case ~id ~benchmark ~description ?expected ?(lint_roots = []) ?(config = config ()) scenario =
+  { id; benchmark; description; expected_symptom = expected; lint_roots; scenario; config }
 
 (* Every seeded bug must surface as one of the paper's visible
    manifestations (Fig. 15): a segfault-like illegal access, an assertion
@@ -143,27 +163,33 @@ let fig13_cases () =
      buggy state space would take orders of magnitude longer than finding
      the crash. *)
   let bug_config = { (config ()) with Jaaru.Config.stop_at_first_bug = true } in
-  let mk ~id ~benchmark ~description ?expected scenario =
-    case ~id ~benchmark ~description ?expected ~config:bug_config scenario
+  let mk ~id ~benchmark ~description ?expected ?lint_roots scenario =
+    case ~id ~benchmark ~description ?expected ?lint_roots ~config:bug_config scenario
   in
   [
     mk ~id:"CCEH-1" ~benchmark:"CCEH" ~description:"Missing flush in CCEH constructor (directory)"
       ?expected:sd
+      ~lint_roots:[ "cceh.ml:ctor dir0"; "cceh.ml:ctor dir1" ]
       (cceh_scenario ~bugs:{ Cceh.no_bugs with ctor_skip_dir_flush = true } 6);
     mk ~id:"CCEH-2" ~benchmark:"CCEH" ~description:"Missing flush in CCEH constructor (segments)"
       ?expected:sd
+      ~lint_roots:[ "cceh.ml:seg init depth"; "cceh.ml:seg init key"; "cceh.ml:seg init value" ]
       (cceh_scenario ~bugs:{ Cceh.no_bugs with ctor_skip_segment_flush = true } 6);
     mk ~id:"CCEH-3" ~benchmark:"CCEH" ~description:"Missing flush in CCEH constructor (metadata)"
       ?expected:sd
+      ~lint_roots:[ "cceh.ml:ctor depth"; "cceh.ml:ctor dirptr" ]
       (cceh_scenario ~bugs:{ Cceh.no_bugs with ctor_skip_meta_flush = true } 6);
     mk ~id:"FAST_FAIR-1" ~benchmark:"FAST_FAIR" ~description:"Missing flush in header constructor"
       ?expected:sd
+      ~lint_roots:
+        [ "fast_fair.ml:init kind"; "fast_fair.ml:init sibling"; "fast_fair.ml:init high" ]
       (fast_fair_scenario ~bugs:{ Fast_fair.no_bugs with ctor_skip_header_flush = true } 8);
     mk ~id:"FAST_FAIR-2" ~benchmark:"FAST_FAIR" ~description:"Missing flush in entry constructor"
       ?expected:sd
+      ~lint_roots:[ "fast_fair.ml:entry init key"; "fast_fair.ml:entry init payload" ]
       (fast_fair_scenario ~bugs:{ Fast_fair.no_bugs with missing_entry_flush = true } 8);
     mk ~id:"FAST_FAIR-3" ~benchmark:"FAST_FAIR" ~description:"Missing flush in btree constructor"
-      ?expected:sd
+      ?expected:sd ~lint_roots:[ "fast_fair.ml:set root" ]
       (fast_fair_scenario ~bugs:{ Fast_fair.no_bugs with ctor_skip_root_flush = true } 6);
     mk ~id:"P-ART-1" ~benchmark:"P-ART"
       ~description:"Use of non-persistent data structure in Epoch" ?expected:sd
@@ -192,10 +218,10 @@ let fig13_cases () =
       ?expected:sd
       (p_bwtree_scenario ~bugs:{ P_bwtree.no_bugs with ctor_skip_flush = true } 6);
     mk ~id:"P-CLHT-1" ~benchmark:"P-CLHT" ~description:"Missing flush in clht constructor"
-      ?expected:sd
+      ?expected:sd ~lint_roots:[ "p_clht.ml:meta ht" ]
       (p_clht_scenario ~bugs:{ P_clht.no_bugs with ctor_skip_meta_flush = true } 4);
     mk ~id:"P-CLHT-2" ~benchmark:"P-CLHT" ~description:"Missing flush for hashtable object"
-      ?expected:sd
+      ?expected:sd ~lint_roots:[ "p_clht.ml:ht nbuckets"; "p_clht.ml:ht table" ]
       (p_clht_scenario ~bugs:{ P_clht.no_bugs with skip_ht_flush = true } 4);
     mk ~id:"P-CLHT-3" ~benchmark:"P-CLHT"
       ~description:"Missing lock reset in recovery (volatile lock state)" ?expected:sd

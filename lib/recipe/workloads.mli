@@ -11,6 +11,10 @@ type case = {
   expected_symptom : string list option;
       (** fragments, at least one of which must appear in a reported
           symptom; [None] for fixed variants that must verify clean *)
+  lint_roots : string list;
+      (** for seeded missing-flush bugs: store labels [jaaru lint] must name
+          as the root cause (naming any one of them counts); [[]] when the
+          case is not lint-detectable *)
   scenario : Jaaru.Explorer.scenario;
   config : Jaaru.Config.t;
 }

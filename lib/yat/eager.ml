@@ -89,6 +89,7 @@ let bug_of ctx kind location =
     location;
     exec_depth = Jaaru.Ctx.failures ctx;
     trace = Jaaru.Ctx.trace_events ctx;
+    dropped = Jaaru.Ctx.trace_dropped ctx;
   }
 
 let observe ctx post =

@@ -1,0 +1,440 @@
+(* The persistency-sanitizer passes: synthetic event-stream unit tests for
+   each pass, engine suppression/ordering semantics, and end-to-end
+   root-causing of the seeded RECIPE missing-flush bugs without exploring a
+   single crash. *)
+open Jaaru
+
+let line = Pmem.Addr.cache_line_size
+let base = 0x1000
+
+(* Feed a synthetic event list to one pass and collect every finding. *)
+let run_pass (module P : Analysis.Pass.S) events =
+  let inst = Analysis.Pass.instantiate (module P) in
+  List.concat_map inst.Analysis.Pass.feed events
+
+let store ?(tid = 0) ?(width = 8) ?(value = 1) ~label addr =
+  Analysis.Event.Store { addr; width; value; tid; label }
+
+let flush ?(tid = 0) ~label line_addr =
+  Analysis.Event.Flush { line_addr; kind = Analysis.Event.Clflush; tid; label }
+
+let sfence ?(tid = 0) ~label () =
+  Analysis.Event.Fence { kind = Analysis.Event.Sfence; tid; label }
+
+let crash = Analysis.Event.Crash { label = Some "crash" }
+let fin = Analysis.Event.End_execution
+let rules fs = List.sort_uniq compare (List.map (fun f -> f.Analysis.Report.rule) fs)
+let labels fs = List.sort_uniq compare (List.concat_map (fun f -> f.Analysis.Report.labels) fs)
+
+(* --- missing-flush pass ---------------------------------------------------------- *)
+
+let test_mf_clean () =
+  let fs =
+    run_pass
+      (module Analysis.Missing_flush)
+      [ store ~label:"w" base; flush ~label:"f" base; sfence ~label:"s" (); fin ]
+  in
+  Alcotest.(check (list string)) "no findings" [] (rules fs)
+
+let test_mf_unflushed_at_end () =
+  let fs = run_pass (module Analysis.Missing_flush) [ store ~label:"w" base; fin ] in
+  Alcotest.(check (list string)) "rule" [ "unflushed-at-end" ] (rules fs);
+  Alcotest.(check (list string)) "root label" [ "w" ] (labels fs)
+
+let test_mf_unfenced_at_end () =
+  let fs =
+    run_pass (module Analysis.Missing_flush) [ store ~label:"w" base; flush ~label:"f" base; fin ]
+  in
+  Alcotest.(check (list string)) "rule" [ "unfenced-at-end" ] (rules fs)
+
+let test_mf_unpersisted_at_commit () =
+  (* [w] stays dirty while a later fence persists another line: the classic
+     seeded ctor-skips-flush shape. The root-cause label is the store's. *)
+  let fs =
+    run_pass
+      (module Analysis.Missing_flush)
+      [
+        store ~label:"w" base;
+        sfence ~label:"epoch" ();
+        store ~label:"other" (base + line);
+        flush ~label:"f other" (base + line);
+        sfence ~label:"commit" ();
+        fin;
+      ]
+  in
+  Alcotest.(check (list string)) "rule" [ "unpersisted-at-commit" ] (rules fs);
+  Alcotest.(check (list string)) "root label" [ "w" ] (labels fs)
+
+let test_mf_commit_obligation_discharged () =
+  (* Undo-log shape: the data store crosses the log-commit fence dirty but is
+     flushed + fenced at transaction commit — no finding. *)
+  let fs =
+    run_pass
+      (module Analysis.Missing_flush)
+      [
+        store ~label:"data" base;
+        sfence ~label:"epoch" ();
+        store ~label:"log" (base + line);
+        flush ~label:"f log" (base + line);
+        sfence ~label:"log commit" ();
+        flush ~label:"f data" base;
+        sfence ~label:"tx commit" ();
+        fin;
+      ]
+  in
+  Alcotest.(check (list string)) "discharged" [] (rules fs)
+
+let test_mf_same_epoch_exempt () =
+  (* A store made in the current epoch is not flagged by the fence that ends
+     it — its flush legitimately belongs to the next batch. *)
+  let fs =
+    run_pass
+      (module Analysis.Missing_flush)
+      [
+        store ~label:"w" base;
+        store ~label:"other" (base + line);
+        flush ~label:"f other" (base + line);
+        sfence ~label:"commit" ();
+        flush ~label:"f w" base;
+        sfence ~label:"s" ();
+        fin;
+      ]
+  in
+  Alcotest.(check (list string)) "no findings" [] (rules fs)
+
+let test_mf_crash_resets () =
+  (* A crash discards the obligation; [End_execution] after recovery is
+     clean. (The crash path itself never emits End_execution.) *)
+  let fs =
+    run_pass
+      (module Analysis.Missing_flush)
+      [
+        store ~label:"w" base;
+        sfence ~label:"epoch" ();
+        crash;
+        store ~label:"rec" (base + line);
+        flush ~label:"f rec" (base + line);
+        sfence ~label:"s" ();
+        fin;
+      ]
+  in
+  Alcotest.(check (list string)) "clean after crash" [] (rules fs)
+
+(* --- torn-write pass ------------------------------------------------------------- *)
+
+let test_tw_straddle () =
+  let fs =
+    run_pass (module Analysis.Torn_write) [ store ~width:8 ~label:"w" (base + line - 4); fin ]
+  in
+  Alcotest.(check (list string)) "rule" [ "straddles-cache-line" ] (rules fs);
+  Alcotest.(check bool) "high severity" true
+    (List.for_all (fun f -> f.Analysis.Report.severity = Analysis.Report.High) fs)
+
+let test_tw_cross_thread () =
+  let fs =
+    run_pass
+      (module Analysis.Torn_write)
+      [ store ~tid:0 ~label:"a" base; store ~tid:1 ~label:"b" base; fin ]
+  in
+  Alcotest.(check (list string)) "rule" [ "cross-thread-overlap" ] (rules fs);
+  Alcotest.(check (list string)) "both labels" [ "a"; "b" ] (labels fs)
+
+let test_tw_fence_clears_ownership () =
+  (* Proper handoff: the first writer fences before the second thread
+     writes — no race. *)
+  let fs =
+    run_pass
+      (module Analysis.Torn_write)
+      [
+        store ~tid:0 ~label:"a" base;
+        flush ~tid:0 ~label:"f" base;
+        sfence ~tid:0 ~label:"s" ();
+        store ~tid:1 ~label:"b" base;
+        fin;
+      ]
+  in
+  Alcotest.(check (list string)) "no findings" [] (rules fs)
+
+let test_tw_plain_overwrite_silent () =
+  (* Initialise-then-update of an unflushed byte is normal behaviour. *)
+  let fs =
+    run_pass
+      (module Analysis.Torn_write)
+      [ store ~label:"init" base; store ~label:"update" base; fin ]
+  in
+  Alcotest.(check (list string)) "silent" [] (rules fs)
+
+let test_tw_unfenced_overwrite () =
+  (* Overwriting bytes whose flush has not been fenced: the in-flight flush
+     may persist either value. *)
+  let fs =
+    run_pass
+      (module Analysis.Torn_write)
+      [ store ~label:"old" base; flush ~label:"f" base; store ~label:"new" base; fin ]
+  in
+  Alcotest.(check (list string)) "rule" [ "unfenced-overwrite" ] (rules fs);
+  Alcotest.(check bool) "medium severity" true
+    (List.for_all (fun f -> f.Analysis.Report.severity = Analysis.Report.Medium) fs)
+
+(* --- redundant-flush/fence pass -------------------------------------------------- *)
+
+let test_red_clean_flush () =
+  let fs =
+    run_pass
+      (module Analysis.Redundant)
+      [ store ~label:"w" base; flush ~label:"f" base; sfence ~label:"s" (); fin ]
+  in
+  Alcotest.(check (list string)) "no findings" [] (rules fs)
+
+let test_red_redundant_flush () =
+  let fs =
+    run_pass
+      (module Analysis.Redundant)
+      [ store ~label:"w" base; flush ~label:"f1" base; flush ~label:"f2" base; fin ]
+  in
+  Alcotest.(check (list string)) "rule" [ "redundant-flush" ] (rules fs);
+  Alcotest.(check (list string)) "second flush blamed" [ "f2" ] (labels fs)
+
+let test_red_redundant_fence () =
+  let fs =
+    run_pass
+      (module Analysis.Redundant)
+      [
+        store ~label:"w" base;
+        flush ~label:"f" base;
+        sfence ~label:"s1" ();
+        sfence ~label:"s2" ();
+        fin;
+      ]
+  in
+  Alcotest.(check (list string)) "rule" [ "redundant-fence" ] (rules fs);
+  Alcotest.(check (list string)) "second fence blamed" [ "s2" ] (labels fs)
+
+let test_red_crash_resets () =
+  let fs =
+    run_pass
+      (module Analysis.Redundant)
+      [ store ~label:"w" base; flush ~label:"f1" base; crash; flush ~label:"f2" base; fin ]
+  in
+  (* After the crash nothing is dirty, so the recovery-side flush of a clean
+     line is still redundant — but the pre-crash dirty set must not leak. *)
+  Alcotest.(check (list string)) "rule" [ "redundant-flush" ] (rules fs);
+  Alcotest.(check (list string)) "only post-crash flush" [ "f2" ] (labels fs)
+
+(* --- perf reports still flow through Ctx (the legacy surface) -------------------- *)
+
+let test_perf_reports_via_explorer () =
+  let scn =
+    Explorer.scenario ~name:"redundant"
+      ~pre:(fun ctx ->
+        Ctx.store64 ctx ~label:"w" base 1;
+        Ctx.clflush ctx ~label:"f1" base 8;
+        Ctx.clflush ctx ~label:"f2" base 8;
+        Ctx.sfence ctx ~label:"s1" ();
+        Ctx.sfence ctx ~label:"s2" ())
+      ~post:(fun _ -> ())
+  in
+  let o = Explorer.run ~config:{ Config.default with Config.report_perf = true } scn in
+  let kinds =
+    List.sort_uniq compare
+      (List.map (fun r -> (r.Ctx.perf_kind, r.Ctx.perf_label)) o.Explorer.perf)
+  in
+  Alcotest.(check int) "two reports" 2 (List.length kinds);
+  Alcotest.(check bool) "flush f2" true (List.mem (Ctx.Redundant_flush, "f2") kinds);
+  Alcotest.(check bool) "fence s2" true (List.mem (Ctx.Redundant_fence, "s2") kinds)
+
+(* --- engine: dedup, suppression, ordering ---------------------------------------- *)
+
+let mk_engine ?suppress () =
+  Analysis.Engine.create ?suppress
+    [
+      Analysis.Pass.instantiate (module Analysis.Missing_flush);
+      Analysis.Pass.instantiate (module Analysis.Redundant);
+    ]
+
+let test_engine_dedup_and_order () =
+  let e = mk_engine () in
+  List.iter (Analysis.Engine.emit e)
+    [
+      store ~label:"w" base;
+      flush ~label:"f1" base;
+      flush ~label:"f2" base;
+      (* same redundant flush again: must dedup *)
+      flush ~label:"f2" base;
+      fin;
+    ];
+  let fs = Analysis.Engine.findings e in
+  Alcotest.(check int) "deduplicated" 2 (List.length fs);
+  (* Sorted most-severe first: the High unfenced-at-end precedes the Low
+     redundant-flush. *)
+  Alcotest.(check bool) "severity order" true
+    ((List.hd fs).Analysis.Report.severity = Analysis.Report.High)
+
+let test_engine_suppression () =
+  let run suppress =
+    let e = mk_engine ~suppress () in
+    List.iter (Analysis.Engine.emit e) [ store ~label:"w" base; fin ];
+    Analysis.Engine.findings e
+  in
+  Alcotest.(check int) "unsuppressed" 1 (List.length (run []));
+  Alcotest.(check int) "suppressed" 0 (List.length (run [ "w" ]));
+  Alcotest.(check int) "other label keeps it" 1 (List.length (run [ "x" ]))
+
+let test_engine_partial_suppression () =
+  let e = mk_engine ~suppress:[ "a" ] () in
+  List.iter (Analysis.Engine.emit e)
+    [ store ~label:"a" base; store ~label:"b" (base + 8); fin ];
+  match Analysis.Engine.findings e with
+  | [ f ] -> Alcotest.(check (list string)) "kept label" [ "b" ] f.Analysis.Report.labels
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+(* --- severity helpers ------------------------------------------------------------ *)
+
+let test_severity_helpers () =
+  Alcotest.(check bool) "high >= medium" true
+    (Analysis.Report.severity_at_least ~threshold:Analysis.Report.Medium Analysis.Report.High);
+  Alcotest.(check bool) "low < medium" false
+    (Analysis.Report.severity_at_least ~threshold:Analysis.Report.Medium Analysis.Report.Low);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "name roundtrip" true
+        (Analysis.Report.severity_of_name (Analysis.Report.severity_name s) = Some s))
+    [ Analysis.Report.Low; Analysis.Report.Medium; Analysis.Report.High ]
+
+(* --- lint root-causes the seeded RECIPE bugs without reaching the symptom -------- *)
+
+let lint_roots_case id =
+  let c = Recipe.Workloads.find (Recipe.Workloads.fig13_cases ()) id in
+  Alcotest.(check bool) (id ^ " declares roots") true (c.Recipe.Workloads.lint_roots <> []);
+  let config =
+    {
+      c.Recipe.Workloads.config with
+      Config.analyze = true;
+      stop_at_first_bug = false;
+      max_executions = 1;
+    }
+  in
+  let o = Explorer.run ~config c.Recipe.Workloads.scenario in
+  (* One failure-free execution: the crash symptom is never explored... *)
+  Alcotest.(check int) (id ^ " single execution") 1 o.Explorer.stats.Stats.executions;
+  Alcotest.(check bool) (id ^ " no symptom reached") true (o.Explorer.bugs = []);
+  (* ...yet the analysis names a guilty store. *)
+  let root_caused =
+    List.exists
+      (fun f ->
+        f.Analysis.Report.severity = Analysis.Report.High
+        && f.Analysis.Report.pass = "missing-flush"
+        && List.exists (fun l -> List.mem l c.Recipe.Workloads.lint_roots) f.Analysis.Report.labels)
+      o.Explorer.findings
+  in
+  Alcotest.(check bool) (id ^ " root-caused") true root_caused
+
+let test_lint_root_causes () =
+  List.iter lint_roots_case
+    [
+      "CCEH-1"; "CCEH-2"; "CCEH-3"; "FAST_FAIR-1"; "FAST_FAIR-2"; "FAST_FAIR-3"; "P-CLHT-1";
+      "P-CLHT-2";
+    ]
+
+let test_lint_fixed_variants_clean () =
+  (* The fixed variants carry no high-severity findings under the same
+     single-execution lint configuration. *)
+  List.iter
+    (fun (c : Recipe.Workloads.case) ->
+      let config =
+        {
+          c.Recipe.Workloads.config with
+          Config.analyze = true;
+          stop_at_first_bug = false;
+          max_executions = 1;
+        }
+      in
+      let o = Explorer.run ~config c.Recipe.Workloads.scenario in
+      let high =
+        List.filter
+          (fun f -> f.Analysis.Report.severity = Analysis.Report.High)
+          o.Explorer.findings
+      in
+      Alcotest.(check int) (c.Recipe.Workloads.id ^ " no high findings") 0 (List.length high))
+    (Recipe.Workloads.fixed_cases ())
+
+(* --- bounded trace ring surfaces its losses -------------------------------------- *)
+
+let test_bug_trace_dropped () =
+  let scn =
+    Explorer.scenario ~name:"dropped"
+      ~pre:(fun ctx ->
+        for i = 0 to 7 do
+          Ctx.store64 ctx ~label:(Printf.sprintf "w%d" i) (base + (64 * i)) 1;
+          Ctx.clflush ctx ~label:(Printf.sprintf "f%d" i) (base + (64 * i)) 8
+        done)
+      ~post:(fun ctx ->
+        (* Enough recovery events to wrap a depth-4 ring before the oracle
+           fires, whichever failure point the explorer injects first. *)
+        for i = 0 to 7 do
+          ignore (Ctx.load64 ctx ~label:(Printf.sprintf "r%d" i) (base + (64 * i)))
+        done;
+        Ctx.check ctx ~label:"oracle" (Ctx.load64 ctx ~label:"r" base = 1) "lost")
+  in
+  let config =
+    { Config.default with Config.stop_at_first_bug = true; Config.trace_depth = 4 }
+  in
+  let o = Explorer.run ~config scn in
+  match o.Explorer.bugs with
+  | [ b ] ->
+      Alcotest.(check int) "window size" 4 (List.length b.Bug.trace);
+      Alcotest.(check bool) "events were dropped" true (b.Bug.dropped > 0);
+      let s = Format.asprintf "%a" Bug.pp b in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "pp mentions the loss" true (contains s "earlier events dropped")
+  | bs -> Alcotest.failf "expected one bug, got %d" (List.length bs)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "missing-flush",
+        [
+          Alcotest.test_case "clean protocol" `Quick test_mf_clean;
+          Alcotest.test_case "unflushed at end" `Quick test_mf_unflushed_at_end;
+          Alcotest.test_case "unfenced at end" `Quick test_mf_unfenced_at_end;
+          Alcotest.test_case "unpersisted at commit" `Quick test_mf_unpersisted_at_commit;
+          Alcotest.test_case "undo-log shape discharged" `Quick
+            test_mf_commit_obligation_discharged;
+          Alcotest.test_case "same-epoch stores exempt" `Quick test_mf_same_epoch_exempt;
+          Alcotest.test_case "crash resets obligations" `Quick test_mf_crash_resets;
+        ] );
+      ( "torn-write",
+        [
+          Alcotest.test_case "straddles cache line" `Quick test_tw_straddle;
+          Alcotest.test_case "cross-thread overlap" `Quick test_tw_cross_thread;
+          Alcotest.test_case "fence clears ownership" `Quick test_tw_fence_clears_ownership;
+          Alcotest.test_case "plain overwrite silent" `Quick test_tw_plain_overwrite_silent;
+          Alcotest.test_case "unfenced overwrite" `Quick test_tw_unfenced_overwrite;
+        ] );
+      ( "redundant",
+        [
+          Alcotest.test_case "clean flush" `Quick test_red_clean_flush;
+          Alcotest.test_case "redundant flush" `Quick test_red_redundant_flush;
+          Alcotest.test_case "redundant fence" `Quick test_red_redundant_fence;
+          Alcotest.test_case "crash resets" `Quick test_red_crash_resets;
+          Alcotest.test_case "perf reports via explorer" `Quick test_perf_reports_via_explorer;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "dedup and order" `Quick test_engine_dedup_and_order;
+          Alcotest.test_case "suppression" `Quick test_engine_suppression;
+          Alcotest.test_case "partial suppression" `Quick test_engine_partial_suppression;
+          Alcotest.test_case "severity helpers" `Quick test_severity_helpers;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "root-causes seeded bugs" `Quick test_lint_root_causes;
+          Alcotest.test_case "fixed variants clean" `Quick test_lint_fixed_variants_clean;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "dropped events surfaced" `Quick test_bug_trace_dropped ] );
+    ]

@@ -5,7 +5,7 @@ let base = 0x1000
 
 (* --- Bug ----------------------------------------------------------------------- *)
 
-let mk_bug kind location = { Bug.kind; location; exec_depth = 1; trace = [] }
+let mk_bug kind location = { Bug.kind; location; exec_depth = 1; trace = []; dropped = 0 }
 
 let test_bug_symptoms () =
   Alcotest.(check string) "illegal"
@@ -30,16 +30,29 @@ let test_bug_dedup_key () =
 (* --- Trace --------------------------------------------------------------------- *)
 
 let test_trace_ring () =
+  let ev label = Analysis.Event.Fence { kind = Analysis.Event.Sfence; tid = 0; label } in
+  let rendered t = List.map Analysis.Event.render (Trace.events t) in
   let t = Trace.create ~depth:3 in
-  Alcotest.(check (list string)) "empty" [] (Trace.events t);
-  Trace.add t "a";
-  Trace.add t "b";
-  Alcotest.(check (list string)) "partial" [ "a"; "b" ] (Trace.events t);
-  Trace.add t "c";
-  Trace.add t "d";
-  Alcotest.(check (list string)) "wrapped keeps newest" [ "b"; "c"; "d" ] (Trace.events t);
+  Alcotest.(check (list string)) "empty" [] (rendered t);
+  Trace.add t (ev "a");
+  Trace.add t (ev "b");
+  Alcotest.(check (list string)) "partial" [ "sfence a"; "sfence b" ] (rendered t);
+  Alcotest.(check int) "nothing dropped yet" 0 (Trace.dropped t);
+  Trace.add t (ev "c");
+  Trace.add t (ev "d");
+  Alcotest.(check (list string))
+    "wrapped keeps newest"
+    [ "sfence b"; "sfence c"; "sfence d" ]
+    (rendered t);
+  Alcotest.(check int) "overwritten events counted" 1 (Trace.dropped t);
   Trace.clear t;
-  Alcotest.(check (list string)) "cleared" [] (Trace.events t)
+  Alcotest.(check (list string)) "cleared" [] (rendered t);
+  Alcotest.(check int) "dropped reset" 0 (Trace.dropped t);
+  let off = Trace.create ~depth:0 in
+  Trace.add off (ev "x");
+  Alcotest.(check bool) "depth 0 disables" false (Trace.enabled off);
+  Alcotest.(check (list string)) "disabled records nothing" [] (rendered off);
+  Alcotest.(check int) "disabled drops nothing" 0 (Trace.dropped off)
 
 (* --- Stats ---------------------------------------------------------------------- *)
 
@@ -52,6 +65,7 @@ let test_stats_ratio () =
       multi_rf_loads = 0;
       stores = 0;
       flushes = 0;
+      findings = 0;
       wall_time = 0.;
       exhausted = true;
     }

@@ -93,6 +93,9 @@ let check_jobs_equivalence name scenario config =
         (o.Explorer.multi_rf = reference.Explorer.multi_rf);
       Alcotest.(check bool) (tag "same perf") true (o.Explorer.perf = reference.Explorer.perf);
       Alcotest.(check bool)
+        (tag "same findings") true
+        (o.Explorer.findings = reference.Explorer.findings);
+      Alcotest.(check bool)
         (tag "same stats") true
         (strip_time o.Explorer.stats = strip_time reference.Explorer.stats))
     [ 2; 3 ]
@@ -137,6 +140,36 @@ let test_parallel_finds_seeded_bug () =
   let o = Explorer.run ~config c.Pmdk.Workloads.scenario in
   Alcotest.(check bool) "bug found with jobs=3" true (Explorer.found_bug o)
 
+let test_parallel_analysis_reports () =
+  (* With the analysis passes on, the merged findings list must render
+     byte-identically for jobs = 1, 2 and 4 — the lint report is part of the
+     determinism contract. *)
+  let c = Recipe.Workloads.find (Recipe.Workloads.fig13_cases ()) "CCEH-1" in
+  let run jobs =
+    let config =
+      {
+        c.Recipe.Workloads.config with
+        Config.analyze = true;
+        stop_at_first_bug = false;
+        jobs;
+      }
+    in
+    let o = Explorer.run ~config c.Recipe.Workloads.scenario in
+    ( o.Explorer.findings,
+      String.concat "\n"
+        (List.map (Format.asprintf "%a" Analysis.Report.pp_finding) o.Explorer.findings) )
+  in
+  let findings1, text1 = run 1 in
+  Alcotest.(check bool) "analysis produced findings" true (findings1 <> []);
+  List.iter
+    (fun jobs ->
+      let findings, text = run jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d same findings" jobs)
+        true (findings = findings1);
+      Alcotest.(check string) (Printf.sprintf "jobs=%d same rendering" jobs) text1 text)
+    [ 2; 4 ]
+
 let test_stats_merge_identity_and_sums () =
   let a =
     {
@@ -146,6 +179,7 @@ let test_stats_merge_identity_and_sums () =
       multi_rf_loads = 1;
       stores = 10;
       flushes = 4;
+      findings = 0;
       wall_time = 1.5;
       exhausted = true;
     }
@@ -176,6 +210,7 @@ let () =
           Alcotest.test_case "clean RECIPE workload" `Quick test_parallel_clean_workload;
           Alcotest.test_case "multi-failure scenario" `Quick test_parallel_multi_failure;
           Alcotest.test_case "seeded bug still found" `Quick test_parallel_finds_seeded_bug;
+          Alcotest.test_case "analysis reports" `Quick test_parallel_analysis_reports;
         ] );
       ( "stats",
         [ Alcotest.test_case "merge" `Quick test_stats_merge_identity_and_sums ] );

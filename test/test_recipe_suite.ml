@@ -131,6 +131,7 @@ let small_fixed_cases () =
           benchmark = b;
           description = "fixed (small)";
           expected_symptom = None;
+          lint_roots = [];
           scenario = Recipe.Workloads.fixed_scenario b n;
           config = { Jaaru.Config.default with max_steps = 40_000 };
         })
