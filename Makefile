@@ -2,7 +2,7 @@
 # the whole test suite (which includes the jobs>1 determinism tests in
 # test_parallel.ml), and a CLI smoke run of the parallel explorer.
 
-.PHONY: all build test check parallel-smoke lint bench clean
+.PHONY: all build test check parallel-smoke lint bench bench-smoke clean
 
 all: build
 
@@ -28,6 +28,11 @@ check: build test parallel-smoke lint
 
 bench: build
 	dune exec bench/main.exe
+
+# Seconds-long subset of the snapshot bench section: asserts that outcomes
+# stay byte-identical with the failure-point snapshot layer on and off.
+bench-smoke: build
+	dune exec bench/main.exe -- snapshot-smoke
 
 clean:
 	dune clean

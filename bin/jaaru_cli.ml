@@ -104,6 +104,16 @@ let multi_rf_arg =
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the event trace of each reported bug")
 
+let snapshot_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "snapshot" ] ~docv:"on|off"
+        ~doc:
+          "Failure-point snapshot/resume: replays of a crash subtree restore the captured \
+           pre-failure state instead of re-executing the pre-failure program. Outcomes are \
+           identical either way; off is a debugging/benchmarking aid.")
+
 let analyze_arg =
   Arg.(
     value & flag
@@ -112,7 +122,7 @@ let analyze_arg =
           "Run the persistency analysis passes alongside exploration and print their findings \
            (missing flush/fence root causes, torn writes, redundant flushes)")
 
-let apply_overrides config ~max_failures ~max_steps ~exhaustive ~jobs =
+let apply_overrides config ~max_failures ~max_steps ~exhaustive ~jobs ~snapshot =
   let config =
     match max_failures with
     | Some n -> { config with Jaaru.Config.max_failures = n }
@@ -121,14 +131,16 @@ let apply_overrides config ~max_failures ~max_steps ~exhaustive ~jobs =
   let config =
     match max_steps with Some n -> { config with Jaaru.Config.max_steps = n } | None -> config
   in
-  let config = { config with Jaaru.Config.jobs = max 1 jobs } in
+  let config = { config with Jaaru.Config.jobs = max 1 jobs; snapshot } in
   if exhaustive then { config with Jaaru.Config.stop_at_first_bug = false } else config
 
-let check_run id max_failures max_steps exhaustive jobs show_multi_rf show_trace analyze =
+let check_run id max_failures max_steps exhaustive jobs snapshot show_multi_rf show_trace analyze =
   match find_entry id with
   | Error e -> Error e
   | Ok entry ->
-      let config = apply_overrides entry.config ~max_failures ~max_steps ~exhaustive ~jobs in
+      let config =
+        apply_overrides entry.config ~max_failures ~max_steps ~exhaustive ~jobs ~snapshot
+      in
       let config = if analyze then { config with Jaaru.Config.analyze = true } else config in
       Format.printf "checking %s (%s): %s@." entry.id entry.benchmark entry.description;
       Format.printf "config: %a@.@." Jaaru.Config.pp config;
@@ -161,7 +173,7 @@ let check_cmd =
     Term.(
       term_result
         (const check_run $ id_arg $ max_failures_arg $ max_steps_arg $ exhaustive_arg $ jobs_arg
-       $ multi_rf_arg $ trace_arg $ analyze_arg))
+       $ snapshot_arg $ multi_rf_arg $ trace_arg $ analyze_arg))
 
 (* --- lint ------------------------------------------------------------------ *)
 
@@ -296,12 +308,12 @@ let bench_arg =
 
 let n_arg = Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Workload size (keys inserted)")
 
-let perf_run benchmark n jobs =
+let perf_run benchmark n jobs snapshot =
   match Recipe.Workloads.fixed_scenario benchmark n with
   | exception Invalid_argument m -> Error (`Msg m)
   | scn ->
       let config =
-        { Jaaru.Config.default with Jaaru.Config.max_steps = 200_000; jobs = max 1 jobs }
+        { Jaaru.Config.default with Jaaru.Config.max_steps = 200_000; jobs = max 1 jobs; snapshot }
       in
       let t0 = Unix.gettimeofday () in
       let o = Jaaru.Explorer.run ~config scn in
@@ -315,7 +327,9 @@ let perf_run benchmark n jobs =
 
 let perf_cmd =
   let doc = "Exhaustively explore a fixed RECIPE benchmark and report statistics" in
-  Cmd.v (Cmd.info "perf" ~doc) Term.(term_result (const perf_run $ bench_arg $ n_arg $ jobs_arg))
+  Cmd.v
+    (Cmd.info "perf" ~doc)
+    Term.(term_result (const perf_run $ bench_arg $ n_arg $ jobs_arg $ snapshot_arg))
 
 (* --- fuzz ------------------------------------------------------------------ *)
 

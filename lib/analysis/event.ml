@@ -1,4 +1,4 @@
-type flush_kind = Clflush | Clflushopt
+type flush_kind = Clflush | Clflushopt | Clwb
 type fence_kind = Sfence | Mfence
 
 type t =
@@ -17,7 +17,7 @@ let render = function
       Printf.sprintf "load%-2d %s [0x%x] -> %d" (8 * width) label addr value
   | Flush { line_addr; kind; tid = _; label } ->
       Printf.sprintf "%s %s line 0x%x"
-        (match kind with Clflush -> "clflush" | Clflushopt -> "clflushopt")
+        (match kind with Clflush -> "clflush" | Clflushopt -> "clflushopt" | Clwb -> "clwb")
         label line_addr
   | Fence { kind = Sfence; tid = _; label } -> Printf.sprintf "sfence %s" label
   | Fence { kind = Mfence; tid = _; label } -> Printf.sprintf "mfence %s" label

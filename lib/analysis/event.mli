@@ -6,7 +6,12 @@
     bug reports (rendered lazily — nothing is formatted unless a bug is
     printed) and the {!Engine} feeds them to the analysis passes online. *)
 
-type flush_kind = Clflush | Clflushopt  (** [clflushopt] also covers [clwb]. *)
+type flush_kind =
+  | Clflush
+  | Clflushopt
+  | Clwb  (** Same reordering semantics as [clflushopt] (paper §2), but a
+              distinct instruction — traces and passes must not conflate
+              them. *)
 
 type fence_kind = Sfence | Mfence
 

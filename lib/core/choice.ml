@@ -73,6 +73,48 @@ let advance t =
 let depth t = t.cursor
 let created t kind = t.created.(kind_index kind)
 
+(* --- snapshot keys: identifying a point on the current decision path ------- *)
+
+let step t i =
+  if i < 0 || i >= t.cursor then invalid_arg "Choice.step: not a consumed decision";
+  let c = t.cells.(i) in
+  (c.kind, c.num, c.chosen)
+
+let consumed t = Array.init t.cursor (fun i -> step t i)
+
+let recorded_matches t key =
+  let n = Array.length key in
+  n <= t.len
+  &&
+  let rec ok i =
+    i >= n
+    ||
+    let c = t.cells.(i) in
+    let kind, num, chosen = key.(i) in
+    c.kind = kind && c.num = num && c.chosen = chosen && ok (i + 1)
+  in
+  ok 0
+
+let classify_recorded t key =
+  let n = Array.length key in
+  let rec loop i =
+    if i >= n then `Match
+    else if i >= t.len then `Keep
+    else
+      let c = t.cells.(i) in
+      let kind, num, chosen = key.(i) in
+      if c.kind <> kind || c.num <> num then `Keep
+      else if c.chosen = chosen then loop (i + 1)
+      else if chosen < c.chosen then `Passed
+      else `Keep
+  in
+  loop 0
+
+let fast_forward t n =
+  if n < t.cursor || n > t.len then
+    invalid_arg "Choice.fast_forward: target outside the recorded prefix";
+  t.cursor <- n
+
 let count_kind t kind =
   let n = ref 0 in
   for i = 0 to t.len - 1 do

@@ -48,6 +48,42 @@ val created : t -> kind -> int
     resumed prefix are {e not} counted again — summing [created] across the
     workers of a parallel exploration equals the sequential count. *)
 
+(** {1 Snapshot keys}
+
+    A snapshot of the state at a decision point is identified by the exact
+    decisions that led there: any replay whose recorded decisions begin with
+    the same [(kind, num, chosen)] triples deterministically reaches the same
+    state, so it can skip re-executing the program up to that point. *)
+
+val step : t -> int -> kind * int * int
+(** [(kind, num, chosen)] of consumed decision [i]. Raises
+    [Invalid_argument] unless [0 <= i < depth t]. *)
+
+val consumed : t -> (kind * int * int) array
+(** The decisions consumed by the replay so far, shallowest first — the
+    snapshot key of the current point. *)
+
+val recorded_matches : t -> (kind * int * int) array -> bool
+(** Whether the recorded decisions of the upcoming replay begin with exactly
+    the given key — i.e. this replay is guaranteed to pass through the
+    key's decision point. Call after {!begin_replay}, before replaying. *)
+
+val classify_recorded : t -> (kind * int * int) array -> [ `Match | `Passed | `Keep ]
+(** Like {!recorded_matches}, but also detects keys the depth-first search
+    has left behind. [`Match]: the recorded decisions begin with the key.
+    [`Passed]: at the first divergence the key's chosen alternative is
+    smaller than the recorded one (same kind and width) — since {!advance}
+    is a lexicographic increment, no future replay of this searcher can
+    match, and a cache may drop the key's snapshot. [`Keep]: neither, e.g.
+    the key lies ahead of the current path. Call after {!begin_replay}. *)
+
+val fast_forward : t -> int -> unit
+(** Moves the cursor to recorded decision [n] without consuming the cells in
+    between — the replay resumes as if the first [n] decisions had been
+    taken. Only meaningful after {!recorded_matches} succeeded on a key of
+    length [n]. Raises [Invalid_argument] when [n] is behind the cursor or
+    beyond the recorded prefix. *)
+
 (** {1 Prefixes: forking subtrees for parallel exploration}
 
     A prefix pins the first decisions of an execution: cells below [frozen]

@@ -15,6 +15,7 @@ type t = {
   trace_depth : int;
   analyze : bool;
   suppress : string list;
+  snapshot : bool;
 }
 
 let default =
@@ -33,12 +34,14 @@ let default =
     trace_depth = 64;
     analyze = false;
     suppress = [];
+    snapshot = true;
   }
 
 let policy_name = function Eager -> "eager" | Buffered -> "buffered"
 
 let pp ppf c =
   Format.fprintf ppf
-    "max_failures=%d evict=%s max_steps=%d max_executions=%d jobs=%d region=[0x%x,+%d)"
-    c.max_failures (policy_name c.evict_policy) c.max_steps c.max_executions c.jobs c.region_base
-    c.region_size
+    "max_failures=%d evict=%s max_steps=%d max_executions=%d jobs=%d snapshot=%s region=[0x%x,+%d)"
+    c.max_failures (policy_name c.evict_policy) c.max_steps c.max_executions c.jobs
+    (if c.snapshot then "on" else "off")
+    c.region_base c.region_size

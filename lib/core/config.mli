@@ -58,6 +58,13 @@ type t = {
       (** Store labels whose analysis findings are acknowledged noise (e.g.
           a volatile-by-design lock word living on a persistent cache line).
           See {!Analysis.Engine.create}. *)
+  snapshot : bool;
+      (** Capture a resumable snapshot at each failure point the search
+          considers, so replays of the crash subtree skip re-executing the
+          pre-failure program and run only recovery (the reproduction of the
+          paper's fork-based rollback — see {!Snapshot}). On by default;
+          outcomes are byte-identical (modulo wall time) either way, so
+          turning it off is only a debugging / benchmarking aid. *)
 }
 
 val default : t

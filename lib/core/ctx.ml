@@ -33,9 +33,10 @@ type t = {
   mutable last : string;
   mutable fp_hook : (string -> unit) option;
   mutable rng : int;  (* schedule-fuzzing PRNG state; reset per replay *)
+  snapshots : Snapshot.cache option;  (* the owning worker's snapshot cache *)
 }
 
-let create ~config ~choice =
+let create ?snapshots ~config ~choice () =
   let stack = Exec.Exec_stack.create () in
   let seq = ref 0 in
   let thread0 = Tso.Thread_state.create ~tid:0 in
@@ -84,6 +85,7 @@ let create ~config ~choice =
       (match config.Config.schedule_seed with
       | Some seed -> (seed lxor 0x9e3779b9) lor 1
       | None -> 0);
+    snapshots;
   }
 
 let set_failure_point_hook ctx hook = ctx.fp_hook <- Some hook
@@ -160,12 +162,34 @@ let drain_choices ctx =
       end)
     ctx.threads
 
+(* Capture-at-consideration: the snapshot is taken at every failure point the
+   search considers — before the fail/continue decision — not only when the
+   crash is actually taken. One full replay therefore populates the cache for
+   every failure point on its path, and each crash subtree's replays resume
+   from the restored state without ever re-running the pre-failure program.
+   The [mem] check keeps later replays through the same point from paying for
+   a copy again. *)
+let capture_snapshot ctx ~crash_label ~pending_failure =
+  match ctx.snapshots with
+  | None -> ()
+  | Some cache ->
+      let key =
+        if pending_failure then Snapshot.failure_key ctx.choice
+        else Snapshot.crash_key ctx.choice
+      in
+      if not (Snapshot.mem cache key) then
+        Snapshot.store cache
+          (Snapshot.capture ~key ~stack:ctx.stack ~seq:!(ctx.seq) ~threads:ctx.threads
+             ~trace:ctx.trace ~failure_count:ctx.failure_count ~fp_count:ctx.fp_count
+             ~rng:ctx.rng ~last:ctx.last ~crash_label)
+
 let failure_point ?(force = false) ctx label =
   if ctx.failure_count < ctx.cfg.Config.max_failures && (force || ctx.writes_since_fp) then begin
     ctx.writes_since_fp <- false;
     ctx.fp_count <- ctx.fp_count + 1;
     (match ctx.fp_hook with Some hook -> hook label | None -> ());
     if ctx.events_on then emit ctx (Analysis.Event.Failure_point { label });
+    capture_snapshot ctx ~crash_label:(Some label) ~pending_failure:true;
     match Choice.choose ctx.choice Choice.Failure_point 2 with
     | 0 -> ()
     | _ ->
@@ -190,10 +214,34 @@ let after_crash ctx =
   ctx.atomic_depth <- 0
 
 let crash ctx =
+  capture_snapshot ctx ~crash_label:None ~pending_failure:false;
   if not (eager ctx) then drain_choices ctx;
   if ctx.events_on then emit ctx (Analysis.Event.Crash { label = None });
   ctx.failure_count <- ctx.failure_count + 1;
   raise Power_failure
+
+(* The restore half of the snapshot layer: put the context into exactly the
+   state the matching replay would have at the captured crash — restored
+   execution stack, sequence counter, thread buffers and trace ring, cursor
+   fast-forwarded past the snapshot's decisions — then take the crash the way
+   [failure_point] / [crash] would, with the buffered-drain prefix still a
+   live [Choice.Drain] decision on the restored buffers. The caller runs
+   recovery next; it never re-executes the pre-failure program. *)
+let resume_from_snapshot ctx (snap : Snapshot.t) =
+  Choice.fast_forward ctx.choice (Array.length snap.Snapshot.key);
+  let records, threads = Snapshot.materialize ~deep_top:(not (eager ctx)) snap in
+  Exec.Exec_stack.restore ctx.stack records;
+  ctx.seq := snap.Snapshot.seq;
+  ctx.sink <- Tso.Sink.to_exec_record ~seq:ctx.seq (Exec.Exec_stack.top ctx.stack);
+  ctx.threads <- threads;
+  Trace.restore ctx.trace ~from:snap.Snapshot.trace;
+  ctx.failure_count <- snap.Snapshot.failure_count;
+  ctx.fp_count <- snap.Snapshot.fp_count;
+  ctx.rng <- snap.Snapshot.rng;
+  ctx.last <- snap.Snapshot.last;
+  if not (eager ctx) then drain_choices ctx;
+  if ctx.events_on then emit ctx (Analysis.Event.Crash { label = snap.Snapshot.crash_label });
+  ctx.failure_count <- ctx.failure_count + 1
 
 let finish_execution ctx =
   (* The paper also injects a failure at the end of the execution (its Fig. 4
@@ -219,31 +267,32 @@ let store ctx ?(label = "store") ~width addr v =
     emit ctx (Analysis.Event.Store { addr; width; value = v; tid = tid ctx; label });
   if eager ctx then Tso.Thread_state.drain ctx.cur ctx.sink
 
-let flush_lines ctx ~opt ~label addr size =
+let flush_lines ctx ~kind ~label addr size =
   bounds ctx addr (max size 1) "flush" label;
+  (* clwb shares clflushopt's reordering semantics (paper §2) but is a
+     distinct instruction: traces and analysis passes see the real kind. *)
+  let opt = match kind with Analysis.Event.Clflush -> false | Clflushopt | Clwb -> true in
   List.iter
     (fun line ->
       let line_addr = line * Pmem.Addr.cache_line_size in
       failure_point ctx label;
       step ctx label;
       if ctx.events_on then
-        emit ctx
-          (Analysis.Event.Flush
-             {
-               line_addr;
-               kind = (if opt then Analysis.Event.Clflushopt else Analysis.Event.Clflush);
-               tid = tid ctx;
-               label;
-             });
+        emit ctx (Analysis.Event.Flush { line_addr; kind; tid = tid ctx; label });
       if opt then Tso.Thread_state.exec_clflushopt ctx.cur ctx.sink line_addr ~label
       else Tso.Thread_state.exec_clflush ctx.cur line_addr ~label;
       if eager ctx then Tso.Thread_state.drain ctx.cur ctx.sink)
     (Pmem.Addr.lines_spanned addr (max size 1));
   maybe_yield ctx
 
-let clflush ctx ?(label = "clflush") addr size = flush_lines ctx ~opt:false ~label addr size
-let clflushopt ctx ?(label = "clflushopt") addr size = flush_lines ctx ~opt:true ~label addr size
-let clwb ctx ?(label = "clwb") addr size = flush_lines ctx ~opt:true ~label addr size
+let clflush ctx ?(label = "clflush") addr size =
+  flush_lines ctx ~kind:Analysis.Event.Clflush ~label addr size
+
+let clflushopt ctx ?(label = "clflushopt") addr size =
+  flush_lines ctx ~kind:Analysis.Event.Clflushopt ~label addr size
+
+let clwb ctx ?(label = "clwb") addr size =
+  flush_lines ctx ~kind:Analysis.Event.Clwb ~label addr size
 
 let sfence ctx ?(label = "sfence") () =
   step ctx label;
@@ -344,14 +393,14 @@ let memcpy ctx ?(label = "memcpy") ~dst ~src len =
 let memset_persist ctx ?(label = "memset_persist") addr byte len =
   memset ctx ~label addr byte len;
   if len > 0 then begin
-    flush_lines ctx ~opt:true ~label addr len;
+    flush_lines ctx ~kind:Analysis.Event.Clwb ~label addr len;
     sfence ctx ~label ()
   end
 
 let memcpy_persist ctx ?(label = "memcpy_persist") ~dst ~src len =
   memcpy ctx ~label ~dst ~src len;
   if len > 0 then begin
-    flush_lines ctx ~opt:true ~label dst len;
+    flush_lines ctx ~kind:Analysis.Event.Clwb ~label dst len;
     sfence ctx ~label ()
   end
 
@@ -426,12 +475,20 @@ let parallel ctx bodies =
      visible before any fiber runs. *)
   Tso.Thread_state.drain ctx.cur ctx.sink;
   Tso.Thread_state.drain_flush_buffer ctx.cur ctx.sink;
-  let fibers =
+  let spawned =
     List.map
       (fun body ->
         let th = Tso.Thread_state.create ~tid:ctx.next_tid in
         ctx.next_tid <- ctx.next_tid + 1;
-        ctx.threads <- ctx.threads @ [ th ];
+        (th, body))
+      bodies
+  in
+  (* One append for the whole section: the live-thread list grows by the
+     section's fibers, not once per spawn over an ever-longer history. *)
+  ctx.threads <- ctx.threads @ List.map fst spawned;
+  let fibers =
+    List.map
+      (fun (th, body) ->
         {
           Scheduler.enter = (fun () -> ctx.cur <- th);
           body =
@@ -443,7 +500,7 @@ let parallel ctx bodies =
               Tso.Thread_state.drain th ctx.sink;
               Tso.Thread_state.drain_flush_buffer th ctx.sink);
         })
-      bodies
+      spawned
   in
   let parent = ctx.cur in
   ctx.parallel_depth <- ctx.parallel_depth + 1;
@@ -457,13 +514,19 @@ let parallel ctx bodies =
       ctx.parallel_depth <- ctx.parallel_depth - 1;
       ctx.cur <- parent)
     (fun () -> Scheduler.run_fibers ~pick fibers);
-  (* Joining is a synchronisation edge: the fibers' buffered stores and
-     flushes become visible before parallel returns. This must NOT happen
-     when a power failure unwinds the section — buffered state dies with
-     the threads — which is why it sits after run_fibers rather than in the
-     finally. *)
+  (* Joining is a synchronisation edge for the joined threads — and only for
+     them: the section's fibers drain, the parent's own buffered state stays
+     buffered past the join. This must NOT happen when a power failure
+     unwinds the section — buffered state dies with the threads — which is
+     why it sits after run_fibers rather than in the finally (the fibers
+     then stay in [ctx.threads] for the crash's drain decisions, and
+     [after_crash] resets the list). *)
   List.iter
-    (fun th ->
+    (fun (th, _) ->
       Tso.Thread_state.drain th ctx.sink;
       Tso.Thread_state.drain_flush_buffer th ctx.sink)
-    ctx.threads
+    spawned;
+  (* The joined threads are dead: drop them so later crash points and
+     parallel sections walk only live threads. *)
+  ctx.threads <-
+    List.filter (fun th -> not (List.exists (fun (s, _) -> s == th) spawned)) ctx.threads

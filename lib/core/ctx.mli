@@ -38,7 +38,21 @@ type perf_report = { perf_kind : perf_kind; perf_label : string }
 
 (** {1 Lifecycle (used by the explorer; not by checked programs)} *)
 
-val create : config:Config.t -> choice:Choice.t -> t
+val create : ?snapshots:Snapshot.cache -> config:Config.t -> choice:Choice.t -> unit -> t
+(** [snapshots] is the owning worker's failure-point snapshot cache: when
+    present, every failure point the execution considers captures a
+    resumable snapshot into it (see {!Snapshot}). Omitted (e.g. with
+    [config.snapshot] off), executions always run from the start. *)
+
+val resume_from_snapshot : t -> Snapshot.t -> unit
+(** Puts a freshly created context into the exact post-crash state of the
+    snapshot: restored execution stack, sequence counter, thread buffers and
+    trace ring, decision cursor fast-forwarded past the snapshot's key, the
+    buffered-drain decisions replayed live on the restored buffers, and the
+    crash event emitted. The caller then runs recovery exactly as if the
+    pre-failure program had been re-executed. The context's recorded
+    decisions must begin with the snapshot's key
+    ({!Snapshot.find} guarantees it). *)
 
 val set_failure_point_hook : t -> (string -> unit) -> unit
 (** Invoked (with the flush label) at every failure-injection point that is
@@ -104,8 +118,10 @@ val clflush : t -> ?label:string -> Pmem.Addr.t -> int -> unit
     point. *)
 
 val clflushopt : t -> ?label:string -> Pmem.Addr.t -> int -> unit
+
 val clwb : t -> ?label:string -> Pmem.Addr.t -> int -> unit
-(** Semantically identical to {!clflushopt} (paper §2). *)
+(** Same reordering semantics as {!clflushopt} (paper §2), but traces and
+    analysis passes see the distinct {!Analysis.Event.Clwb} kind. *)
 
 val sfence : t -> ?label:string -> unit -> unit
 val mfence : t -> ?label:string -> unit -> unit

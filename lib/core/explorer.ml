@@ -13,8 +13,10 @@ type outcome = {
 
 (* One complete scenario execution: run the pre-failure program; every
    injected failure aborts the current execution and starts the recovery
-   program on the surviving persistent state. *)
-let replay_once scn ctx =
+   program on the surviving persistent state. With a snapshot, the context is
+   restored to the captured crash instead and only recovery runs — the
+   pre-failure program (and any captured recovery prefix) is skipped. *)
+let replay_once ?snapshot scn ctx =
   let rec recover () =
     Ctx.after_crash ctx;
     try
@@ -22,10 +24,15 @@ let replay_once scn ctx =
       Ctx.finish_execution ctx
     with Ctx.Power_failure -> recover ()
   in
-  try
-    scn.pre ctx;
-    Ctx.finish_execution ctx
-  with Ctx.Power_failure -> recover ()
+  match snapshot with
+  | Some snap ->
+      Ctx.resume_from_snapshot ctx snap;
+      recover ()
+  | None -> (
+      try
+        scn.pre ctx;
+        Ctx.finish_execution ctx
+      with Ctx.Power_failure -> recover ())
 
 (* Deduplicating accumulators. To keep the outcome identical for every
    [jobs] value, deduplication cannot keep the first-discovered
@@ -45,11 +52,26 @@ type worker_result = {
   wr_stats : Stats.t;
 }
 
+(* [reserved] hands out global execution slots so the [max_executions]
+   budget holds across workers. Bounded CAS rather than fetch-and-add: the
+   counter never overshoots the budget, so a denied reservation — the only
+   thing that sets [capped] — by construction means an unexplored replay was
+   pending. A run whose tree needs exactly [max_executions] replays reserves
+   every slot and is never denied: it reports as exhausted, not cut short. *)
+let reserve_slot reserved ~budget =
+  let rec loop () =
+    let cur = Atomic.get reserved in
+    if cur >= budget then false
+    else if Atomic.compare_and_set reserved cur (cur + 1) then true
+    else loop ()
+  in
+  loop ()
+
 (* The per-worker replay loop: drain subtree tasks off the frontier until
-   the exploration completes or is stopped. [reserved] hands out global
-   execution slots so the [max_executions] budget holds across workers;
-   [stopped] is the stop-at-first-bug / budget-exhausted flag. *)
+   the exploration completes or is stopped. [stopped] is the
+   stop-at-first-bug / budget-exhausted flag. *)
 let worker ~config ~scn ~frontier ~reserved ~stopped ~capped () =
+  let snapshots = if config.Config.snapshot then Some (Snapshot.create_cache ()) else None in
   let bugs = Hashtbl.create 16 in
   let multi_rf : (string * Pmem.Addr.t, Ctx.multi_rf) Hashtbl.t = Hashtbl.create 16 in
   let perf : (Ctx.perf_report, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -80,8 +102,7 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~capped () =
     while !continue do
       if Atomic.get stopped then continue := false
       else begin
-        let slot = Atomic.fetch_and_add reserved 1 in
-        if slot >= config.Config.max_executions then begin
+        if not (reserve_slot reserved ~budget:config.Config.max_executions) then begin
           Atomic.set capped true;
           Atomic.set stopped true;
           Frontier.close frontier;
@@ -89,8 +110,11 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~capped () =
         end
         else begin
           Choice.begin_replay choice;
-          let ctx = Ctx.create ~config ~choice in
-          (try replay_once scn ctx with
+          let snapshot =
+            match snapshots with None -> None | Some cache -> Snapshot.find cache choice
+          in
+          let ctx = Ctx.create ?snapshots ~config ~choice () in
+          (try replay_once ?snapshot scn ctx with
           | Ctx.Power_failure -> assert false
           | Choice.Divergence _ as e -> raise e
           | Bug.Found (kind, location) -> record_bug ctx kind location

@@ -48,7 +48,14 @@ val run : ?config:Config.t -> scenario -> outcome
     produces byte-identical [bugs]/[multi_rf]/[perf] and identical [stats]
     (other than [wall_time]) for every [jobs] value. Runs cut short by
     [max_executions] or [stop_at_first_bug] may explore a different subset
-    of executions depending on [jobs] and timing. *)
+    of executions depending on [jobs] and timing.
+
+    With [config.snapshot] (the default) each worker keeps a cache of
+    failure-point snapshots: the first replay through a failure point
+    captures the persistent side of the context, and every later replay of
+    that crash subtree restores it and runs only recovery instead of
+    re-executing the pre-failure program. The outcome is byte-identical
+    (modulo [wall_time]) with snapshots on or off, for every [jobs] value. *)
 
 val found_bug : outcome -> bool
 val pp_outcome : Format.formatter -> outcome -> unit

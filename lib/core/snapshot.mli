@@ -1,0 +1,100 @@
+(** Failure-point snapshots: resumable captures of the persistent side of a
+    context, taken the first time an execution reaches a failure point, so
+    that every later replay of the same crash subtree skips re-executing the
+    pre-failure program and runs only recovery.
+
+    This is the reproduction's stand-in for Jaaru's fork-based rollback
+    (paper §4): where the original forks the process at the failure point and
+    resumes children from the frozen image, we capture the replay-relevant
+    state — the execution stack, the sequence counter, the per-thread TSO
+    buffers, the trace ring — keyed by the exact decision path that led
+    there. A replay whose recorded decisions begin with a snapshot's key is
+    guaranteed to reach the identical state, so the explorer fast-forwards
+    the choice cursor past the key and resumes at the crash.
+
+    Outcomes are byte-identical with snapshots on or off: the state restored
+    is exactly the state a full replay would recompute, buffered-drain
+    nondeterminism stays a live {!Choice.Drain} decision replayed on the
+    restored threads, and the pre-failure reports a skipped replay would
+    have produced are contributed by the (always-executed) first full replay
+    of that decision path, then deduplicated by the explorer's merge.
+
+    Caches are per-worker and never shared across domains. *)
+
+type key = (Choice.kind * int * int) array
+(** The decision path identifying a capture point: the triples of
+    {!Choice.consumed} up to the crash, including the taken
+    [Failure_point] decision itself for injected failures. *)
+
+type t = {
+  key : key;
+  stack : Exec.Exec_record.t list;
+      (** Master copies of the execution stack, top first; never mutated —
+          {!materialize} copies them again per restore. *)
+  seq : int;  (** Global store/flush sequence counter at the capture. *)
+  threads : Tso.Thread_state.t list;
+      (** Per-thread TSO state (store/flush buffers, timestamps); empty
+          buffers under eager eviction, live ones under buffered. *)
+  trace : Trace.t;  (** The trace ring as of the capture. *)
+  failure_count : int;  (** Before the crash increments it. *)
+  fp_count : int;
+  rng : int;  (** Schedule-fuzzing PRNG state. *)
+  last : string;
+  crash_label : string option;
+      (** The flush label for injected failures, [None] for {!Ctx.crash}. *)
+}
+
+val failure_key : Choice.t -> key
+(** The key of the failure point currently being considered: the consumed
+    decisions plus the pending take-the-crash [Failure_point] cell (which
+    the caller has not consumed yet — capture happens before the choose). *)
+
+val crash_key : Choice.t -> key
+(** The key of an unconditional {!Ctx.crash} site: exactly the consumed
+    decisions ({!Ctx.crash} consumes no cell of its own). *)
+
+val capture :
+  key:key ->
+  stack:Exec.Exec_stack.t ->
+  seq:int ->
+  threads:Tso.Thread_state.t list ->
+  trace:Trace.t ->
+  failure_count:int ->
+  fp_count:int ->
+  rng:int ->
+  last:string ->
+  crash_label:string option ->
+  t
+(** Deep-copies the live state into an immutable master snapshot. The top
+    execution record is fully cloned (the capturing replay keeps writing
+    into the original), buried records share their frozen store queues. *)
+
+val materialize : deep_top:bool -> t -> Exec.Exec_record.t list * Tso.Thread_state.t list
+(** Fresh mutable copies of the stack records and thread states for one
+    restore — the master stays pristine for the next hit. [deep_top] clones
+    the top record's store queues too; required under buffered eviction
+    (the drain at the restored crash pushes into them), skippable under
+    eager (the buffers are empty, so the restored top only ever sees
+    interval refinement, which works on the always-cloned lines). *)
+
+(** {1 Per-worker cache} *)
+
+type cache
+
+val create_cache : unit -> cache
+
+val mem : cache -> key -> bool
+(** Whether a snapshot with exactly this key is already cached — checked
+    before paying for a copy at an already-captured failure point. *)
+
+val store : cache -> t -> unit
+(** Inserts, pruning entries the depth-first search has lexicographically
+    passed and evicting the shallowest entries over the size cap. Eviction
+    only ever costs wall time: a missing snapshot is re-captured by the next
+    full replay of its path. *)
+
+val find : cache -> Choice.t -> t option
+(** The deepest cached snapshot whose key is a prefix of the upcoming
+    replay's recorded decisions (call between {!Choice.begin_replay} and the
+    replay). [None] means this replay must execute from the start — which is
+    exactly what (re)captures snapshots for its subtree. *)

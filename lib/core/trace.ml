@@ -24,6 +24,16 @@ let add t ev =
     if t.count < depth then t.count <- t.count + 1
   end
 
+let copy t = { slots = Array.copy t.slots; next = t.next; count = t.count; dropped = t.dropped }
+
+let restore t ~from =
+  if Array.length t.slots <> Array.length from.slots then
+    invalid_arg "Trace.restore: rings have different depths";
+  Array.blit from.slots 0 t.slots 0 (Array.length from.slots);
+  t.next <- from.next;
+  t.count <- from.count;
+  t.dropped <- from.dropped
+
 let clear t =
   t.next <- 0;
   t.count <- 0;

@@ -14,6 +14,13 @@ val enabled : t -> bool
 val add : t -> Analysis.Event.t -> unit
 val clear : t -> unit
 
+val copy : t -> t
+(** An independent ring with identical contents. *)
+
+val restore : t -> from:t -> unit
+(** Overwrites [t]'s contents with [from]'s. Both rings must have the same
+    depth (they come from the same {!Config.t}). *)
+
 val events : t -> Analysis.Event.t list
 (** Oldest first, at most [depth] entries. *)
 

@@ -2,13 +2,24 @@ type t = {
   id : int;
   queues : (Pmem.Addr.t, Store_queue.t) Hashtbl.t;
   lines : (int, Pmem.Interval.t) Hashtbl.t;
+  seq_bound : int;
+      (* Stores with seq > seq_bound are invisible to every read accessor:
+         a snapshot view shares the live record's queue table and hides the
+         entries pushed after the capture. [max_int] = unbounded. *)
   mutable store_count : int;
   mutable flush_count : int;
 }
 
 let create ~id =
   if id < 0 then invalid_arg "Exec_record.create: negative id";
-  { id; queues = Hashtbl.create 64; lines = Hashtbl.create 16; store_count = 0; flush_count = 0 }
+  {
+    id;
+    queues = Hashtbl.create 64;
+    lines = Hashtbl.create 16;
+    seq_bound = max_int;
+    store_count = 0;
+    flush_count = 0;
+  }
 
 let initial () = create ~id:0
 let id e = e.id
@@ -34,23 +45,108 @@ let cacheline e addr =
       iv
 
 let push_store e addr ~value ~seq ~label =
+  if e.seq_bound <> max_int then
+    invalid_arg "Exec_record.push_store: snapshot views are read-only";
   Store_queue.push (queue e addr) { Store_queue.value; seq; label };
   e.store_count <- e.store_count + 1
+
+(* Bounded store accessors: the visible history of [addr] is the queue prefix
+   with seq <= seq_bound. On unbounded records (the common case) this is the
+   whole queue. *)
+let stores_opt e addr =
+  match Hashtbl.find_opt e.queues addr with
+  | None -> None
+  | Some q ->
+      let n =
+        if e.seq_bound = max_int then Store_queue.length q
+        else Store_queue.count_le q e.seq_bound
+      in
+      if n = 0 then None else Some (q, n)
+
+let has_stores e addr = stores_opt e addr <> None
+let fold_stores f e addr acc =
+  match stores_opt e addr with
+  | None -> acc
+  | Some (q, n) -> Store_queue.fold_prefix f q n acc
+
+let first_store e addr =
+  match stores_opt e addr with None -> None | Some (q, _) -> Some (Store_queue.get q 0)
+
+let last_store e addr =
+  match stores_opt e addr with None -> None | Some (q, n) -> Some (Store_queue.get q (n - 1))
+
+let next_store_seq_after e addr s =
+  match stores_opt e addr with
+  | None -> Pmem.Interval.infinity
+  | Some (q, _) ->
+      let r = Store_queue.next_seq_after q s in
+      if r > e.seq_bound then Pmem.Interval.infinity else r
 
 let flush_line e addr ~seq =
   Pmem.Interval.raise_lo (cacheline e addr) seq;
   e.flush_count <- e.flush_count + 1
 
+let copy_lines e =
+  let lines = Hashtbl.create (max 16 (Hashtbl.length e.lines)) in
+  Hashtbl.iter (fun line iv -> Hashtbl.add lines line (Pmem.Interval.copy iv)) e.lines;
+  lines
+
+(* A read-only view that stays correct while the original keeps executing,
+   for the failure-point snapshot layer. Line intervals are duplicated: the
+   recovery read-from analysis refines them in place even on buried records
+   (UpdateRanges). The per-byte store queues are *shared* — queue entries are
+   immutable, appends only ever add entries with larger seqs, and the view's
+   [seq_bound] hides everything pushed after the capture. Capture cost is
+   therefore O(lines touched), independent of how many stores the pre-failure
+   program executed. *)
+let snapshot_view ?bound e =
+  let seq_bound = match bound with None -> e.seq_bound | Some b -> min b e.seq_bound in
+  {
+    id = e.id;
+    queues = e.queues;
+    lines = copy_lines e;
+    seq_bound;
+    store_count = e.store_count;
+    flush_count = e.flush_count;
+  }
+
+(* A private, physically truncated copy of a view: entries beyond the view's
+   seq_bound are dropped and the result is unbounded, so it may receive new
+   stores. Needed for a restored top record under buffered eviction, where
+   the drain at the crash pushes the surviving buffer entries into it. *)
+let snapshot_freeze e =
+  let queues = Hashtbl.create (max 16 (Hashtbl.length e.queues)) in
+  Hashtbl.iter
+    (fun addr q ->
+      let n =
+        if e.seq_bound = max_int then Store_queue.length q
+        else Store_queue.count_le q e.seq_bound
+      in
+      if n > 0 then Hashtbl.add queues addr (Store_queue.truncated_copy q n))
+    e.queues;
+  {
+    id = e.id;
+    queues;
+    lines = copy_lines e;
+    seq_bound = max_int;
+    store_count = e.store_count;
+    flush_count = e.flush_count;
+  }
+
 let store_count e = e.store_count
 let flush_count e = e.flush_count
-let written_addrs e = Hashtbl.fold (fun addr _ acc -> addr :: acc) e.queues []
+
+let written_addrs e =
+  Hashtbl.fold (fun addr _ acc -> if has_stores e addr then addr :: acc else acc) e.queues []
 
 let unflushed_store_count e addr =
-  match queue_opt e addr with
+  match stores_opt e addr with
   | None -> 0
-  | Some q ->
+  | Some (q, n) ->
       let lo = Pmem.Interval.lo (cacheline e addr) in
-      Store_queue.fold (fun entry n -> if entry.Store_queue.seq > lo then n + 1 else n) q 0
+      Store_queue.fold_prefix
+        (fun entry m -> if entry.Store_queue.seq > lo then m + 1 else m)
+        q n 0
 
 let pp ppf e =
   Format.fprintf ppf "exec#%d: %d stores, %d flushes over %d addrs" e.id e.store_count

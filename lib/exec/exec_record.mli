@@ -40,6 +40,49 @@ val flush_line : t -> Pmem.Addr.t -> seq:int -> unit
 (** Raises the line's last-writeback lower bound to [seq] (a [clflush] or an
     evicted [clflushopt] took effect). *)
 
+(** {1 Bounded store accessors}
+
+    Read paths must use these instead of touching {!queue_opt} directly: a
+    snapshot view (below) shares the live record's queue table and hides
+    every store pushed after the capture behind a sequence-number bound, and
+    only these accessors apply that bound. On ordinary records they see the
+    whole queue. *)
+
+val has_stores : t -> Pmem.Addr.t -> bool
+(** Whether [addr] has at least one visible store. *)
+
+val fold_stores : (Store_queue.entry -> 'a -> 'a) -> t -> Pmem.Addr.t -> 'a -> 'a
+(** Oldest-first fold over the visible stores of [addr]. *)
+
+val first_store : t -> Pmem.Addr.t -> Store_queue.entry option
+val last_store : t -> Pmem.Addr.t -> Store_queue.entry option
+
+val next_store_seq_after : t -> Pmem.Addr.t -> int -> int
+(** The sequence number of the oldest visible store of [addr] strictly newer
+    than the given seq, or {!Pmem.Interval.infinity} — the paper's "next
+    tuple" bound used to refine interval upper ends. *)
+
+(** {1 Snapshot copies}
+
+    Building blocks of the failure-point snapshot layer. *)
+
+val snapshot_view : ?bound:int -> t -> t
+(** A read-only view (same [id]) that stays correct while the original keeps
+    executing. Line intervals are duplicated, because recovery reads refine
+    them in place even on buried records; the store queues are shared, with
+    stores newer than [bound] hidden from the accessors above (queue entries
+    are immutable and appends carry strictly larger seqs, so the prefix up
+    to [bound] is frozen). Capture cost is O(lines touched), independent of
+    the store count. [bound] defaults to the record's own bound; views of
+    views compose by taking the minimum. Pushing into a view raises
+    [Invalid_argument]. *)
+
+val snapshot_freeze : t -> t
+(** A private, physically truncated copy of a view: stores beyond the view's
+    bound are dropped and the copy is unbounded, so it may receive new
+    stores — needed for a restored top record under buffered eviction, where
+    the drain at the crash pushes the surviving buffer entries into it. *)
+
 val store_count : t -> int
 (** Total byte stores recorded. *)
 

@@ -21,5 +21,14 @@ let push_fresh s =
   s.execs <- e :: s.execs;
   e
 
+let restore s records =
+  match records with
+  | [] -> invalid_arg "Exec_stack.restore: empty record list"
+  | _ ->
+      let bottom = List.nth records (List.length records - 1) in
+      if not (Exec_record.is_initial bottom) then
+        invalid_arg "Exec_stack.restore: bottom record must be the initial image";
+      s.execs <- records
+
 let depth s = List.length s.execs - 1
 let to_list s = s.execs

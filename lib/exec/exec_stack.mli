@@ -21,6 +21,12 @@ val push_fresh : t -> Exec_record.t
 (** Simulates a power failure: pushes and returns a new empty execution on
     top of the stack. Volatile state is the caller's to reset. *)
 
+val restore : t -> Exec_record.t list -> unit
+(** Replaces the whole stack with the given records (top first). The caller
+    owns the records — the snapshot layer passes freshly materialised
+    copies. Raises [Invalid_argument] if the list is empty or its bottom is
+    not the {!Exec_record.initial} image. *)
+
 val depth : t -> int
 (** Number of non-initial executions. 1 after {!create}. *)
 

@@ -26,15 +26,12 @@ let rec read_pre_failure stack e addr =
     let cl = Exec_record.cacheline e addr in
     let lo = Pmem.Interval.lo cl and hi = Pmem.Interval.hi cl in
     let in_window, newest_le_lo =
-      match Exec_record.queue_opt e addr with
-      | None -> ([], None)
-      | Some q ->
-          Store_queue.fold
-            (fun entry (wins, best) ->
-              if entry.Store_queue.seq <= lo then (wins, Some entry)
-              else if entry.Store_queue.seq < hi then (entry :: wins, best)
-              else (wins, best))
-            q ([], None)
+      Exec_record.fold_stores
+        (fun entry (wins, best) ->
+          if entry.Store_queue.seq <= lo then (wins, Some entry)
+          else if entry.Store_queue.seq < hi then (entry :: wins, best)
+          else (wins, best))
+        e addr ([], None)
     in
     (* [in_window] is newest-first already (fold is oldest-first, cons reverses). *)
     let wins = List.map (source_of_entry e) in_window in
@@ -47,26 +44,20 @@ let build_may_read_from ?sb_value stack addr =
   | Some (value, label) -> [ source_from_current stack ~value ~label ]
   | None -> (
       let top = Exec_stack.top stack in
-      match Exec_record.queue_opt top addr with
-      | Some q when not (Store_queue.is_empty q) -> (
-          match Store_queue.last q with
-          | Some e ->
-              (* A store of the current execution carries no persistency
-                 constraint: the paper's ⟨top(exec), _, val⟩ tuple. *)
-              [ { exec = top; seq = None; value = e.value; label = e.label } ]
-          | None -> assert false)
-      | Some _ | None -> read_pre_failure stack (Exec_stack.prev stack top) addr)
+      match Exec_record.last_store top addr with
+      | Some e ->
+          (* A store of the current execution carries no persistency
+             constraint: the paper's ⟨top(exec), _, val⟩ tuple. *)
+          [ { exec = top; seq = None; value = e.Store_queue.value; label = e.Store_queue.label } ]
+      | None -> read_pre_failure stack (Exec_stack.prev stack top) addr)
 
 (* UpdateRanges (Fig. 10). Walk down from the execution just below the current
    one to the source's execution, refining each line interval. *)
 let rec update_ranges stack ec addr src =
   if Exec_record.id ec <> Exec_record.id src.exec then begin
     let cl = Exec_record.cacheline ec addr in
-    (match Exec_record.queue_opt ec addr with
-    | Some q -> (
-        match Store_queue.first q with
-        | Some f -> Pmem.Interval.lower_hi cl f.seq
-        | None -> ())
+    (match Exec_record.first_store ec addr with
+    | Some f -> Pmem.Interval.lower_hi cl f.Store_queue.seq
     | None -> ());
     update_ranges stack (Exec_stack.prev stack ec) addr src
   end
@@ -77,12 +68,7 @@ let rec update_ranges stack ec addr src =
     | Some seq ->
         let cl = Exec_record.cacheline ec addr in
         Pmem.Interval.raise_lo cl seq;
-        let next =
-          match Exec_record.queue_opt ec addr with
-          | None -> Pmem.Interval.infinity
-          | Some q -> Store_queue.next_seq_after q seq
-        in
-        Pmem.Interval.lower_hi cl next
+        Pmem.Interval.lower_hi cl (Exec_record.next_store_seq_after ec addr seq)
 
 let do_read stack addr src =
   let top = Exec_stack.top stack in

@@ -21,12 +21,36 @@ let push q e =
   q.entries.(q.len) <- e;
   q.len <- q.len + 1
 
+let copy q = { entries = Array.copy q.entries; len = q.len }
+
+let truncated_copy q n =
+  let n = min n q.len in
+  { entries = Array.sub q.entries 0 n; len = n }
+
 let get q i =
   if i < 0 || i >= q.len then invalid_arg "Store_queue.get: index out of range";
   q.entries.(i)
 
 let first q = if q.len = 0 then None else Some q.entries.(0)
 let last q = if q.len = 0 then None else Some q.entries.(q.len - 1)
+
+let count_le q s =
+  (* Binary search: number of entries with seq <= s (seqs strictly increase). *)
+  let rec loop lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if q.entries.(mid).seq <= s then loop (mid + 1) hi else loop lo mid
+  in
+  loop 0 q.len
+
+let fold_prefix f q n acc =
+  let n = min n q.len in
+  let acc = ref acc in
+  for i = 0 to n - 1 do
+    acc := f q.entries.(i) !acc
+  done;
+  !acc
 
 let next_seq_after q s =
   (* Binary search for the oldest entry with seq > s. *)

@@ -18,11 +18,26 @@ val is_empty : t -> bool
 val push : t -> entry -> unit
 (** Appends a store. Its [seq] must exceed the last entry's. *)
 
+val copy : t -> t
+(** An independent copy: pushes to either queue never affect the other
+    (entries themselves are immutable and shared). Used by the failure-point
+    snapshot layer. *)
+
+val truncated_copy : t -> int -> t
+(** [truncated_copy q n] is an independent copy of the oldest [n] entries. *)
+
 val get : t -> int -> entry
 (** [get q i] is the [i]-th oldest entry. *)
 
 val first : t -> entry option
 val last : t -> entry option
+
+val count_le : t -> int -> int
+(** [count_le q s] is the number of entries with [seq <= s] (binary search —
+    seqs strictly increase). Used to bound reads to a snapshot's prefix. *)
+
+val fold_prefix : (entry -> 'a -> 'a) -> t -> int -> 'a -> 'a
+(** [fold_prefix f q n acc] folds the oldest [n] entries (oldest first). *)
 
 val next_seq_after : t -> int -> int
 (** [next_seq_after q s] is the sequence number of the oldest entry strictly

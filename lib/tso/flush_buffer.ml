@@ -17,5 +17,6 @@ let drain fb f =
   in
   loop ()
 
+let copy fb = { q = Queue.copy fb.q }
 let entries fb = List.of_seq (Queue.to_seq fb.q)
 let clear fb = Queue.clear fb.q

@@ -20,5 +20,8 @@ val drain : t -> (entry -> unit) -> unit
 (** Applies the callback to every entry (insertion order) and empties the
     buffer. *)
 
+val copy : t -> t
+(** An independent copy of the buffer; entries are immutable and shared. *)
+
 val entries : t -> entry list
 val clear : t -> unit

@@ -27,5 +27,6 @@ let pending_writes sb =
     (fun acc e -> acc || match e with Store _ -> true | Clflush _ | Clflushopt _ | Sfence -> false)
     false sb.q
 
+let copy sb = { q = Queue.copy sb.q }
 let entries sb = List.of_seq (Queue.to_seq sb.q)
 let clear sb = Queue.clear sb.q

@@ -33,6 +33,9 @@ val bypass : t -> Pmem.Addr.t -> (int * string) option
 val pending_writes : t -> bool
 (** Whether any buffered entry is a store. *)
 
+val copy : t -> t
+(** An independent copy of the FIFO; entries are immutable and shared. *)
+
 val entries : t -> entry list
 (** Oldest first. *)
 

@@ -9,6 +9,15 @@ type t = {
 let create ~tid =
   { tid; sb = Store_buffer.create (); fb = Flush_buffer.create (); line_ts = Hashtbl.create 16; fence_ts = 0 }
 
+let copy th =
+  {
+    tid = th.tid;
+    sb = Store_buffer.copy th.sb;
+    fb = Flush_buffer.copy th.fb;
+    line_ts = Hashtbl.copy th.line_ts;
+    fence_ts = th.fence_ts;
+  }
+
 let tid th = th.tid
 let store_buffer th = th.sb
 let flush_buffer th = th.fb

@@ -10,6 +10,13 @@
 type t
 
 val create : tid:int -> t
+
+val copy : t -> t
+(** An independent copy of the whole per-thread volatile state: store buffer,
+    flush buffer and timestamps. Used by the failure-point snapshot layer to
+    freeze the state at a crash so that the buffered-drain decisions can be
+    replayed on a restored copy later. *)
+
 val tid : t -> int
 val store_buffer : t -> Store_buffer.t
 val flush_buffer : t -> Flush_buffer.t

@@ -112,7 +112,7 @@ let check ?(config = Jaaru.Config.default) ?(state_limit = 20_000) ~pre ~post ()
      failure-injection point. *)
   let snapshots = ref [] in
   let choice = Jaaru.Choice.create () in
-  let ctx = Jaaru.Ctx.create ~config ~choice in
+  let ctx = Jaaru.Ctx.create ~config ~choice () in
   Jaaru.Ctx.set_failure_point_hook ctx (fun _label ->
       snapshots := snapshot_record (Exec.Exec_stack.top (Jaaru.Ctx.exec_stack ctx)) :: !snapshots);
   pre ctx;
@@ -129,7 +129,7 @@ let check ?(config = Jaaru.Config.default) ?(state_limit = 20_000) ~pre ~post ()
       let n, trunc =
         enumerate_states snapshot ~limit:!budget ~f:(fun state ->
             let choice = Jaaru.Choice.create () in
-            let ctx = Jaaru.Ctx.create ~config ~choice in
+            let ctx = Jaaru.Ctx.create ~config ~choice () in
             Jaaru.Ctx.install_concrete_state ctx state;
             let obs, bug = observe ctx post in
             Hashtbl.replace behaviors obs ();
@@ -158,7 +158,7 @@ let jaaru_behaviors ?(config = Jaaru.Config.default) ~pre ~post () =
   let stop = ref false in
   while not !stop do
     Jaaru.Choice.begin_replay choice;
-    let ctx = Jaaru.Ctx.create ~config ~choice in
+    let ctx = Jaaru.Ctx.create ~config ~choice () in
     (try
        pre ctx;
        Jaaru.Ctx.finish_execution ctx

@@ -45,7 +45,7 @@ let log10_add a b =
 let analyze ?(config = Jaaru.Config.default) pre =
   let config = { config with Jaaru.Config.max_failures = 1 } in
   let choice = Jaaru.Choice.create () in
-  let ctx = Jaaru.Ctx.create ~config ~choice in
+  let ctx = Jaaru.Ctx.create ~config ~choice () in
   let total = ref neg_infinity in
   let fps = ref 0 in
   let max_line = ref 1 in

@@ -1,0 +1,368 @@
+(* The failure-point snapshot/resume layer: outcomes must be byte-identical
+   with snapshots on or off for every --jobs value, while the pre-failure
+   program actually runs only once per decision path — plus regression tests
+   for the replay-path fixes that ride along (clwb event kind, exact
+   execution-budget accounting, parallel-section join/drain scope). *)
+open Jaaru
+
+let base = 0x1000
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* --- Choice: snapshot keys ------------------------------------------------- *)
+
+let test_choice_consumed_and_matches () =
+  let c = Choice.create () in
+  Choice.begin_replay c;
+  ignore (Choice.choose c Choice.Failure_point 2);
+  ignore (Choice.choose c Choice.Read_from 3);
+  let key = Choice.consumed c in
+  Alcotest.(check int) "two consumed decisions" 2 (Array.length key);
+  Alcotest.(check bool)
+    "consumed records kind/num/chosen" true
+    (key = [| (Choice.Failure_point, 2, 0); (Choice.Read_from, 3, 0) |]);
+  (* Advance flips the deepest cell: the next replay reads [RF = 1]. *)
+  Alcotest.(check bool) "advance has work" true (Choice.advance c);
+  Choice.begin_replay c;
+  Alcotest.(check bool)
+    "prefix with matching chosen" true
+    (Choice.recorded_matches c [| (Choice.Failure_point, 2, 0) |]);
+  Alcotest.(check bool)
+    "full path with flipped cell" true
+    (Choice.recorded_matches c [| (Choice.Failure_point, 2, 0); (Choice.Read_from, 3, 1) |]);
+  Alcotest.(check bool)
+    "wrong chosen rejected" false
+    (Choice.recorded_matches c [| (Choice.Failure_point, 2, 1) |]);
+  Alcotest.(check bool)
+    "longer than the record rejected" false
+    (Choice.recorded_matches c
+       [|
+         (Choice.Failure_point, 2, 0); (Choice.Read_from, 3, 1); (Choice.Drain, 2, 0);
+       |])
+
+let test_choice_fast_forward () =
+  let c = Choice.create () in
+  Choice.begin_replay c;
+  ignore (Choice.choose c Choice.Failure_point 2);
+  ignore (Choice.choose c Choice.Read_from 3);
+  ignore (Choice.advance c);
+  Choice.begin_replay c;
+  Choice.fast_forward c 1;
+  Alcotest.(check int) "cursor moved" 1 (Choice.depth c);
+  (* The next decision is the recorded (flipped) Read_from cell. *)
+  Alcotest.(check int) "replays the recorded cell" 1 (Choice.choose c Choice.Read_from 3);
+  Alcotest.(check bool)
+    "cannot rewind" true
+    (match Choice.fast_forward c 0 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- outcome equivalence: snapshot on/off x jobs --------------------------- *)
+
+let outcome_text (o : Explorer.outcome) =
+  let o = { o with Explorer.stats = { o.Explorer.stats with Stats.wall_time = 0. } } in
+  Format.asprintf "%a" Explorer.pp_outcome o
+
+let check_snapshot_equivalence name scenario config =
+  let config = { config with Config.stop_at_first_bug = false } in
+  let reference =
+    Explorer.run ~config:{ config with Config.snapshot = false; jobs = 1 } scenario
+  in
+  let ref_text = outcome_text reference in
+  Alcotest.(check bool)
+    (name ^ ": reference explored something") true
+    (reference.Explorer.stats.Stats.executions > 0);
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun snapshot ->
+          let o =
+            Explorer.run ~config:{ config with Config.snapshot = snapshot; jobs } scenario
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: jobs=%d snapshot=%b byte-identical" name jobs snapshot)
+            ref_text (outcome_text o))
+        [ true; false ])
+    [ 1; 2; 4 ]
+
+let flush_loop_scenario () =
+  Explorer.scenario ~name:"flush-loop"
+    ~pre:(fun ctx ->
+      for i = 0 to 3 do
+        Ctx.store64 ctx ~label:"w" (base + (64 * i)) (i + 1);
+        Ctx.clflush ctx ~label:"f" (base + (64 * i)) 8
+      done)
+    ~post:(fun ctx ->
+      for i = 0 to 3 do
+        ignore (Ctx.load64 ctx ~label:"r" (base + (64 * i)))
+      done)
+
+let test_equivalence_eager () =
+  check_snapshot_equivalence "eager" (flush_loop_scenario ()) Config.default
+
+let test_equivalence_buffered () =
+  check_snapshot_equivalence "buffered" (flush_loop_scenario ())
+    { Config.default with Config.evict_policy = Config.Buffered }
+
+let test_equivalence_multi_failure () =
+  check_snapshot_equivalence "multi-failure" (flush_loop_scenario ())
+    { Config.default with Config.max_failures = 2 }
+
+let test_equivalence_explicit_crash () =
+  (* [Ctx.crash] with a decision-free pre: the snapshot key is empty and
+     every replay after the first resumes straight at the crash. *)
+  let scn =
+    Explorer.scenario ~name:"explicit-crash"
+      ~pre:(fun ctx ->
+        Ctx.store64 ctx ~label:"a" base 1;
+        Ctx.store64 ctx ~label:"b" (base + 8) 2;
+        Ctx.crash ctx)
+      ~post:(fun ctx ->
+        ignore (Ctx.load64 ctx ~label:"ra" base);
+        ignore (Ctx.load64 ctx ~label:"rb" (base + 8)))
+  in
+  check_snapshot_equivalence "explicit-crash eager" scn
+    { Config.default with Config.max_failures = 0 };
+  (* Buffered: the drain prefix at the crash stays a live decision replayed
+     on the restored store buffers. *)
+  check_snapshot_equivalence "explicit-crash buffered" scn
+    { Config.default with Config.max_failures = 0; evict_policy = Config.Buffered }
+
+let test_equivalence_analysis () =
+  check_snapshot_equivalence "analysis" (flush_loop_scenario ())
+    { Config.default with Config.analyze = true }
+
+let test_equivalence_pmdk () =
+  let c = List.hd (Pmdk.Workloads.fig12_cases ()) in
+  check_snapshot_equivalence c.Pmdk.Workloads.id c.Pmdk.Workloads.scenario
+    c.Pmdk.Workloads.config
+
+let test_equivalence_recipe () =
+  let c = List.hd (Recipe.Workloads.fig13_cases ()) in
+  check_snapshot_equivalence c.Recipe.Workloads.id c.Recipe.Workloads.scenario
+    c.Recipe.Workloads.config
+
+(* --- snapshots actually skip the pre-failure program ----------------------- *)
+
+let test_snapshot_skips_pre () =
+  let pre_runs = ref 0 in
+  let scn =
+    Explorer.scenario ~name:"skip-pre"
+      ~pre:(fun ctx ->
+        incr pre_runs;
+        for i = 0 to 3 do
+          Ctx.store64 ctx ~label:"w" (base + (64 * i)) (i + 1);
+          Ctx.clflush ctx ~label:"f" (base + (64 * i)) 8
+        done)
+      ~post:(fun ctx ->
+        for i = 0 to 3 do
+          ignore (Ctx.load64 ctx ~label:"r" (base + (64 * i)))
+        done)
+  in
+  let run snapshot =
+    pre_runs := 0;
+    let o = Explorer.run ~config:{ Config.default with Config.snapshot = snapshot } scn in
+    (o.Explorer.stats.Stats.executions, !pre_runs)
+  in
+  let execs_on, pre_on = run true in
+  let execs_off, pre_off = run false in
+  Alcotest.(check int) "same execution count either way" execs_off execs_on;
+  Alcotest.(check int) "off: pre re-executes every replay" execs_off pre_off;
+  Alcotest.(check bool) "the space has crash subtrees" true (execs_off > 1);
+  (* The pre-failure path has no decisions of its own, so one full replay
+     captures every failure point on it and all later replays resume. *)
+  Alcotest.(check int) "on: pre executes exactly once" 1 pre_on
+
+(* --- execution budget: exact accounting ------------------------------------ *)
+
+let test_exact_budget_not_capped () =
+  let scn = flush_loop_scenario () in
+  let probe = Explorer.run ~config:Config.default scn in
+  Alcotest.(check bool) "probe exhausts the space" true probe.Explorer.stats.Stats.exhausted;
+  let e = probe.Explorer.stats.Stats.executions in
+  Alcotest.(check bool) "probe explored several executions" true (e > 2);
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun snapshot ->
+          let run max_executions =
+            Explorer.run
+              ~config:{ Config.default with Config.max_executions; jobs; snapshot }
+              scn
+          in
+          let o = run e in
+          Alcotest.(check bool)
+            (Printf.sprintf "budget=space jobs=%d snapshot=%b: exhausted" jobs snapshot)
+            true o.Explorer.stats.Stats.exhausted;
+          Alcotest.(check int)
+            (Printf.sprintf "budget=space jobs=%d snapshot=%b: all explored" jobs snapshot)
+            e o.Explorer.stats.Stats.executions;
+          let o = run (e - 1) in
+          Alcotest.(check bool)
+            (Printf.sprintf "budget=space-1 jobs=%d snapshot=%b: capped" jobs snapshot)
+            false o.Explorer.stats.Stats.exhausted)
+        [ true; false ])
+    [ 1; 2; 4 ]
+
+(* --- clwb is a distinct flush kind ----------------------------------------- *)
+
+let test_clwb_event_render () =
+  Alcotest.(check string)
+    "clwb renders as clwb" "clwb persist line 0x1000"
+    (Analysis.Event.render
+       (Analysis.Event.Flush
+          { line_addr = 0x1000; kind = Analysis.Event.Clwb; tid = 0; label = "persist" }));
+  Alcotest.(check string)
+    "clflushopt still renders as clflushopt" "clflushopt persist line 0x1000"
+    (Analysis.Event.render
+       (Analysis.Event.Flush
+          { line_addr = 0x1000; kind = Analysis.Event.Clflushopt; tid = 0; label = "persist" }))
+
+let test_clwb_bug_trace () =
+  let scn =
+    Explorer.scenario ~name:"clwb-trace"
+      ~pre:(fun ctx ->
+        Ctx.store64 ctx ~label:"w" base 1;
+        Ctx.clwb ctx ~label:"persist" base 8;
+        Ctx.sfence ctx ~label:"fence" ())
+      ~post:(fun ctx ->
+        Ctx.check ctx ~label:"inv" (Ctx.load64 ctx ~label:"r" base = 999) "always fails")
+  in
+  let o = Explorer.run ~config:{ Config.default with Config.stop_at_first_bug = false } scn in
+  Alcotest.(check bool) "bug found" true (Explorer.found_bug o);
+  let lines = List.concat_map (fun b -> b.Bug.trace) o.Explorer.bugs in
+  Alcotest.(check bool)
+    "trace names the clwb instruction" true
+    (List.exists (contains ~needle:"clwb persist") lines);
+  Alcotest.(check bool)
+    "trace does not mislabel it clflushopt" false
+    (List.exists (contains ~needle:"clflushopt") lines)
+
+(* --- parallel sections: join drains only the section's fibers -------------- *)
+
+let test_join_drains_only_section_fibers () =
+  (* Fiber A has a store sitting in its private store buffer while fiber B
+     completes a nested parallel section. B's inner join must not drain A's
+     buffer (there is no synchronisation edge between B's join and A), so
+     B's read of A's address still sees the initial value. *)
+  let observed = ref (-1) in
+  let scn =
+    Explorer.scenario ~name:"sibling-buffer"
+      ~pre:(fun ctx ->
+        Ctx.parallel ctx
+          [
+            (fun ctx ->
+              Ctx.store64 ctx ~label:"A1" base 42;
+              Ctx.store64 ctx ~label:"A2" (base + 8) 1;
+              Ctx.store64 ctx ~label:"A3" (base + 16) 1);
+            (fun ctx ->
+              Ctx.store64 ctx ~label:"B1" (base + 24) 2;
+              Ctx.parallel ctx [ (fun ctx -> Ctx.store64 ctx ~label:"C1" (base + 32) 3) ];
+              observed := Ctx.load64 ctx ~label:"B-read" base);
+          ])
+      ~post:(fun _ -> ())
+  in
+  let config =
+    { Config.default with Config.evict_policy = Config.Buffered; max_failures = 0 }
+  in
+  let o = Explorer.run ~config scn in
+  Alcotest.(check bool) "no bugs" true (o.Explorer.bugs = []);
+  Alcotest.(check int) "sibling store still buffered across the inner join" 0 !observed
+
+let test_sequential_sections_sync_edges () =
+  (* Many back-to-back sections: each join still makes its own fibers'
+     stores visible to the parent, and dead fibers are dropped from the
+     live-thread set rather than accumulating. *)
+  let n = 50 in
+  let scn =
+    Explorer.scenario ~name:"sequential-sections"
+      ~pre:(fun ctx ->
+        for i = 0 to n - 1 do
+          let addr = base + (8 * i) in
+          Ctx.parallel ctx [ (fun ctx -> Ctx.store64 ctx ~label:"fiber" addr (i + 1)) ];
+          Ctx.check ctx ~label:"join"
+            (Ctx.load64 ctx ~label:"after-join" addr = i + 1)
+            "fiber store visible after its join"
+        done)
+      ~post:(fun _ -> ())
+  in
+  let config =
+    { Config.default with Config.evict_policy = Config.Buffered; max_failures = 0 }
+  in
+  let o = Explorer.run ~config scn in
+  Alcotest.(check bool) "no bugs" true (o.Explorer.bugs = []);
+  Alcotest.(check bool) "exhausted" true o.Explorer.stats.Stats.exhausted
+
+(* The mechanism snapshots are built on: a bounded view shares the live
+   record's store queues but hides everything pushed after the capture, and a
+   freeze physically truncates to the bound and accepts new stores again. *)
+let test_bounded_view () =
+  let e = Exec.Exec_record.create ~id:1 in
+  let addr = 0x40 in
+  Exec.Exec_record.push_store e addr ~value:1 ~seq:1 ~label:"a";
+  Exec.Exec_record.push_store e addr ~value:2 ~seq:2 ~label:"b";
+  let view = Exec.Exec_record.snapshot_view ~bound:2 e in
+  Exec.Exec_record.push_store e addr ~value:3 ~seq:5 ~label:"c";
+  Exec.Exec_record.push_store e 0x80 ~value:9 ~seq:6 ~label:"d";
+  let last r =
+    match Exec.Exec_record.last_store r addr with
+    | Some entry -> entry.Exec.Store_queue.value
+    | None -> -1
+  in
+  Alcotest.(check int) "live record sees the newest store" 3 (last e);
+  Alcotest.(check int) "view still ends at the capture" 2 (last view);
+  Alcotest.(check bool)
+    "address first stored after the capture is invisible" false
+    (Exec.Exec_record.has_stores view 0x80);
+  Alcotest.(check int) "fold stops at the bound" 2
+    (Exec.Exec_record.fold_stores (fun _ n -> n + 1) view addr 0);
+  Alcotest.(check int) "next-seq beyond the bound is infinity" Pmem.Interval.infinity
+    (Exec.Exec_record.next_store_seq_after view addr 2);
+  Alcotest.(check int) "next-seq inside the bound" 2
+    (Exec.Exec_record.next_store_seq_after view addr 1);
+  Alcotest.check_raises "views are read-only"
+    (Invalid_argument "Exec_record.push_store: snapshot views are read-only") (fun () ->
+      Exec.Exec_record.push_store view addr ~value:7 ~seq:9 ~label:"x");
+  let frozen = Exec.Exec_record.snapshot_freeze view in
+  Exec.Exec_record.push_store frozen addr ~value:4 ~seq:7 ~label:"drain";
+  Alcotest.(check int) "freeze accepts the drained store" 4 (last frozen);
+  Alcotest.(check int) "the live record is unaffected by the freeze" 3 (last e);
+  Alcotest.(check int) "the view is unaffected by the freeze" 2 (last view)
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "choice-keys",
+        [
+          Alcotest.test_case "consumed / recorded_matches" `Quick test_choice_consumed_and_matches;
+          Alcotest.test_case "fast_forward" `Quick test_choice_fast_forward;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "eager litmus" `Quick test_equivalence_eager;
+          Alcotest.test_case "buffered litmus" `Quick test_equivalence_buffered;
+          Alcotest.test_case "multi-failure" `Quick test_equivalence_multi_failure;
+          Alcotest.test_case "explicit crash" `Quick test_equivalence_explicit_crash;
+          Alcotest.test_case "analysis passes" `Quick test_equivalence_analysis;
+          Alcotest.test_case "PMDK case" `Quick test_equivalence_pmdk;
+          Alcotest.test_case "RECIPE case" `Quick test_equivalence_recipe;
+        ] );
+      ( "resume",
+        [ Alcotest.test_case "pre runs exactly once" `Quick test_snapshot_skips_pre ] );
+      ("bounded-view", [ Alcotest.test_case "seq-bound semantics" `Quick test_bounded_view ]);
+      ( "budget",
+        [ Alcotest.test_case "exact budget is exhausted" `Quick test_exact_budget_not_capped ] );
+      ( "clwb",
+        [
+          Alcotest.test_case "event render" `Quick test_clwb_event_render;
+          Alcotest.test_case "bug trace kind" `Quick test_clwb_bug_trace;
+        ] );
+      ( "parallel-drain",
+        [
+          Alcotest.test_case "join scope" `Quick test_join_drains_only_section_fibers;
+          Alcotest.test_case "sequential sections" `Quick test_sequential_sections_sync_edges;
+        ] );
+    ]
