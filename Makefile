@@ -29,10 +29,11 @@ check: build test parallel-smoke lint
 bench: build
 	dune exec bench/main.exe
 
-# Seconds-long subset of the snapshot bench section: asserts that outcomes
-# stay byte-identical with the failure-point snapshot layer on and off.
+# Seconds-long subsets of the snapshot and memo bench sections: assert that
+# outcomes stay byte-identical with the failure-point snapshot layer and the
+# crash-state memoization layer on and off.
 bench-smoke: build
-	dune exec bench/main.exe -- snapshot-smoke
+	dune exec bench/main.exe -- snapshot-smoke memo-smoke
 
 clean:
 	dune clean

@@ -158,8 +158,7 @@ let same_outcome (a : Explorer.outcome) (b : Explorer.outcome) =
   && a.Explorer.multi_rf = b.Explorer.multi_rf
   && a.Explorer.perf = b.Explorer.perf
   && a.Explorer.findings = b.Explorer.findings
-  && { a.Explorer.stats with Stats.wall_time = 0. }
-     = { b.Explorer.stats with Stats.wall_time = 0. }
+  && Stats.comparable a.Explorer.stats = Stats.comparable b.Explorer.stats
 
 let scaling () =
   section_header "Scaling: domain-parallel exploration (jobs=1 vs jobs=N, Fig. 14 workloads)";
@@ -292,6 +291,71 @@ let snapshot_bench ~smoke =
   (* The full run must demonstrate the >= 2x reduction; the smoke run only
      guards the byte-identity asserts and that the layer engages at all. *)
   if not smoke then assert (best >= 2.)
+
+(* --- crash-state memoization ---------------------------------------------------- *)
+
+(* The memoization layer (Config.memo): at each committed crash the surviving
+   persistent state is canonicalized (sequence numbers rank-normalized, so
+   different drain-cut vectors persisting the same bytes collide) and fully
+   explored recovery subtrees are replayed from a cached verdict instead of
+   re-executed. Redundant crash states arise from concurrency: two writer
+   threads running the same code reach the same persistent state through many
+   schedule/drain combinations, and every duplicate's recovery subtree is
+   skipped. Outcomes must stay byte-identical with the layer on or off — the
+   only observable differences are the diagnostic hit counters and wall
+   time. *)
+let memo_row ~label ~jobs config scn =
+  let run memo =
+    let config = { config with Config.memo; jobs } in
+    let t0 = Unix.gettimeofday () in
+    let o = Explorer.run ~config scn in
+    (o, Unix.gettimeofday () -. t0)
+  in
+  let o_off, t_off = run false in
+  let o_on, t_on = run true in
+  let identical = same_outcome o_off o_on in
+  let s = o_on.Explorer.stats in
+  let replayed = s.Stats.executions - s.Stats.memo_saved in
+  Format.printf "%-22s %8d %9d %7d %7d %9.2fs %9.2fs %s@." label s.Stats.executions replayed
+    s.Stats.memo_hits s.Stats.memo_saved t_off t_on
+    (if identical then "yes" else "NO");
+  assert identical;
+  (label, s.Stats.memo_hits, s.Stats.memo_saved)
+
+let memo_bench ~smoke =
+  section_header "Memo: crash-state memoization (memo off vs on)";
+  Format.printf "%-22s %8s %9s %7s %7s %10s %10s %s@." "Workload" "exec" "replayed" "hits"
+    "saved" "off" "on" "identical";
+  let clht ks0 ks1 = Recipe.Workloads.concurrent_scenario ~ks0 ~ks1 ~racy:false () in
+  let racy = Recipe.Workloads.concurrent_scenario ~racy:true () in
+  let buffered mf =
+    {
+      Config.default with
+      Config.evict_policy = Config.Buffered;
+      max_failures = mf;
+      max_steps = 200_000;
+    }
+  in
+  let rows =
+    if smoke then [ ("P-CLHT racy increment", 1, buffered 2, racy) ]
+    else
+      [
+        ("P-CLHT conc (1+1 keys)", 1, buffered 2, clht [ 3 ] [ 11 ]);
+        ("P-CLHT conc (2+2 keys)", 1, buffered 2, clht [ 3; 5 ] [ 11; 13 ]);
+        ("P-CLHT conc (j=4)", 4, buffered 2, clht [ 3; 5 ] [ 11; 13 ]);
+        ("P-CLHT racy increment", 1, buffered 2, racy);
+      ]
+  in
+  let results =
+    List.map (fun (label, jobs, config, scn) -> memo_row ~label ~jobs config scn) rows
+  in
+  let saving = List.filter (fun (_, _, saved) -> saved > 0) results in
+  Format.printf "@.%d workload(s) with replayed-recovery savings@." (List.length saving);
+  (* The full run must demonstrate savings on at least two workloads; the
+     smoke run only guards the byte-identity asserts and that the layer
+     engages at all. *)
+  if smoke then assert (List.exists (fun (_, hits, _) -> hits > 0) results)
+  else assert (List.length saving >= 2)
 
 (* --- ablations ----------------------------------------------------------------- *)
 
@@ -475,4 +539,7 @@ let () =
   (* snapshot-smoke is opt-in only (CI): a seconds-long subset of the
      snapshot section that still exercises the byte-identity asserts. *)
   if List.mem "snapshot-smoke" sections then snapshot_bench ~smoke:true;
+  if want "memo" then memo_bench ~smoke:false;
+  (* memo-smoke is opt-in only (CI), like snapshot-smoke. *)
+  if List.mem "memo-smoke" sections then memo_bench ~smoke:true;
   if want "ablation" then ablations ()

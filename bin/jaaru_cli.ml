@@ -114,6 +114,17 @@ let snapshot_arg =
            pre-failure state instead of re-executing the pre-failure program. Outcomes are \
            identical either way; off is a debugging/benchmarking aid.")
 
+let memo_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "memo" ] ~docv:"on|off"
+        ~doc:
+          "Crash-state memoization: when two failure points leave semantically identical \
+           persistent states, recovery is explored once and the cached verdict is replayed for \
+           the duplicates. Bug reports and statistics are identical either way; off is a \
+           debugging/benchmarking aid. Ignored with stop-at-first-bug.")
+
 let analyze_arg =
   Arg.(
     value & flag
@@ -122,7 +133,7 @@ let analyze_arg =
           "Run the persistency analysis passes alongside exploration and print their findings \
            (missing flush/fence root causes, torn writes, redundant flushes)")
 
-let apply_overrides config ~max_failures ~max_steps ~exhaustive ~jobs ~snapshot =
+let apply_overrides config ~max_failures ~max_steps ~exhaustive ~jobs ~snapshot ~memo =
   let config =
     match max_failures with
     | Some n -> { config with Jaaru.Config.max_failures = n }
@@ -131,21 +142,29 @@ let apply_overrides config ~max_failures ~max_steps ~exhaustive ~jobs ~snapshot 
   let config =
     match max_steps with Some n -> { config with Jaaru.Config.max_steps = n } | None -> config
   in
-  let config = { config with Jaaru.Config.jobs = max 1 jobs; snapshot } in
+  let config = { config with Jaaru.Config.jobs = max 1 jobs; snapshot; memo } in
   if exhaustive then { config with Jaaru.Config.stop_at_first_bug = false } else config
 
-let check_run id max_failures max_steps exhaustive jobs snapshot show_multi_rf show_trace analyze =
+let pp_memo_counters o =
+  let s = o.Jaaru.Explorer.stats in
+  if s.Jaaru.Stats.memo_hits > 0 || s.Jaaru.Stats.memo_saved > 0 then
+    Format.printf "memo: %d hit(s), %d miss(es), %d execution(s) saved@."
+      s.Jaaru.Stats.memo_hits s.Jaaru.Stats.memo_misses s.Jaaru.Stats.memo_saved
+
+let check_run id max_failures max_steps exhaustive jobs snapshot memo show_multi_rf show_trace
+    analyze =
   match find_entry id with
   | Error e -> Error e
   | Ok entry ->
       let config =
-        apply_overrides entry.config ~max_failures ~max_steps ~exhaustive ~jobs ~snapshot
+        apply_overrides entry.config ~max_failures ~max_steps ~exhaustive ~jobs ~snapshot ~memo
       in
       let config = if analyze then { config with Jaaru.Config.analyze = true } else config in
       Format.printf "checking %s (%s): %s@." entry.id entry.benchmark entry.description;
       Format.printf "config: %a@.@." Jaaru.Config.pp config;
       let o = Jaaru.Explorer.run ~config entry.scenario in
       Format.printf "%a@.@." Jaaru.Explorer.pp_outcome o;
+      pp_memo_counters o;
       List.iter
         (fun b ->
           if show_trace then Format.printf "%a@.@." Jaaru.Bug.pp b
@@ -173,7 +192,7 @@ let check_cmd =
     Term.(
       term_result
         (const check_run $ id_arg $ max_failures_arg $ max_steps_arg $ exhaustive_arg $ jobs_arg
-       $ snapshot_arg $ multi_rf_arg $ trace_arg $ analyze_arg))
+       $ snapshot_arg $ memo_arg $ multi_rf_arg $ trace_arg $ analyze_arg))
 
 (* --- lint ------------------------------------------------------------------ *)
 
@@ -308,17 +327,24 @@ let bench_arg =
 
 let n_arg = Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Workload size (keys inserted)")
 
-let perf_run benchmark n jobs snapshot =
+let perf_run benchmark n jobs snapshot memo =
   match Recipe.Workloads.fixed_scenario benchmark n with
   | exception Invalid_argument m -> Error (`Msg m)
   | scn ->
       let config =
-        { Jaaru.Config.default with Jaaru.Config.max_steps = 200_000; jobs = max 1 jobs; snapshot }
+        {
+          Jaaru.Config.default with
+          Jaaru.Config.max_steps = 200_000;
+          jobs = max 1 jobs;
+          snapshot;
+          memo;
+        }
       in
       let t0 = Unix.gettimeofday () in
       let o = Jaaru.Explorer.run ~config scn in
       let dt = Unix.gettimeofday () -. t0 in
       Format.printf "%s n=%d: %a@." benchmark n Jaaru.Explorer.pp_outcome o;
+      pp_memo_counters o;
       Format.printf "wall time: %.3fs@." dt;
       let yat = Yat.State_count.analyze ~config (fun ctx -> scn.pre ctx) in
       Format.printf "eager baseline would explore %a states@." Yat.State_count.pp_count
@@ -329,7 +355,7 @@ let perf_cmd =
   let doc = "Exhaustively explore a fixed RECIPE benchmark and report statistics" in
   Cmd.v
     (Cmd.info "perf" ~doc)
-    Term.(term_result (const perf_run $ bench_arg $ n_arg $ jobs_arg $ snapshot_arg))
+    Term.(term_result (const perf_run $ bench_arg $ n_arg $ jobs_arg $ snapshot_arg $ memo_arg))
 
 (* --- fuzz ------------------------------------------------------------------ *)
 

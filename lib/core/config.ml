@@ -16,6 +16,7 @@ type t = {
   analyze : bool;
   suppress : string list;
   snapshot : bool;
+  memo : bool;
 }
 
 let default =
@@ -35,13 +36,16 @@ let default =
     analyze = false;
     suppress = [];
     snapshot = true;
+    memo = true;
   }
 
 let policy_name = function Eager -> "eager" | Buffered -> "buffered"
 
 let pp ppf c =
   Format.fprintf ppf
-    "max_failures=%d evict=%s max_steps=%d max_executions=%d jobs=%d snapshot=%s region=[0x%x,+%d)"
+    "max_failures=%d evict=%s max_steps=%d max_executions=%d jobs=%d snapshot=%s memo=%s \
+     region=[0x%x,+%d)"
     c.max_failures (policy_name c.evict_policy) c.max_steps c.max_executions c.jobs
     (if c.snapshot then "on" else "off")
+    (if c.memo then "on" else "off")
     c.region_base c.region_size

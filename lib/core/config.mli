@@ -65,6 +65,17 @@ type t = {
           paper's fork-based rollback — see {!Snapshot}). On by default;
           outcomes are byte-identical (modulo wall time) either way, so
           turning it off is only a debugging / benchmarking aid. *)
+  memo : bool;
+      (** Memoize post-failure crash states: at every injected failure the
+          surviving persistent state is canonicalized into a digest (see
+          {!Memo}), and when an equivalent state was already fully explored,
+          its cached verdict (bugs, reports, execution counts) is recorded
+          instead of replaying the recovery subtree. On by default; outcomes
+          are byte-identical (modulo [wall_time] and the memo counters of
+          {!Stats.t}) with the layer on or off, for every [jobs] value.
+          Ignored when [stop_at_first_bug] is set — a run that stops mid-
+          subtree must not credit whole cached subtrees, or its execution
+          count would depend on the memo state. *)
 }
 
 val default : t

@@ -55,7 +55,23 @@ val run : ?config:Config.t -> scenario -> outcome
     captures the persistent side of the context, and every later replay of
     that crash subtree restores it and runs only recovery instead of
     re-executing the pre-failure program. The outcome is byte-identical
-    (modulo [wall_time]) with snapshots on or off, for every [jobs] value. *)
+    (modulo [wall_time]) with snapshots on or off, for every [jobs] value.
+
+    With [config.memo] (the default) each worker additionally memoizes fully
+    explored recovery subtrees by canonical crash state (see {!Memo}): when a
+    later crash lands in a semantically identical persistent state — same
+    surviving stores, line persistence intervals (up to sequence-number
+    renaming), trace ring, failure count and schedule-PRNG state — the cached
+    verdict (bugs, reports, execution and read-from counts) is credited
+    instead of replaying the subtree. Every execution the cache saves is
+    counted against [max_executions] exactly as if it had run, so reports
+    {e and} stats other than the [memo_*] counters and [wall_time] are
+    byte-identical with the layer on or off, again for every [jobs] value.
+    The [memo_hits]/[memo_misses]/[memo_saved] counters themselves depend on
+    how the tree was partitioned across workers and are excluded from
+    {!Stats.pp} and {!Stats.comparable}. Memoization is disabled under
+    [stop_at_first_bug] (such runs stop mid-subtree, so no verdict is ever
+    complete). *)
 
 val found_bug : outcome -> bool
 val pp_outcome : Format.formatter -> outcome -> unit

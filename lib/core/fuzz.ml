@@ -6,7 +6,17 @@ type result = {
 }
 
 let run ?(config = Config.default) ~seeds scn =
-  let bugs = ref [] in
+  (* Deduplicate with the explorer's discipline — smallest record per
+     {!Bug.report_key}, result sorted — so the aggregate is a function of the
+     seed *set*: permuting the seed list (or exploring each seed with a
+     different [jobs]) cannot change [bugs] or [buggy_seeds]. A first-seen
+     scheme would keep whichever seed happened to run first. *)
+  let bug_tbl = Hashtbl.create 16 in
+  let keep_min key b =
+    match Hashtbl.find_opt bug_tbl key with
+    | Some b' when compare b' b <= 0 -> ()
+    | Some _ | None -> Hashtbl.replace bug_tbl key b
+  in
   let buggy_seeds = ref [] in
   let total = ref 0 in
   List.iter
@@ -17,14 +27,12 @@ let run ?(config = Config.default) ~seeds scn =
       (match o.Explorer.bugs with
       | [] -> ()
       | b :: _ -> buggy_seeds := (seed, Bug.symptom b) :: !buggy_seeds);
-      List.iter
-        (fun b -> if not (List.exists (Bug.same_report b) !bugs) then bugs := b :: !bugs)
-        o.Explorer.bugs)
+      List.iter (fun b -> keep_min (Bug.report_key b) b) o.Explorer.bugs)
     seeds;
   {
     runs = List.length seeds;
-    bugs = List.rev !bugs;
-    buggy_seeds = List.rev !buggy_seeds;
+    bugs = List.sort compare (Hashtbl.fold (fun _ b acc -> b :: acc) bug_tbl []);
+    buggy_seeds = List.sort compare !buggy_seeds;
     total_executions = !total;
   }
 

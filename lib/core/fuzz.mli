@@ -8,9 +8,13 @@
 
 type result = {
   runs : int;  (** explorations performed (one per seed) *)
-  bugs : Bug.t list;  (** deduplicated across seeds *)
+  bugs : Bug.t list;
+      (** deduplicated across seeds with the explorer's discipline (smallest
+          record per {!Bug.report_key}, sorted), so the list is independent
+          of the order seeds were given in and of each seed's [jobs] *)
   buggy_seeds : (int * string) list;
-      (** each seed that found a bug, with the first symptom *)
+      (** each seed that found a bug, with its first (sorted-order) symptom;
+          sorted by seed *)
   total_executions : int;
 }
 

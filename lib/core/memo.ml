@@ -1,0 +1,142 @@
+(* Crash-state memoization: canonical keys, digests and per-worker verdict
+   tables. See memo.mli for the soundness argument; the short version is that
+   recovery is a deterministic function of (persistent state, trace ring,
+   failure count, schedule PRNG), all of which the key serializes, and that
+   sequence numbers are only ever *compared* by the read-from analysis, so
+   rank-normalizing them keeps order-isomorphic states together. *)
+
+type verdict = {
+  v_executions : int;
+  v_rf_created : int;
+  v_bugs : Bug.t list;
+  v_multi_rf : Ctx.multi_rf list;
+  v_perf : Ctx.perf_report list;
+  v_findings : Analysis.Report.finding list;
+}
+
+exception Hit of verdict
+
+(* Test-only hook: a lossy transform here deliberately merges distinct keys
+   so the differential test can prove it would catch unsound memoization. *)
+let key_transform : (string -> string) option ref = ref None
+let set_key_transform f = key_transform := f
+
+(* The normalized form of one execution record: is-initial tag, per-address
+   visible store history as (seq rank, value, label), addresses sorted, and
+   the non-default line intervals as (line, lo rank, hi rank), sorted. *)
+type norm_record = bool * (int * (int * int * string) list) list * (int * int * int) list
+
+(* Everything recovery can observe, as a plain immutable value. The key is
+   its Marshal image: [No_sharing] makes the bytes purely structural (equal
+   values marshal identically regardless of physical sharing), and
+   marshalling skips the formatting cost a textual serialization would pay
+   at every crash. *)
+type norm_state = {
+  n_failures : int;
+  n_rng : int;
+  n_last : string;
+  n_dropped : int;
+  n_trace : Analysis.Event.t list;
+  n_records : norm_record list;
+}
+
+let canonical_key ~stack ~trace ~dropped ~failures ~rng ~last =
+  let records = Exec.Exec_stack.to_list stack in
+  (* Pass 1: rank-normalize sequence numbers. Collect every finite seq the
+     state mentions — store seqs and interval bounds — and map them to dense
+     ranks by order. 0 stays 0 (the "since forever" lower bound) and
+     Interval.infinity gets a distinct top marker; both appear with meanings
+     independent of the counter, so they must not participate in ranking. *)
+  let seen = Hashtbl.create 256 in
+  let note s = if s <> 0 && s <> Pmem.Interval.infinity then Hashtbl.replace seen s () in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun addr ->
+          Exec.Exec_record.fold_stores
+            (fun (e : Exec.Store_queue.entry) () -> note e.seq)
+            r addr ())
+        (Exec.Exec_record.written_addrs r);
+      Exec.Exec_record.fold_lines
+        (fun _line iv () ->
+          note (Pmem.Interval.lo iv);
+          note (Pmem.Interval.hi iv))
+        r ())
+    records;
+  let sorted = List.sort_uniq compare (Hashtbl.fold (fun s () acc -> s :: acc) seen []) in
+  let ranks = Hashtbl.create 256 in
+  List.iteri (fun i s -> Hashtbl.add ranks s (i + 1)) sorted;
+  let rank s =
+    if s = 0 then 0
+    else if s = Pmem.Interval.infinity then -1 (* top marker, below any real rank *)
+    else Hashtbl.find ranks s
+  in
+  (* Pass 2: normalize (hash-table enumerations sorted, seqs replaced by
+     ranks) and marshal. *)
+  let norm_record r : norm_record =
+    let addrs =
+      List.sort compare
+        (List.map
+           (fun addr ->
+             let entries =
+               List.rev (Exec.Exec_record.fold_stores (fun e acc -> e :: acc) r addr [])
+             in
+             ( addr,
+               List.map
+                 (fun (e : Exec.Store_queue.entry) -> (rank e.seq, e.value, e.label))
+                 entries ))
+           (Exec.Exec_record.written_addrs r))
+    in
+    let lines =
+      List.sort compare
+        (Exec.Exec_record.fold_lines
+           (fun line iv acc ->
+             let lo = Pmem.Interval.lo iv and hi = Pmem.Interval.hi iv in
+             (* A materialized line still at [0, inf) reads identically to an
+                absent one — skip it or identical states would differ. *)
+             if lo = 0 && hi = Pmem.Interval.infinity then acc
+             else (line, rank lo, rank hi) :: acc)
+           r [])
+    in
+    (Exec.Exec_record.is_initial r, addrs, lines)
+  in
+  let norm =
+    {
+      n_failures = failures;
+      n_rng = rng;
+      n_last = last;
+      n_dropped = dropped;
+      n_trace = trace;
+      n_records = List.map norm_record records;
+    }
+  in
+  let key = Marshal.to_string norm [ Marshal.No_sharing ] in
+  match !key_transform with None -> key | Some f -> f key
+
+let digest = Pmem.Crc32.digest_string
+
+type table = {
+  buckets : (int, (string * verdict) list) Hashtbl.t;
+      (* digest -> assoc list; the full-key compare makes CRC collisions
+         harmless (they just miss). *)
+  capacity : int;
+  mutable size : int;
+}
+
+let create_table ?(capacity = 8192) () =
+  { buckets = Hashtbl.create 512; capacity; size = 0 }
+
+let find t ~digest ~key =
+  match Hashtbl.find_opt t.buckets digest with
+  | None -> None
+  | Some entries -> List.assoc_opt key entries
+
+let store t ~digest ~key v =
+  if t.size < t.capacity then
+    let entries = Option.value ~default:[] (Hashtbl.find_opt t.buckets digest) in
+    if not (List.mem_assoc key entries) then begin
+      Hashtbl.replace t.buckets digest ((key, v) :: entries);
+      t.size <- t.size + 1
+    end
+
+let stored t = t.size

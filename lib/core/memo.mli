@@ -1,0 +1,112 @@
+(** Crash-state memoization: canonical digests of post-failure persistent
+    states and a per-worker table of cached recovery verdicts.
+
+    Two different pre-failure paths frequently crash into {e semantically
+    identical} persistent states — e.g. sibling store-buffer drain cuts that
+    happen to persist the same bytes. Recovery is a deterministic function of
+    the surviving persistent state (plus the schedule PRNG), so once one such
+    subtree has been fully explored its verdict — bug reports, read-from
+    counts, execution counts — can be replayed from cache instead of
+    re-exploring the recovery subtree.
+
+    {2 The canonical key}
+
+    The key serializes everything recovery can observe:
+
+    - every execution record on the stack (top first): for each written byte,
+      the visible store history as [(seq rank, value, label)] triples; for
+      each cache line, its last-writeback interval as seq ranks — lines still
+      at the default [\[0, inf)] are skipped, so a materialized-but-untouched
+      line equals an absent one;
+    - the bounded trace ring (raw events, oldest first) and its dropped
+      count — cached bug reports embed the rendered trace, so states with
+      different trace histories must not collide;
+    - the failure count, the last executed label and the schedule-PRNG state.
+
+    The serialized form is the [Marshal] image (with [No_sharing], so the
+    bytes are purely structural) of the normalized value — the probe runs at
+    every committed crash, so the key must not pay text-formatting costs.
+
+    Sequence numbers are {e rank-normalized} before serialization: every
+    finite seq appearing anywhere in the state (store seqs, interval bounds)
+    is replaced by its rank in the sorted set of such seqs, with [0] fixed to
+    rank 0 and {!Pmem.Interval.infinity} to a distinct top marker. The
+    read-from analysis only ever {e compares} seqs ([mem], [next_seq_after],
+    [count_le]); it never does arithmetic on them — so two states whose seqs
+    are order-isomorphic behave identically in recovery. Without this, an
+    extra [sfence] on one path would consume a sequence number and spuriously
+    distinguish byte-identical states.
+
+    Digests are CRC-32 of the serialized key; collisions are resolved by
+    comparing the full key bytes, so a digest collision costs a miss-speed
+    lookup, never a wrong verdict. *)
+
+type verdict = {
+  v_executions : int;
+      (** Executions the cached subtree took — credited to the hitting run's
+          statistics and capped against the remaining execution budget. *)
+  v_rf_created : int;
+      (** Fresh read-from decisions the subtree created, for the
+          [rf_created] statistic. *)
+  v_bugs : Bug.t list;
+  v_multi_rf : Ctx.multi_rf list;
+  v_perf : Ctx.perf_report list;
+  v_findings : Analysis.Report.finding list;
+      (** Reports the subtree produced, in canonical (sorted) order. Reports
+          from the storing subtree's {e pre-crash} prefix are included —
+          they deduplicate against the copies the storing worker already
+          holds, and a hitting replay shares the bug-relevant pre-crash
+          history by construction (it is part of the key). *)
+}
+(** Everything the explorer needs to account for a fully-explored recovery
+    subtree without replaying it. *)
+
+exception Hit of verdict
+(** Raised by the explorer's crash hook to abort a replay whose post-crash
+    subtree is already memoized. *)
+
+val canonical_key :
+  stack:Exec.Exec_stack.t ->
+  trace:Analysis.Event.t list ->
+  dropped:int ->
+  failures:int ->
+  rng:int ->
+  last:string ->
+  string
+(** The canonical serialization of a crash state, built from the context's
+    accessors at the moment the crash commits (after buffered-drain
+    decisions). Deterministic: independent of hash-table iteration order and
+    of absolute sequence-number values. *)
+
+val digest : string -> int
+(** CRC-32 of a canonical key. *)
+
+(** {1 Per-worker tables}
+
+    Each explorer worker owns one table; workers never share verdicts, which
+    keeps the layer lock-free and the parallel output deterministic. Tables
+    are bounded: once full, new verdicts are dropped (existing entries keep
+    hitting). *)
+
+type table
+
+val create_table : ?capacity:int -> unit -> table
+(** [capacity] defaults to 8192 verdicts. *)
+
+val find : table -> digest:int -> key:string -> verdict option
+(** Full-key comparison behind the digest bucket — never trusts the CRC
+    alone. *)
+
+val store : table -> digest:int -> key:string -> verdict -> unit
+(** No-op when the table is full or the key is already present. *)
+
+val stored : table -> int
+(** Number of verdicts currently held (diagnostic). *)
+
+(** {1 Test hook} *)
+
+val set_key_transform : (string -> string) option -> unit
+(** Test-only: post-compose a transform onto {!canonical_key}. Installing a
+    lossy transform (e.g. [fun _ -> "X"]) deliberately breaks the key so the
+    differential property test can confirm it detects unsound memoization.
+    [None] restores the identity. Not for production use. *)

@@ -6,6 +6,9 @@ type t = {
   stores : int;
   flushes : int;
   findings : int;
+  memo_hits : int;
+  memo_misses : int;
+  memo_saved : int;
   wall_time : float;
   exhausted : bool;
 }
@@ -19,6 +22,9 @@ let zero =
     stores = 0;
     flushes = 0;
     findings = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+    memo_saved = 0;
     wall_time = 0.;
     exhausted = true;
   }
@@ -28,6 +34,12 @@ let merge a b =
     (* Per-worker additive counters. *)
     executions = a.executions + b.executions;
     rf_decisions = a.rf_decisions + b.rf_decisions;
+    (* Memo-table traffic is additive too, but — unlike the counters above —
+       the split depends on how the work was partitioned, so these never
+       appear in [pp] and byte-identity comparisons zero them out. *)
+    memo_hits = a.memo_hits + b.memo_hits;
+    memo_misses = a.memo_misses + b.memo_misses;
+    memo_saved = a.memo_saved + b.memo_saved;
     (* Properties of the original (failure-free) execution: exactly one
        worker — whichever ran the root subtree — observed them. *)
     failure_points = max a.failure_points b.failure_points;
@@ -39,6 +51,11 @@ let merge a b =
     wall_time = max a.wall_time b.wall_time;
     exhausted = a.exhausted && b.exhausted;
   }
+
+(* Everything that is allowed to differ between runs that must otherwise be
+   byte-identical (jobs values, memo/snapshot on vs off): wall time and the
+   memo-table traffic counters. *)
+let comparable s = { s with memo_hits = 0; memo_misses = 0; memo_saved = 0; wall_time = 0. }
 
 let executions_per_fp s =
   if s.failure_points = 0 then 0. else float_of_int s.executions /. float_of_int s.failure_points

@@ -14,6 +14,15 @@ type t = {
   findings : int;
       (** distinct analysis findings across the exploration (0 unless
           [Config.analyze]) *)
+  memo_hits : int;
+      (** crash states answered from the memo table instead of replaying the
+          recovery subtree (0 unless [Config.memo]) *)
+  memo_misses : int;
+      (** crash states looked up in the memo table and not found (each opens
+          a fresh accumulation of that subtree's verdict) *)
+  memo_saved : int;
+      (** executions credited from cached verdicts rather than replayed —
+          [executions - memo_saved] is the number actually executed *)
   wall_time : float;  (** seconds spent exploring (JTime) *)
   exhausted : bool;
       (** whether the search space was fully explored (false when a limit or
@@ -25,11 +34,18 @@ val zero : t
 
 val merge : t -> t -> t
 (** Combines the statistics of workers that explored disjoint subtrees:
-    [executions] and [rf_decisions] add; the original-execution counters
+    [executions], [rf_decisions] and the memo counters add; the original-execution counters
     ([failure_points], [stores], [flushes]) and the post-merge totals
     ([multi_rf_loads], [findings]) take the max; [wall_time] takes the max
     (workers ran concurrently); [exhausted] ands. Associative and
     commutative, with {!zero} as identity. *)
+
+val comparable : t -> t
+(** The statistics with every schedule-dependent counter zeroed: [wall_time]
+    and the memo-table traffic ([memo_hits]/[memo_misses]/[memo_saved], whose
+    split across workers depends on the work partition). Two exhaustive runs
+    of the same scenario must have equal [comparable] statistics whatever
+    their [jobs], [snapshot] and [memo] settings. *)
 
 val executions_per_fp : t -> float
 (** The paper's §5.2 ratio; 0 when there were no failure points. *)

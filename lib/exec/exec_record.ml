@@ -86,6 +86,12 @@ let flush_line e addr ~seq =
   Pmem.Interval.raise_lo (cacheline e addr) seq;
   e.flush_count <- e.flush_count + 1
 
+(* Line-interval enumeration for state canonicalization: [f line interval]
+   over every materialized line, in unspecified order (callers sort). Lines
+   still at the default [0, inf) are indistinguishable from absent ones to
+   every reader, so canonicalizers must skip them. *)
+let fold_lines f e acc = Hashtbl.fold f e.lines acc
+
 let copy_lines e =
   let lines = Hashtbl.create (max 16 (Hashtbl.length e.lines)) in
   Hashtbl.iter (fun line iv -> Hashtbl.add lines line (Pmem.Interval.copy iv)) e.lines;

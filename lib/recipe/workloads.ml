@@ -253,8 +253,7 @@ let fixed_cases () =
 (* Two threads hammer the same P-CLHT concurrently. The correct variant
    relies on the bucket locks; the racy variant bypasses them with plain
    slot writes, so some schedules overwrite a neighbour's committed slot. *)
-let concurrent_scenario ~racy () =
-  let ks0 = [ 3; 5; 7 ] and ks1 = [ 11; 13; 17 ] in
+let concurrent_scenario ?(ks0 = [ 3; 5; 7 ]) ?(ks1 = [ 11; 13; 17 ]) ~racy () =
   let pre ctx =
     let t = P_clht.create_or_open ~nbuckets:2 ctx in
     if racy then begin

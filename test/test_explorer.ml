@@ -66,6 +66,9 @@ let test_stats_ratio () =
       stores = 0;
       flushes = 0;
       findings = 0;
+      memo_hits = 0;
+      memo_misses = 0;
+      memo_saved = 0;
       wall_time = 0.;
       exhausted = true;
     }

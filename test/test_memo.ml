@@ -1,0 +1,189 @@
+(* The crash-state memoization layer: outcomes must be byte-identical with
+   the layer on or off, for every --jobs value, on bundled workloads and on
+   random programs — and the harness must actually be able to tell when the
+   canonical key is unsound (negative control via Memo.set_key_transform). *)
+open Jaaru
+
+let base = 0x1000
+
+let outcome_text (o : Explorer.outcome) =
+  let o = { o with Explorer.stats = Stats.comparable o.Explorer.stats } in
+  Format.asprintf "%a" Explorer.pp_outcome o
+
+let check_memo_equivalence name scenario config =
+  let config = { config with Config.stop_at_first_bug = false } in
+  let reference = Explorer.run ~config:{ config with Config.memo = false; jobs = 1 } scenario in
+  let ref_text = outcome_text reference in
+  Alcotest.(check bool)
+    (name ^ ": reference explored something") true
+    (reference.Explorer.stats.Stats.executions > 0);
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun memo ->
+          let o = Explorer.run ~config:{ config with Config.memo = memo; jobs } scenario in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: jobs=%d memo=%b byte-identical" name jobs memo)
+            ref_text (outcome_text o))
+        [ true; false ])
+    (Test_env.jobs_matrix ~default:[ 1; 2; 4 ])
+
+(* --- bundled workloads ------------------------------------------------------ *)
+
+let test_equivalence_pmdk () =
+  let c = List.hd (Pmdk.Workloads.fig12_cases ()) in
+  check_memo_equivalence c.Pmdk.Workloads.id c.Pmdk.Workloads.scenario c.Pmdk.Workloads.config
+
+let test_equivalence_recipe () =
+  let c = List.hd (Recipe.Workloads.fig13_cases ()) in
+  check_memo_equivalence c.Recipe.Workloads.id c.Recipe.Workloads.scenario
+    c.Recipe.Workloads.config
+
+(* The workload class where memoization actually hits: two threads running
+   the same code, whose buffered-drain cut vectors frequently persist the
+   same bytes. Equivalence alone would hold vacuously on sequential programs
+   (deterministic decisions map injectively to crash states), so also pin
+   that this case exercises the hit path. *)
+let concurrent_config =
+  {
+    Config.default with
+    Config.evict_policy = Config.Buffered;
+    max_steps = 200_000;
+    stop_at_first_bug = false;
+  }
+
+let test_equivalence_concurrent_with_hits () =
+  let scn = Recipe.Workloads.concurrent_scenario ~ks0:[ 3 ] ~ks1:[ 11 ] ~racy:false () in
+  check_memo_equivalence "P-CLHT concurrent" scn concurrent_config;
+  let o = Explorer.run ~config:{ concurrent_config with Config.memo = true } scn in
+  Alcotest.(check bool)
+    "memoization hits on the concurrent workload" true
+    (o.Explorer.stats.Stats.memo_hits > 0)
+
+(* --- random programs -------------------------------------------------------- *)
+
+type op = Store of int * int | Flush of int | Flushopt of int | Fence
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun l v -> Store (l, v + 1)) (int_range 0 1) (int_range 0 3));
+        (2, map (fun l -> Flush l) (int_range 0 1));
+        (2, map (fun l -> Flushopt l) (int_range 0 1));
+        (1, return Fence);
+      ])
+
+let pp_op = function
+  | Store (l, v) -> Printf.sprintf "st l%d=%d" l v
+  | Flush l -> Printf.sprintf "clflush l%d" l
+  | Flushopt l -> Printf.sprintf "clflushopt l%d" l
+  | Fence -> "sfence"
+
+let op_shrink op yield =
+  match op with
+  | Store (l, v) ->
+      if v > 1 then yield (Store (l, 1));
+      if l > 0 then yield (Store (0, v))
+  | Flush l -> if l > 0 then yield (Flush 0)
+  | Flushopt l ->
+      yield (Flush l);
+      if l > 0 then yield (Flushopt 0)
+  | Fence -> ()
+
+let program_shrink = QCheck.Shrink.list ~shrink:op_shrink
+let program_print ops = String.concat "; " (List.map pp_op ops)
+let addr_of l = base + (64 * l)
+
+let run_program ctx ops =
+  List.iter
+    (fun op ->
+      match op with
+      | Store (l, v) -> Ctx.store64 ctx ~label:(pp_op op) (addr_of l) v
+      | Flush l -> Ctx.clflush ctx ~label:(pp_op op) (addr_of l) 8
+      | Flushopt l -> Ctx.clflushopt ctx ~label:(pp_op op) (addr_of l) 8
+      | Fence -> Ctx.sfence ctx ~label:"sfence" ())
+    ops
+
+let observe ctx =
+  ignore (Ctx.load64 ctx ~label:"obs0" (addr_of 0));
+  ignore (Ctx.load64 ctx ~label:"obs1" (addr_of 1))
+
+let scenario_of (t0, t1) =
+  Explorer.scenario ~name:"memo-rand"
+    ~pre:(fun ctx ->
+      match t1 with
+      | [] -> run_program ctx t0
+      | _ ->
+          Ctx.parallel ctx
+            [ (fun ctx -> run_program ctx t0); (fun ctx -> run_program ctx t1) ])
+    ~post:observe
+
+let threaded_arb =
+  QCheck.make
+    ~print:(fun (a, b) -> program_print a ^ " || " ^ program_print b)
+    ~shrink:(QCheck.Shrink.pair program_shrink program_shrink)
+    QCheck.Gen.(pair (list_size (int_range 1 5) op_gen) (list_size (int_range 0 2) op_gen))
+
+(* Byte-identity of the full rendered outcome, memo on vs off, at the given
+   worker counts — the same harness the snapshot layer is tested with. *)
+let memo_equivalent ?(jobs = [ 1 ]) prog =
+  let scn = scenario_of prog in
+  let run ~memo ~jobs =
+    outcome_text (Explorer.run ~config:{ concurrent_config with Config.memo; jobs } scn)
+  in
+  let reference = run ~memo:false ~jobs:1 in
+  List.for_all (fun jobs -> run ~memo:true ~jobs = reference && run ~memo:false ~jobs = reference) jobs
+
+let prop_memo_differential =
+  QCheck.Test.make ~name:"memo on/off x jobs byte-identical" ~count:60 threaded_arb
+    (fun prog -> memo_equivalent ~jobs:(Test_env.jobs_matrix ~default:[ 1; 4 ]) prog)
+
+(* --- negative control ------------------------------------------------------- *)
+
+(* Deliberately break the canonical key with a lossy transform (every crash
+   state collides) and confirm the differential property catches it — and
+   that shrinking drives the counterexample down to a handful of ops. A
+   harness that cannot detect an unsound key is not testing anything. *)
+let single_thread_arb =
+  QCheck.make ~print:program_print ~shrink:program_shrink
+    QCheck.Gen.(list_size (int_range 1 8) op_gen)
+
+let test_negative_control () =
+  let cell =
+    QCheck.Test.make_cell ~name:"lossy memo key" ~count:200 single_thread_arb (fun ops ->
+        memo_equivalent (ops, []))
+  in
+  Memo.set_key_transform (Some (fun _ -> "collide"));
+  Fun.protect
+    ~finally:(fun () -> Memo.set_key_transform None)
+    (fun () ->
+      match
+        QCheck.TestResult.get_state
+          (QCheck.Test.check_cell ~rand:(Random.State.make [| 0x5eed |]) cell)
+      with
+      | QCheck.TestResult.Failed { instances = c :: _ } ->
+          let ops = c.QCheck.TestResult.instance in
+          Alcotest.(check bool)
+            (Printf.sprintf "counterexample %S shrank to <= 6 ops" (program_print ops))
+            true
+            (List.length ops <= 6)
+      | QCheck.TestResult.Failed { instances = [] } ->
+          Alcotest.fail "failed with no counterexample"
+      | QCheck.TestResult.Success -> Alcotest.fail "lossy memo key went undetected"
+      | QCheck.TestResult.Failed_other { msg } -> Alcotest.fail ("unexpected: " ^ msg)
+      | QCheck.TestResult.Error { exn; _ } -> raise exn)
+
+let () =
+  Alcotest.run "memo"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "PMDK case" `Quick test_equivalence_pmdk;
+          Alcotest.test_case "RECIPE case" `Quick test_equivalence_recipe;
+          Alcotest.test_case "concurrent workload hits" `Quick
+            test_equivalence_concurrent_with_hits;
+        ] );
+      ("differential", [ QCheck_alcotest.to_alcotest prop_memo_differential ]);
+      ("negative-control", [ Alcotest.test_case "lossy key detected" `Quick test_negative_control ]);
+    ]

@@ -78,7 +78,9 @@ let test_frontier_needs_work () =
 
 (* --- parallel = sequential on the bundled workloads ----------------------------- *)
 
-let strip_time (s : Stats.t) = { s with Stats.wall_time = 0. }
+(* Memo counters are partition-dependent (see Stats.comparable), so the
+   cross-jobs identity is on the comparable projection, not the raw record. *)
+let strip_time = Stats.comparable
 
 let check_jobs_equivalence name scenario config =
   let exhaustive = { config with Config.stop_at_first_bug = false } in
@@ -98,7 +100,7 @@ let check_jobs_equivalence name scenario config =
       Alcotest.(check bool)
         (tag "same stats") true
         (strip_time o.Explorer.stats = strip_time reference.Explorer.stats))
-    [ 2; 3 ]
+    (Test_env.jobs_matrix ~default:[ 2; 3 ])
 
 let test_parallel_pmdk_case () =
   let c = List.hd (Pmdk.Workloads.fig12_cases ()) in
@@ -168,7 +170,7 @@ let test_parallel_analysis_reports () =
         (Printf.sprintf "jobs=%d same findings" jobs)
         true (findings = findings1);
       Alcotest.(check string) (Printf.sprintf "jobs=%d same rendering" jobs) text1 text)
-    [ 2; 4 ]
+    (Test_env.jobs_matrix ~default:[ 2; 4 ])
 
 let test_stats_merge_identity_and_sums () =
   let a =
@@ -180,6 +182,9 @@ let test_stats_merge_identity_and_sums () =
       stores = 10;
       flushes = 4;
       findings = 0;
+      memo_hits = 0;
+      memo_misses = 0;
+      memo_saved = 1;
       wall_time = 1.5;
       exhausted = true;
     }
@@ -190,7 +195,10 @@ let test_stats_merge_identity_and_sums () =
   Alcotest.(check int) "executions add" 8 m.Stats.executions;
   Alcotest.(check int) "rf decisions add" 6 m.Stats.rf_decisions;
   Alcotest.(check int) "failure points max" 7 m.Stats.failure_points;
-  Alcotest.(check bool) "exhausted ands" false m.Stats.exhausted
+  Alcotest.(check int) "memo saved adds" 2 m.Stats.memo_saved;
+  Alcotest.(check bool) "exhausted ands" false m.Stats.exhausted;
+  Alcotest.(check bool) "comparable zeroes memo counters" true
+    (Stats.comparable a = Stats.comparable { a with Stats.memo_hits = 9; memo_saved = 0 })
 
 let () =
   Alcotest.run "parallel"

@@ -15,29 +15,64 @@ let base = 0x1000
 
 type op =
   | Store of int * int * int  (* line, word offset, value *)
+  | Rmw of int * int * int  (* locked fetch-add: line, word offset, delta *)
   | Flush of int
   | Flushopt of int
+  | Clwb of int
   | Fence
+
+let lines = 3 (* cache lines the generator spans *)
 
 let op_gen =
   QCheck.Gen.(
     frequency
       [
-        (5, map3 (fun l o v -> Store (l, o, v + 1)) (int_range 0 1) (int_range 0 1) (int_range 0 6));
-        (2, map (fun l -> Flush l) (int_range 0 1));
-        (2, map (fun l -> Flushopt l) (int_range 0 1));
+        (5, map3 (fun l o v -> Store (l, o, v + 1)) (int_range 0 (lines - 1)) (int_range 0 1) (int_range 0 6));
+        (2, map3 (fun l o d -> Rmw (l, o, d + 1)) (int_range 0 (lines - 1)) (int_range 0 1) (int_range 0 2));
+        (2, map (fun l -> Flush l) (int_range 0 (lines - 1)));
+        (2, map (fun l -> Flushopt l) (int_range 0 (lines - 1)));
+        (1, map (fun l -> Clwb l) (int_range 0 (lines - 1)));
         (1, return Fence);
       ])
 
-let program_gen = QCheck.Gen.(list_size (int_range 1 10) op_gen)
+let program_gen = QCheck.Gen.(list_size (int_range 1 8) op_gen)
 
 let pp_op = function
   | Store (l, o, v) -> Printf.sprintf "st l%d+%d=%d" l o v
+  | Rmw (l, o, d) -> Printf.sprintf "faa l%d+%d+=%d" l o d
   | Flush l -> Printf.sprintf "clflush l%d" l
   | Flushopt l -> Printf.sprintf "clflushopt l%d" l
+  | Clwb l -> Printf.sprintf "clwb l%d" l
   | Fence -> "sfence"
 
 let program_print ops = String.concat "; " (List.map pp_op ops)
+
+(* Per-op shrinker: every candidate strictly decreases (kind rank, fields)
+   lexicographically — Rmw simplifies to a plain store, the weakly ordered
+   flush kinds collapse toward clflush, and all indices shrink toward 0 — so
+   QCheck's list shrinker drives failures to a minimal counterexample. *)
+let op_shrink op yield =
+  match op with
+  | Store (l, o, v) ->
+      if v > 1 then yield (Store (l, o, 1));
+      if l > 0 then yield (Store (0, o, v));
+      if o > 0 then yield (Store (l, 0, v))
+  | Rmw (l, o, d) ->
+      yield (Store (l, o, d));
+      if d > 1 then yield (Rmw (l, o, 1));
+      if l > 0 then yield (Rmw (0, o, d));
+      if o > 0 then yield (Rmw (l, 0, d))
+  | Flush l -> if l > 0 then yield (Flush 0)
+  | Flushopt l ->
+      yield (Flush l);
+      if l > 0 then yield (Flushopt 0)
+  | Clwb l ->
+      yield (Flushopt l);
+      if l > 0 then yield (Clwb 0)
+  | Fence -> ()
+
+let program_shrink = QCheck.Shrink.list ~shrink:op_shrink
+let program_arb = QCheck.make ~print:program_print ~shrink:program_shrink program_gen
 
 let addr_of line word = base + (64 * line) + (8 * word)
 
@@ -46,24 +81,51 @@ let run_program ctx ops =
     (fun op ->
       match op with
       | Store (l, o, v) -> Ctx.store64 ctx ~label:(pp_op op) (addr_of l o) v
+      | Rmw (l, o, d) -> ignore (Ctx.fetch_add64 ctx ~label:(pp_op op) (addr_of l o) d)
       | Flush l -> Ctx.clflush ctx ~label:(pp_op op) (addr_of l 0) 8
       | Flushopt l -> Ctx.clflushopt ctx ~label:(pp_op op) (addr_of l 0) 8
+      | Clwb l -> Ctx.clwb ctx ~label:(pp_op op) (addr_of l 0) 8
       | Fence -> Ctx.sfence ctx ~label:"sfence" ())
     ops
 
+(* The two-thread shape: the second thread is empty in the sequential shape;
+   when present both bodies run under the deterministic round-robin
+   scheduler, each with its own store and flush buffer. *)
+let run_threaded ctx (t0, t1) =
+  match t1 with
+  | [] -> run_program ctx t0
+  | _ -> Ctx.parallel ctx [ (fun ctx -> run_program ctx t0); (fun ctx -> run_program ctx t1) ]
+
+let threaded_gen =
+  QCheck.Gen.(pair (list_size (int_range 1 6) op_gen) (list_size (int_range 1 3) op_gen))
+
+let threaded_print (t0, t1) = program_print t0 ^ " || " ^ program_print t1
+
+let threaded_arb =
+  QCheck.make ~print:threaded_print
+    ~shrink:(QCheck.Shrink.pair program_shrink program_shrink)
+    threaded_gen
+
 let observe_all ctx =
   let v l o = Ctx.load64 ctx ~label:"obs" (addr_of l o) in
-  Printf.sprintf "%d,%d,%d,%d" (v 0 0) (v 0 1) (v 1 0) (v 1 1)
+  String.concat ","
+    (List.concat_map
+       (fun l -> List.map (fun o -> string_of_int (v l o)) [ 0; 1 ])
+       (List.init lines Fun.id))
+
+let eager_equals_lazy pre =
+  let post = observe_all in
+  let eager = Yat.Eager.check ~state_limit:200_000 ~pre ~post () in
+  let lazy_b = Yat.Eager.jaaru_behaviors ~pre ~post () in
+  (not eager.Yat.Eager.truncated) && eager.Yat.Eager.behaviors = lazy_b
 
 let prop_eager_equals_lazy =
-  QCheck.Test.make ~name:"eager enumeration = lazy exploration" ~count:120
-    (QCheck.make ~print:program_print program_gen)
-    (fun ops ->
-      let pre ctx = run_program ctx ops in
-      let post = observe_all in
-      let eager = Yat.Eager.check ~state_limit:200_000 ~pre ~post () in
-      let lazy_b = Yat.Eager.jaaru_behaviors ~pre ~post () in
-      (not eager.Yat.Eager.truncated) && eager.Yat.Eager.behaviors = lazy_b)
+  QCheck.Test.make ~name:"eager enumeration = lazy exploration" ~count:500 program_arb
+    (fun ops -> eager_equals_lazy (fun ctx -> run_program ctx ops))
+
+let prop_eager_equals_lazy_threaded =
+  QCheck.Test.make ~name:"eager = lazy with a second thread" ~count:500 threaded_arb
+    (fun prog -> eager_equals_lazy (fun ctx -> run_threaded ctx prog))
 
 (* The same property under the Buffered eviction policy, where the store
    buffer and flush buffer add drain nondeterminism. Lazy exploration must
@@ -72,8 +134,7 @@ let prop_eager_equals_lazy =
    prefix-consistent cut; here we check a cheaper invariant: the set of
    behaviours under Buffered contains the all-drained behaviours of Eager. *)
 let prop_buffered_superset =
-  QCheck.Test.make ~name:"buffered behaviors superset of eager-policy" ~count:60
-    (QCheck.make ~print:program_print program_gen)
+  QCheck.Test.make ~name:"buffered behaviors superset of eager-policy" ~count:60 program_arb
     (fun ops ->
       let pre ctx = run_program ctx ops in
       let post = observe_all in
@@ -87,12 +148,11 @@ let prop_buffered_superset =
 
 (* Determinism: running the same scenario twice gives identical statistics. *)
 let prop_exploration_deterministic =
-  QCheck.Test.make ~name:"exploration is deterministic" ~count:40
-    (QCheck.make ~print:program_print program_gen)
-    (fun ops ->
+  QCheck.Test.make ~name:"exploration is deterministic" ~count:40 threaded_arb
+    (fun prog ->
       let scn =
         Explorer.scenario ~name:"d"
-          ~pre:(fun ctx -> run_program ctx ops)
+          ~pre:(fun ctx -> run_threaded ctx prog)
           ~post:(fun ctx -> ignore (observe_all ctx))
       in
       let a = (Explorer.run scn).Explorer.stats in
@@ -108,7 +168,7 @@ let prop_exploration_deterministic =
    final state — leaves the overall recovery-behaviour set unchanged. *)
 let prop_flush_shrinks =
   QCheck.Test.make ~name:"a trailing flush does not change the behaviour set" ~count:60
-    (QCheck.make ~print:program_print program_gen)
+    program_arb
     (fun ops ->
       let behaviors ops =
         Yat.Eager.jaaru_behaviors ~pre:(fun ctx -> run_program ctx ops) ~post:observe_all ()
@@ -424,6 +484,7 @@ let () =
       ( "equivalence",
         [
           QCheck_alcotest.to_alcotest prop_eager_equals_lazy;
+          QCheck_alcotest.to_alcotest prop_eager_equals_lazy_threaded;
           QCheck_alcotest.to_alcotest prop_buffered_superset;
           QCheck_alcotest.to_alcotest prop_exploration_deterministic;
           QCheck_alcotest.to_alcotest prop_flush_shrinks;

@@ -63,7 +63,7 @@ let test_choice_fast_forward () =
 (* --- outcome equivalence: snapshot on/off x jobs --------------------------- *)
 
 let outcome_text (o : Explorer.outcome) =
-  let o = { o with Explorer.stats = { o.Explorer.stats with Stats.wall_time = 0. } } in
+  let o = { o with Explorer.stats = Stats.comparable o.Explorer.stats } in
   Format.asprintf "%a" Explorer.pp_outcome o
 
 let check_snapshot_equivalence name scenario config =
@@ -86,7 +86,7 @@ let check_snapshot_equivalence name scenario config =
             (Printf.sprintf "%s: jobs=%d snapshot=%b byte-identical" name jobs snapshot)
             ref_text (outcome_text o))
         [ true; false ])
-    [ 1; 2; 4 ]
+    (Test_env.jobs_matrix ~default:[ 1; 2; 4 ])
 
 let flush_loop_scenario () =
   Explorer.scenario ~name:"flush-loop"
@@ -205,7 +205,7 @@ let test_exact_budget_not_capped () =
             (Printf.sprintf "budget=space-1 jobs=%d snapshot=%b: capped" jobs snapshot)
             false o.Explorer.stats.Stats.exhausted)
         [ true; false ])
-    [ 1; 2; 4 ]
+    (Test_env.jobs_matrix ~default:[ 1; 2; 4 ])
 
 (* --- clwb is a distinct flush kind ----------------------------------------- *)
 
