@@ -2,7 +2,7 @@
 # the whole test suite (which includes the jobs>1 determinism tests in
 # test_parallel.ml), and a CLI smoke run of the parallel explorer.
 
-.PHONY: all build test check parallel-smoke lint bench bench-smoke clean
+.PHONY: all build test check parallel-smoke lint bench bench-smoke interrupt-smoke clean
 
 all: build
 
@@ -29,11 +29,19 @@ check: build test parallel-smoke lint
 bench: build
 	dune exec bench/main.exe
 
-# Seconds-long subsets of the snapshot and memo bench sections: assert that
-# outcomes stay byte-identical with the failure-point snapshot layer and the
-# crash-state memoization layer on and off.
+# Seconds-long subsets of the snapshot, memo and checkpoint bench sections:
+# assert that outcomes stay byte-identical with the failure-point snapshot
+# layer and the crash-state memoization layer on and off, and that a chain of
+# wall-budget-interrupted sessions resumed from checkpoints reports
+# identically to one uninterrupted run.
 bench-smoke: build
-	dune exec bench/main.exe -- snapshot-smoke memo-smoke
+	dune exec bench/main.exe -- snapshot-smoke memo-smoke checkpoint-smoke
+
+# Out-of-process half of the survivability story: SIGTERM a real CLI run
+# mid-flight, resume it from its checkpoint, and diff the resumed report
+# against an uninterrupted baseline.
+interrupt-smoke: build
+	scripts/interrupt_resume_smoke.sh
 
 clean:
 	dune clean

@@ -357,6 +357,61 @@ let memo_bench ~smoke =
   if smoke then assert (List.exists (fun (_, hits, _) -> hits > 0) results)
   else assert (List.length saving >= 2)
 
+(* --- checkpoint / resume --------------------------------------------------------- *)
+
+(* Survivability layer (Config.wall_budget + Explorer.run ~checkpoint/~resume):
+   a run that trips its wall-clock budget stops cooperatively, writes the
+   unexplored frontier to the checkpoint file, and a resumed run continues
+   from exactly that frontier. Chaining budget-limited sessions to completion
+   must produce an outcome byte-identical to one uninterrupted run; the
+   interesting numbers are how many sessions the chain needed and what the
+   save/load/re-validate overhead cost relative to the straight run. *)
+let checkpoint_bench ~smoke =
+  section_header "Checkpoint: wall-budget interrupt/resume chain vs uninterrupted run";
+  (* A deep tree (two nested failures over a real PMDK case) so the budget
+     has something to interrupt; the seeded bug is still found, exercising
+     report merging across sessions. *)
+  let case = List.hd (Pmdk.Workloads.fig12_cases ()) in
+  let scn = case.Pmdk.Workloads.scenario in
+  let base_config =
+    { case.Pmdk.Workloads.config with Config.max_failures = 2; stop_at_first_bug = false }
+  in
+  (* Warm-up exploration so the baseline timing doesn't charge first-run
+     costs (code paths, GC heap growth) that the chain then gets for free. *)
+  ignore (Explorer.run ~config:base_config scn);
+  let t0 = Unix.gettimeofday () in
+  let baseline = Explorer.run ~config:base_config scn in
+  let t_base = Unix.gettimeofday () -. t0 in
+  let path = Filename.temp_file "jaaru-bench" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let budget = min 0.25 (max 0.01 (t_base /. if smoke then 6. else 12.)) in
+      let config = { base_config with Config.wall_budget = Some budget } in
+      let t0 = Unix.gettimeofday () in
+      let sessions = ref 1 in
+      let o = ref (Explorer.run ~config ~checkpoint:path scn) in
+      while !o.Explorer.stats.Stats.interrupted do
+        incr sessions;
+        (* Safety net: if the budget is too tight to make progress on this
+           host, finish the tail of the chain without one. *)
+        let config =
+          if !sessions > 50 then { config with Config.wall_budget = None } else config
+        in
+        o := Explorer.run ~config ~resume:(Checkpoint.load path) ~checkpoint:path scn
+      done;
+      let t_chain = Unix.gettimeofday () -. t0 in
+      let identical = same_outcome baseline !o in
+      Format.printf "%-14s %10s %12s %10s %s@." "sessions" "baseline" "chain" "overhead"
+        "identical";
+      Format.printf "%-14d %9.2fs %11.2fs %9.1f%% %s@." !sessions t_base t_chain
+        (100. *. ((t_chain /. t_base) -. 1.))
+        (if identical then "yes" else "NO");
+      assert identical;
+      (* The chain must actually have been interrupted at least once, or the
+         section proved nothing about resume. *)
+      assert (!sessions > 1))
+
 (* --- ablations ----------------------------------------------------------------- *)
 
 (* Constraint refinement and lazy enumeration vs. eager exploration: an
@@ -542,4 +597,7 @@ let () =
   if want "memo" then memo_bench ~smoke:false;
   (* memo-smoke is opt-in only (CI), like snapshot-smoke. *)
   if List.mem "memo-smoke" sections then memo_bench ~smoke:true;
+  if want "checkpoint" then checkpoint_bench ~smoke:false;
+  (* checkpoint-smoke is opt-in only (CI), like snapshot-smoke. *)
+  if List.mem "checkpoint-smoke" sections then checkpoint_bench ~smoke:true;
   if want "ablation" then ablations ()

@@ -133,6 +133,72 @@ let analyze_arg =
           "Run the persistency analysis passes alongside exploration and print their findings \
            (missing flush/fence root causes, torn writes, redundant flushes)")
 
+let wall_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "wall-budget" ] ~docv:"SEC"
+        ~doc:
+          "Stop the run cooperatively after $(docv) seconds of wall clock: workers finish their \
+           current replay, the partial report is printed flagged as interrupted, and the \
+           unexplored frontier is saved when $(b,--checkpoint) is given.")
+
+let step_deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "step-deadline" ] ~docv:"SEC"
+        ~doc:
+          "Cancel any single execution that runs longer than $(docv) seconds, recording it as an \
+           execution-timeout bug — catches workloads that diverge while issuing operations too \
+           slowly for $(b,--max-steps) to notice. The exploration itself continues.")
+
+let mem_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-budget" ] ~docv:"MB"
+        ~doc:
+          "Soft memory budget in megabytes: when the OCaml heap exceeds it, workers shed their \
+           memoization and snapshot caches (correct but slower — the run never aborts).")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Periodically (and at every stop, including completion) save the exploration state to \
+           $(docv), atomically; continue it later with $(b,--resume).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "checkpoint-every" ] ~docv:"SEC"
+        ~doc:"Seconds between periodic checkpoints (with $(b,--checkpoint); default 30)")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Continue the exploration saved in $(docv). The checkpoint's workload and configuration \
+           fingerprint must match this invocation ($(b,--jobs), $(b,--memo), $(b,--snapshot) and \
+           the budgets may differ; tree-shaping flags may not). The finished run reports exactly \
+           what an uninterrupted run would. Implies checkpointing back to the same file unless \
+           $(b,--checkpoint) names another.")
+
+let report_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report-out" ] ~docv:"FILE"
+        ~doc:
+          "Also write the comparable report (wall-clock and other schedule-dependent counters \
+           zeroed) to $(docv) — byte-identical across $(b,--jobs) values and interrupt/resume \
+           histories; meant for diffing in CI.")
+
 let apply_overrides config ~max_failures ~max_steps ~exhaustive ~jobs ~snapshot ~memo =
   let config =
     match max_failures with
@@ -151,39 +217,93 @@ let pp_memo_counters o =
     Format.printf "memo: %d hit(s), %d miss(es), %d execution(s) saved@."
       s.Jaaru.Stats.memo_hits s.Jaaru.Stats.memo_misses s.Jaaru.Stats.memo_saved
 
+(* SIGINT/SIGTERM request the explorer's cooperative stop: workers finish
+   their current replay, the partial report still prints, and the frontier
+   is checkpointed. A second signal during the wind-down is absorbed by the
+   same sticky flag. The previous dispositions are restored afterwards so
+   batch drivers (lint over many cases) regain default kill behavior. *)
+let with_graceful_signals f =
+  Jaaru.Explorer.clear_interrupt ();
+  let handler = Sys.Signal_handle (fun _ -> Jaaru.Explorer.request_interrupt ()) in
+  let old_int = Sys.signal Sys.sigint handler in
+  let old_term = Sys.signal Sys.sigterm handler in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigint old_int;
+      Sys.set_signal Sys.sigterm old_term)
+    f
+
+let write_report path o =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      Format.fprintf ppf "%a@." Jaaru.Explorer.pp_report o)
+
 let check_run id max_failures max_steps exhaustive jobs snapshot memo show_multi_rf show_trace
-    analyze =
+    analyze wall_budget step_deadline mem_budget checkpoint checkpoint_every resume report_out =
   match find_entry id with
   | Error e -> Error e
-  | Ok entry ->
+  | Ok entry -> (
       let config =
         apply_overrides entry.config ~max_failures ~max_steps ~exhaustive ~jobs ~snapshot ~memo
       in
       let config = if analyze then { config with Jaaru.Config.analyze = true } else config in
+      let config =
+        {
+          config with
+          Jaaru.Config.wall_budget;
+          step_deadline;
+          mem_budget = Option.map (fun mb -> mb * 1024 * 1024) mem_budget;
+          checkpoint_every;
+        }
+      in
+      let checkpoint = match (checkpoint, resume) with Some p, _ -> Some p | None, r -> r in
       Format.printf "checking %s (%s): %s@." entry.id entry.benchmark entry.description;
       Format.printf "config: %a@.@." Jaaru.Config.pp config;
-      let o = Jaaru.Explorer.run ~config entry.scenario in
-      Format.printf "%a@.@." Jaaru.Explorer.pp_outcome o;
-      pp_memo_counters o;
-      List.iter
-        (fun b ->
-          if show_trace then Format.printf "%a@.@." Jaaru.Bug.pp b
-          else Format.printf "bug: %s@." (Jaaru.Bug.symptom b))
-        o.Jaaru.Explorer.bugs;
-      if show_multi_rf then begin
-        Format.printf "@.loads with multiple read-from candidates:@.";
-        List.iter
-          (fun (r : Jaaru.Ctx.multi_rf) ->
-            Format.printf "  %s @@ 0x%x <- {%s}@." r.load_label r.load_addr
-              (String.concat ", "
-                 (List.map (fun (l, v) -> Printf.sprintf "%s=%d" l v) r.candidates)))
-          o.Jaaru.Explorer.multi_rf
-      end;
-      let expected_bug = entry.expected <> None in
-      let found = Jaaru.Explorer.found_bug o in
-      if expected_bug && not found then Error (`Msg "seeded bug was not found")
-      else if (not expected_bug) && found then Error (`Msg "clean case reported a bug")
-      else Ok ()
+      match
+        with_graceful_signals (fun () ->
+            let resume = Option.map Jaaru.Checkpoint.load resume in
+            Jaaru.Explorer.run ~config ?resume ?checkpoint entry.scenario)
+      with
+      | exception Jaaru.Checkpoint.Rejected msg -> Error (`Msg msg)
+      | o ->
+          Format.printf "%a@.@." Jaaru.Explorer.pp_outcome o;
+          pp_memo_counters o;
+          Option.iter (fun path -> write_report path o) report_out;
+          List.iter
+            (fun b ->
+              if show_trace then Format.printf "%a@.@." Jaaru.Bug.pp b
+              else Format.printf "bug: %s@." (Jaaru.Bug.symptom b))
+            o.Jaaru.Explorer.bugs;
+          if show_multi_rf then begin
+            Format.printf "@.loads with multiple read-from candidates:@.";
+            List.iter
+              (fun (r : Jaaru.Ctx.multi_rf) ->
+                Format.printf "  %s @@ 0x%x <- {%s}@." r.load_label r.load_addr
+                  (String.concat ", "
+                     (List.map (fun (l, v) -> Printf.sprintf "%s=%d" l v) r.candidates)))
+              o.Jaaru.Explorer.multi_rf
+          end;
+          if o.Jaaru.Explorer.stats.Jaaru.Stats.interrupted then begin
+            (match checkpoint with
+            | Some path ->
+                Format.printf "@.run interrupted; continue with: jaaru check %s --resume %s@."
+                  entry.id path
+            | None ->
+                Format.printf
+                  "@.run interrupted; progress was discarded (re-run with --checkpoint FILE to \
+                   make runs resumable)@.");
+            Error (`Msg "run interrupted")
+          end
+          else begin
+            let expected_bug = entry.expected <> None in
+            let found = Jaaru.Explorer.found_bug o in
+            if expected_bug && not found then Error (`Msg "seeded bug was not found")
+            else if (not expected_bug) && found then Error (`Msg "clean case reported a bug")
+            else Ok ()
+          end)
 
 let check_cmd =
   let doc = "Model check one bundled case" in
@@ -192,7 +312,9 @@ let check_cmd =
     Term.(
       term_result
         (const check_run $ id_arg $ max_failures_arg $ max_steps_arg $ exhaustive_arg $ jobs_arg
-       $ snapshot_arg $ memo_arg $ multi_rf_arg $ trace_arg $ analyze_arg))
+       $ snapshot_arg $ memo_arg $ multi_rf_arg $ trace_arg $ analyze_arg $ wall_budget_arg
+       $ step_deadline_arg $ mem_budget_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
+       $ report_out_arg))
 
 (* --- lint ------------------------------------------------------------------ *)
 

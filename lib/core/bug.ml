@@ -3,6 +3,8 @@ type kind =
   | Assertion_failure of string
   | Infinite_loop of { steps : int }
   | Program_exception of string
+  | Step_limit of { resource : string }
+  | Execution_timeout of { seconds : float }
 
 type t = {
   kind : kind;
@@ -20,6 +22,9 @@ let pp_kind ppf = function
   | Assertion_failure msg -> Format.fprintf ppf "assertion failure: %s" msg
   | Infinite_loop { steps } -> Format.fprintf ppf "stuck in a loop after %d steps" steps
   | Program_exception msg -> Format.fprintf ppf "program exception: %s" msg
+  | Step_limit { resource } -> Format.fprintf ppf "resource exhaustion (%s)" resource
+  | Execution_timeout { seconds } ->
+      Format.fprintf ppf "execution exceeded its %gs wall-clock deadline" seconds
 
 let symptom bug =
   match bug.kind with
@@ -27,12 +32,49 @@ let symptom bug =
   | Assertion_failure _ -> Printf.sprintf "Assertion failure at %s" bug.location
   | Infinite_loop _ -> "Getting stuck in an infinite loop"
   | Program_exception msg -> Printf.sprintf "%s at %s" msg bug.location
+  | Step_limit _ -> Printf.sprintf "resource exhaustion at %s" bug.location
+  | Execution_timeout _ -> "Exceeding the per-execution wall-clock deadline"
 
 let kind_tag = function
   | Illegal_access _ -> 0
   | Assertion_failure _ -> 1
   | Infinite_loop _ -> 2
   | Program_exception _ -> 3
+  | Step_limit _ -> 4
+  | Execution_timeout _ -> 5
+
+(* Dedup keys must be stable across runs, [--jobs] values and resume:
+   [Printexc.to_string] can embed heap addresses (custom printers, abstract
+   payloads) and multi-line noise that vary run to run. Keep the first line,
+   canonicalize hexadecimal runs, and bound the length. *)
+let normalize_message msg =
+  let msg =
+    match String.index_opt msg '\n' with Some i -> String.sub msg 0 i | None -> msg
+  in
+  let n = String.length msg in
+  let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if
+      !i + 2 < n
+      && msg.[!i] = '0'
+      && (msg.[!i + 1] = 'x' || msg.[!i + 1] = 'X')
+      && is_hex msg.[!i + 2]
+    then begin
+      Buffer.add_string b "0x<addr>";
+      i := !i + 2;
+      while !i < n && is_hex msg.[!i] do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char b msg.[!i];
+      incr i
+    end
+  done;
+  let s = Buffer.contents b in
+  if String.length s > 200 then String.sub s 0 197 ^ "..." else s
 
 let report_key bug = (kind_tag bug.kind, bug.location)
 let same_report a b = report_key a = report_key b

@@ -13,6 +13,18 @@ type kind =
   | Infinite_loop of { steps : int }
   | Program_exception of string
       (** The program under test raised an unexpected OCaml exception. *)
+  | Step_limit of { resource : string }
+      (** The replay blew a checker resource budget ([Stack_overflow] /
+          [Out_of_memory]); [resource] names which ("stack" or "memory").
+          Distinct from {!Program_exception} so deduplication and suppression
+          treat runaway resource usage separately from real program
+          exceptions. *)
+  | Execution_timeout of { seconds : float }
+      (** One execution exceeded the per-execution wall-clock deadline
+          ({!Config.step_deadline}) and was cancelled by the watchdog monitor.
+          Catches workloads that diverge between [Ctx] operations faster than
+          [max_steps] can see; [seconds] is the configured deadline, so the
+          report is deterministic even though the trigger is wall-clock. *)
 
 type t = {
   kind : kind;
@@ -39,6 +51,11 @@ val same_report : t -> t -> bool
 val report_key : t -> int * string
 (** The identity {!same_report} compares — a hashtable key for
     deduplicating reports without a quadratic scan. *)
+
+val normalize_message : string -> string
+(** Canonicalizes a {!Program_exception} message for stable dedup keys:
+    first line only, hexadecimal runs (heap addresses from [Printexc]
+    printers) rewritten to [0x<addr>], length bounded. *)
 
 val pp : Format.formatter -> t -> unit
 val pp_kind : Format.formatter -> kind -> unit

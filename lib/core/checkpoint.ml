@@ -1,0 +1,111 @@
+(* On-disk checkpoints of a partially explored choice tree. See
+   checkpoint.mli for the format and the fingerprint rationale. *)
+
+exception Rejected of string
+
+type t = {
+  fingerprint : string;
+  frontier : string list;
+  bugs : Bug.t list;
+  multi_rf : Ctx.multi_rf list;
+  perf : Ctx.perf_report list;
+  findings : Analysis.Report.finding list;
+  stats : Stats.t;
+}
+
+(* Only the fields that shape the choice tree and the reports participate:
+   everything a resumed run may legitimately change — [jobs], [snapshot],
+   [memo], the budgets, [checkpoint_every] — is excluded, because outcomes
+   are identical across those settings (the acceptance property resumption
+   relies on). [step_deadline] IS included: its timeouts surface as bugs, so
+   resuming under a different deadline would merge incomparable report
+   sets. *)
+let fingerprint ~workload (c : Config.t) =
+  let evict = match c.evict_policy with Config.Eager -> 0 | Config.Buffered -> 1 in
+  let image =
+    Marshal.to_string
+      ( workload,
+        c.max_failures,
+        evict,
+        c.max_steps,
+        c.max_executions,
+        c.stop_at_first_bug,
+        c.report_multi_rf,
+        c.report_perf,
+        c.schedule_seed,
+        c.region_base,
+        c.region_size,
+        c.trace_depth,
+        c.analyze,
+        c.suppress,
+        c.step_deadline )
+      [ Marshal.No_sharing ]
+  in
+  Printf.sprintf "%08x" (Pmem.Crc32.digest_string image)
+
+let magic = "jaaru-checkpoint-v1"
+
+let make ~fingerprint ~frontier ~bugs ~multi_rf ~perf ~findings ~stats =
+  { fingerprint; frontier; bugs; multi_rf; perf; findings; stats }
+
+let frontier_prefixes t =
+  List.map
+    (fun s ->
+      match Choice.decode_prefix s with
+      | Some p -> p
+      | None -> raise (Rejected (Printf.sprintf "corrupt frontier prefix %S" s)))
+    t.frontier
+
+(* Atomic save: write to a sibling temp file, fsync-less rename. A crash
+   mid-checkpoint leaves the previous checkpoint intact; a crash between
+   rename and the next one only loses progress, never corrupts. *)
+let save t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let payload = Marshal.to_string t [ Marshal.No_sharing ] in
+      output_string oc magic;
+      output_char oc '\n';
+      Printf.fprintf oc "%08x\n" (Pmem.Crc32.digest_string payload);
+      output_string oc payload);
+  Sys.rename tmp path
+
+let load path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> raise (Rejected (Printf.sprintf "cannot open checkpoint: %s" msg))
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let line () = try input_line ic with End_of_file -> raise (Rejected "truncated checkpoint") in
+      if line () <> magic then raise (Rejected "not a jaaru checkpoint (bad magic)");
+      let crc = line () in
+      let payload =
+        let len = in_channel_length ic - pos_in ic in
+        really_input_string ic len
+      in
+      if Printf.sprintf "%08x" (Pmem.Crc32.digest_string payload) <> crc then
+        raise (Rejected "checkpoint payload fails its checksum");
+      let t : t =
+        try Marshal.from_string payload 0
+        with _ -> raise (Rejected "checkpoint payload fails to deserialize")
+      in
+      (* Fail early on undecodable prefixes rather than mid-resume. *)
+      ignore (frontier_prefixes t);
+      t)
+
+let validate t ~workload ~config =
+  let expected = fingerprint ~workload config in
+  if t.fingerprint <> expected then
+    raise
+      (Rejected
+         (Printf.sprintf
+            "checkpoint fingerprint %s does not match this run's %s — different workload or \
+             configuration (the tree shapes would not line up); re-run without --resume or \
+             restore the original flags"
+            t.fingerprint expected))
+
+let completed t = t.frontier = []

@@ -1,0 +1,77 @@
+(** On-disk checkpoints: the durable unit of exploration progress.
+
+    A checkpoint captures everything needed to continue a partially explored
+    run: the {e unexplored frontier} (encoded {!Choice} prefixes — each pins
+    an entire untouched subtree), the merged reports and statistics of the
+    explored part, and a fingerprint of the configuration and workload that
+    shaped the tree. Resuming pushes the frontier's subtrees back onto a
+    fresh work queue; because every explored leaf is attributed to exactly
+    one checkpointed-or-explored subtree, an interrupted-then-resumed run
+    reports byte-identically to an uninterrupted one, for any [jobs] value
+    and with the memo/snapshot layers on or off.
+
+    {2 File format}
+
+    A magic line ["jaaru-checkpoint-v1"], a CRC-32 line (8 hex digits) of the
+    payload, then the [Marshal] image of {!t}. Saves are atomic
+    (write-temp-then-rename), so a crash mid-save leaves the previous
+    checkpoint intact. Checkpoints are single-version: a format change bumps
+    the magic and old files are {!Rejected}, never misread.
+
+    {2 The fingerprint}
+
+    CRC-32 over the workload name and every configuration field that shapes
+    the choice tree or the reports ([max_failures], eviction policy,
+    [max_steps], [max_executions], [stop_at_first_bug], report switches,
+    [schedule_seed], region geometry, [trace_depth], [analyze], [suppress],
+    [step_deadline]). Fields a resumed run may legitimately vary — [jobs],
+    [snapshot], [memo], [wall_budget], [mem_budget], [checkpoint_every] —
+    are excluded: outcomes are identical across them by construction. *)
+
+exception Rejected of string
+(** The file is not a usable checkpoint for this run: unreadable, corrupt
+    (bad magic, checksum or payload), or fingerprint mismatch. The message
+    says which. *)
+
+type t = {
+  fingerprint : string;
+  frontier : string list;  (** encoded prefixes ({!Choice.encode_prefix}) *)
+  bugs : Bug.t list;
+  multi_rf : Ctx.multi_rf list;
+  perf : Ctx.perf_report list;
+  findings : Analysis.Report.finding list;
+  stats : Stats.t;  (** merged statistics of the explored part *)
+}
+
+val fingerprint : workload:string -> Config.t -> string
+
+val make :
+  fingerprint:string ->
+  frontier:string list ->
+  bugs:Bug.t list ->
+  multi_rf:Ctx.multi_rf list ->
+  perf:Ctx.perf_report list ->
+  findings:Analysis.Report.finding list ->
+  stats:Stats.t ->
+  t
+
+val frontier_prefixes : t -> Choice.prefix list
+(** Decoded frontier, in checkpoint order. Raises {!Rejected} on a corrupt
+    prefix (also checked eagerly by {!load}). *)
+
+val save : t -> string -> unit
+(** Atomically writes the checkpoint to a path (temp file + rename). *)
+
+val load : string -> t
+(** Reads and integrity-checks a checkpoint (magic, checksum, payload and
+    frontier decodability). Raises {!Rejected} — {e not} validation against
+    a run; call {!validate} for that. *)
+
+val validate : t -> workload:string -> config:Config.t -> unit
+(** Raises {!Rejected} unless the checkpoint's fingerprint matches this
+    workload and configuration. *)
+
+val completed : t -> bool
+(** Whether the frontier is empty — the run had fully finished when this
+    checkpoint was written; resuming it is a no-op that reports the stored
+    outcome. *)

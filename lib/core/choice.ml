@@ -209,6 +209,18 @@ let resume_from_prefix p =
   in
   { cells; len = n; cursor = 0; base = p.frozen; created = Array.make 3 0 }
 
+(* The still-unexplored subtree of this searcher, as a resumable prefix: the
+   recorded decisions pin the next leaf the DFS would replay, and each cell's
+   [limit] preserves the sibling alternatives it still owns. Valid whenever a
+   fresh replay is about to start (after [advance] or [resume_from_prefix],
+   before consuming decisions), where every recorded cell satisfies
+   [chosen < limit]. *)
+let remainder t =
+  prefix_of_cells ~frozen:t.base
+    (List.init t.len (fun i ->
+         let c = t.cells.(i) in
+         (c.kind, c.num, c.chosen, c.limit)))
+
 let split t =
   (* Only cells consumed by the last replay are on the current path; a stale
      suffix beyond the cursor must not be donated. *)

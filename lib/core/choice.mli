@@ -131,6 +131,17 @@ val resume_from_prefix : prefix -> t
     would, never flipping a frozen cell. [resume_from_prefix root] is
     equivalent to {!create}. *)
 
+val remainder : t -> prefix
+(** The searcher's entire unexplored subtree as a resumable prefix:
+    [resume_from_prefix (remainder t)] explores exactly the leaves [t] had
+    left. The basis of checkpointing — a worker asked to stop cooperatively
+    captures [remainder] instead of replaying. Call it where a fresh replay
+    would start (after a successful {!advance}, or on a just-resumed
+    searcher before any replay); raises [Invalid_argument] if some recorded
+    cell is exhausted ([chosen >= limit]), which cannot happen at those
+    points. [remainder] of a fresh {!create} (or of [resume_from_prefix
+    root]) is {!root}. *)
+
 val split : t -> prefix option
 (** Donates the unexplored sibling range of the shallowest splittable
     decision: picks the shallowest non-frozen on-path cell with alternatives

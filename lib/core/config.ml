@@ -17,6 +17,10 @@ type t = {
   suppress : string list;
   snapshot : bool;
   memo : bool;
+  wall_budget : float option;
+  step_deadline : float option;
+  mem_budget : int option;
+  checkpoint_every : float;
 }
 
 let default =
@@ -37,6 +41,10 @@ let default =
     suppress = [];
     snapshot = true;
     memo = true;
+    wall_budget = None;
+    step_deadline = None;
+    mem_budget = None;
+    checkpoint_every = 30.;
   }
 
 let policy_name = function Eager -> "eager" | Buffered -> "buffered"
@@ -44,8 +52,11 @@ let policy_name = function Eager -> "eager" | Buffered -> "buffered"
 let pp ppf c =
   Format.fprintf ppf
     "max_failures=%d evict=%s max_steps=%d max_executions=%d jobs=%d snapshot=%s memo=%s \
-     region=[0x%x,+%d)"
+     region=[0x%x,+%d)%s%s%s"
     c.max_failures (policy_name c.evict_policy) c.max_steps c.max_executions c.jobs
     (if c.snapshot then "on" else "off")
     (if c.memo then "on" else "off")
     c.region_base c.region_size
+    (match c.wall_budget with Some b -> Printf.sprintf " wall_budget=%gs" b | None -> "")
+    (match c.step_deadline with Some d -> Printf.sprintf " step_deadline=%gs" d | None -> "")
+    (match c.mem_budget with Some m -> Printf.sprintf " mem_budget=%dB" m | None -> "")

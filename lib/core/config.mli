@@ -75,7 +75,34 @@ type t = {
           {!Stats.t}) with the layer on or off, for every [jobs] value.
           Ignored when [stop_at_first_bug] is set — a run that stops mid-
           subtree must not credit whole cached subtrees, or its execution
-          count would depend on the memo state. *)
+          count would depend on the memo state. Also ignored when
+          [step_deadline] is set — a wall-clock cancellation inside a
+          recovery subtree would leak a nondeterministic verdict into the
+          cache. *)
+  wall_budget : float option;
+      (** Wall-clock budget in seconds for the whole run. When it trips, the
+          watchdog monitor requests a cooperative stop: every worker finishes
+          its current replay, the unexplored frontier is preserved (and
+          checkpointed when a checkpoint path is configured), and the partial
+          outcome is reported with [Stats.interrupted] set. [None] (the
+          default): unbounded. *)
+  step_deadline : float option;
+      (** Per-execution wall-clock deadline in seconds. Catches workloads
+          that diverge while still issuing [Ctx] operations slower than
+          [max_steps] counts them — or with [max_steps] effectively unbounded.
+          A tripped deadline cancels only that execution, recording a
+          {!Bug.Execution_timeout}; the exploration continues. Enforced by
+          the monitor setting a cancel flag that the next [Ctx] operation
+          observes, so a loop that never calls into [Ctx] cannot be cancelled
+          (cancellation is cooperative). [None]: no deadline. *)
+  mem_budget : int option;
+      (** Soft memory budget in bytes, sampled from [Gc] statistics by the
+          monitor. When the heap exceeds it, workers shed their memo and
+          snapshot caches — correct but slower, never aborting — and the trip
+          count surfaces as [Stats.sheds]. [None]: never shed. *)
+  checkpoint_every : float;
+      (** Seconds between periodic checkpoints when the explorer is given a
+          checkpoint path; ignored otherwise. Default 30. *)
 }
 
 val default : t

@@ -38,9 +38,12 @@ type t = {
          counter advances — the crash-state memoization probe *)
   mutable rng : int;  (* schedule-fuzzing PRNG state; reset per replay *)
   snapshots : Snapshot.cache option;  (* the owning worker's snapshot cache *)
+  cancel : bool Atomic.t option;
+      (* watchdog flag: set by the monitor when this execution blows its
+         wall-clock deadline, observed (and consumed) at the next [step] *)
 }
 
-let create ?snapshots ~config ~choice () =
+let create ?snapshots ?cancel ~config ~choice () =
   let stack = Exec.Exec_stack.create () in
   let seq = ref 0 in
   let thread0 = Tso.Thread_state.create ~tid:0 in
@@ -91,6 +94,7 @@ let create ?snapshots ~config ~choice () =
       | Some seed -> (seed lxor 0x9e3779b9) lor 1
       | None -> 0);
     snapshots;
+    cancel;
   }
 
 let set_failure_point_hook ctx hook = ctx.fp_hook <- Some hook
@@ -143,7 +147,15 @@ let step ctx label =
   ctx.last <- label;
   ctx.steps <- ctx.steps + 1;
   if ctx.steps > ctx.cfg.Config.max_steps then
-    raise (Bug.Found (Bug.Infinite_loop { steps = ctx.steps }, label))
+    raise (Bug.Found (Bug.Infinite_loop { steps = ctx.steps }, label));
+  match ctx.cancel with
+  | Some c when Atomic.get c ->
+      (* Consume the flag so a raise swallowed by the program under test does
+         not re-fire on the next replay. *)
+      Atomic.set c false;
+      let seconds = Option.value ~default:0. ctx.cfg.Config.step_deadline in
+      raise (Bug.Found (Bug.Execution_timeout { seconds }, label))
+  | _ -> ()
 
 let progress ctx ?(label = "progress") () = step ctx label
 

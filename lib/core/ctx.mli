@@ -38,11 +38,23 @@ type perf_report = { perf_kind : perf_kind; perf_label : string }
 
 (** {1 Lifecycle (used by the explorer; not by checked programs)} *)
 
-val create : ?snapshots:Snapshot.cache -> config:Config.t -> choice:Choice.t -> unit -> t
+val create :
+  ?snapshots:Snapshot.cache ->
+  ?cancel:bool Atomic.t ->
+  config:Config.t ->
+  choice:Choice.t ->
+  unit ->
+  t
 (** [snapshots] is the owning worker's failure-point snapshot cache: when
     present, every failure point the execution considers captures a
     resumable snapshot into it (see {!Snapshot}). Omitted (e.g. with
-    [config.snapshot] off), executions always run from the start. *)
+    [config.snapshot] off), executions always run from the start.
+
+    [cancel] is the worker's watchdog flag: when the monitor sets it (the
+    execution blew [Config.step_deadline]), the next {!step} consumes the
+    flag and raises {!Bug.Found} with {!Bug.Execution_timeout}. Cancellation
+    is cooperative — code that never issues a [Ctx] operation cannot be
+    interrupted. *)
 
 val resume_from_snapshot : t -> Snapshot.t -> unit
 (** Puts a freshly created context into the exact post-crash state of the

@@ -11,6 +11,19 @@ type outcome = {
   findings : Analysis.Report.finding list;
 }
 
+(* The CLI's signal handlers (and tests) request a cooperative stop through
+   this process-global flag: workers poll it between replays, and the monitor
+   thread polls it too. It is only cleared explicitly — a SIGINT that lands
+   while a checkpoint is being written must still stop the next round. *)
+let interrupt_flag = Atomic.make false
+let request_interrupt () = Atomic.set interrupt_flag true
+let clear_interrupt () = Atomic.set interrupt_flag false
+
+(* Why a round of exploration stopped. The first trigger wins: [Capped] and
+   [First_bug] come from workers, the rest from the watchdog monitor. [Tick]
+   alone continues with another round (after writing a checkpoint). *)
+type stop_reason = Capped | First_bug | Interrupted | Wall_budget | Tick
+
 (* One complete scenario execution: run the pre-failure program; every
    injected failure aborts the current execution and starts the recovery
    program on the surviving persistent state. With a snapshot, the context is
@@ -43,13 +56,16 @@ let keep_min tbl key v = match Hashtbl.find_opt tbl key with
   | None -> Hashtbl.replace tbl key v
   | Some prev -> if compare v prev < 0 then Hashtbl.replace tbl key v
 
-(* What one worker accumulated over the subtrees it explored. *)
+(* What one worker accumulated over the subtrees it explored.
+   [wr_remainder] is the unexplored part of the tasks it was holding when a
+   cooperative stop caught it — frontier material for a checkpoint. *)
 type worker_result = {
   wr_bugs : ((int * string), Bug.t) Hashtbl.t;
   wr_multi_rf : ((string * Pmem.Addr.t), Ctx.multi_rf) Hashtbl.t;
   wr_perf : (Ctx.perf_report, unit) Hashtbl.t;
   wr_findings : (Analysis.Report.finding, unit) Hashtbl.t;
   wr_stats : Stats.t;
+  wr_remainder : Choice.prefix list;
 }
 
 (* An open crash-state memoization accumulator: one per crash state whose
@@ -107,20 +123,28 @@ let reserve_slots reserved ~budget n =
   loop ()
 
 (* The per-worker replay loop: drain subtree tasks off the frontier until
-   the exploration completes or is stopped. [stopped] is the
-   stop-at-first-bug / budget-exhausted flag. *)
-let worker ~config ~scn ~frontier ~reserved ~stopped ~capped () =
+   the exploration completes or is stopped. [stopped] is the cooperative
+   stop flag; [trigger] records why it was raised (first reason wins) and
+   closes the frontier. *)
+let worker ~config ~scn ~frontier ~reserved ~stopped ~trigger ~monitor ~idx () =
   let budget = config.Config.max_executions in
   let snapshots = if config.Config.snapshot then Some (Snapshot.create_cache ()) else None in
   (* Memoization is disabled under stop-at-first-bug: crediting a cached
      subtree's executions without replaying it would change which replay
      trips the stop, breaking the "same outcome for every jobs value"
-     guarantee that mode otherwise keeps. *)
+     guarantee that mode otherwise keeps. It is likewise disabled under a
+     per-execution deadline: a cancelled replay's Execution_timeout would
+     leak a wall-clock-dependent verdict into the cache. *)
   let memo_table =
-    if config.Config.memo && not config.Config.stop_at_first_bug then
-      Some (Memo.create_table ())
+    if
+      config.Config.memo
+      && (not config.Config.stop_at_first_bug)
+      && config.Config.step_deadline = None
+    then Some (Memo.create_table ())
     else None
   in
+  let timed = config.Config.step_deadline <> None in
+  let cancel = if timed then Some (Monitor.cancel_flag monitor idx) else None in
   let bugs = Hashtbl.create 16 in
   let multi_rf : (string * Pmem.Addr.t, Ctx.multi_rf) Hashtbl.t = Hashtbl.create 16 in
   let perf : (Ctx.perf_report, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -134,6 +158,8 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~capped () =
   let memo_hits = ref 0 in
   let memo_misses = ref 0 in
   let memo_saved = ref 0 in
+  let sheds = ref 0 in
+  let remainder = ref [] in
   (* Open accumulators of the current task, deepest first (depths strictly
      increase towards the head). Every report recorded while a subtree is
      open belongs to that subtree's verdict too. *)
@@ -251,15 +277,23 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~capped () =
     let continue = ref true in
     let discard = ref false in
     while !continue do
+      if (not (Atomic.get stopped)) && Atomic.get interrupt_flag then trigger Interrupted;
+      if Monitor.take_shed monitor idx then begin
+        (match snapshots with Some cache -> Snapshot.clear_cache cache | None -> ());
+        (match memo_table with Some table -> Memo.clear table | None -> ());
+        incr sheds
+      end;
       if Atomic.get stopped then begin
+        (* The choice stack sits where the next replay would start, so its
+           remainder is exactly this task's unexplored subtree. *)
+        remainder := Choice.remainder choice :: !remainder;
         discard := true;
         continue := false
       end
       else begin
         if not (reserve_slot reserved ~budget) then begin
-          Atomic.set capped true;
-          Atomic.set stopped true;
-          Frontier.close frontier;
+          trigger Capped;
+          remainder := Choice.remainder choice :: !remainder;
           discard := true;
           continue := false
         end
@@ -268,19 +302,24 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~capped () =
           let snapshot =
             match snapshots with None -> None | Some cache -> Snapshot.find cache choice
           in
-          let ctx = Ctx.create ?snapshots ~config ~choice () in
+          let ctx = Ctx.create ?snapshots ?cancel ~config ~choice () in
           (match memo_table with
           | Some table -> Ctx.set_crash_hook ctx (probe table ctx)
           | None -> ());
           let hit = ref None in
+          if timed then Monitor.exec_started monitor idx;
           (try replay_once ?snapshot scn ctx with
           | Memo.Hit v -> hit := Some v
           | Ctx.Power_failure -> assert false
           | Choice.Divergence _ as e -> raise e
           | Bug.Found (kind, location) -> record_bug ctx kind location
-          | Stack_overflow | Out_of_memory ->
-              record_bug ctx (Bug.Program_exception "resource exhaustion") (Ctx.last_label ctx)
-          | e -> record_bug ctx (Bug.Program_exception (Printexc.to_string e)) (Ctx.last_label ctx));
+          | Stack_overflow -> record_bug ctx (Bug.Step_limit { resource = "stack" }) (Ctx.last_label ctx)
+          | Out_of_memory -> record_bug ctx (Bug.Step_limit { resource = "memory" }) (Ctx.last_label ctx)
+          | e ->
+              record_bug ctx
+                (Bug.Program_exception (Bug.normalize_message (Printexc.to_string e)))
+                (Ctx.last_label ctx));
+          if timed then Monitor.exec_finished monitor idx;
           (match !hit with
           | Some v ->
               (* The cached verdict stands in for the whole recovery subtree:
@@ -316,8 +355,10 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~capped () =
               end;
               harvest ctx);
           if config.Config.stop_at_first_bug && Hashtbl.length bugs > 0 then begin
-            Atomic.set stopped true;
-            Frontier.close frontier;
+            trigger First_bug;
+            (* The bug-finding leaf is explored; what remains is everything
+               past the next DFS increment. *)
+            if Choice.advance choice then remainder := Choice.remainder choice :: !remainder;
             discard := true;
             continue := false
           end
@@ -373,78 +414,176 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~capped () =
         memo_hits = !memo_hits;
         memo_misses = !memo_misses;
         memo_saved = !memo_saved;
+        sheds = !sheds;
       };
+    wr_remainder = !remainder;
   }
 
-let run ?(config = Config.default) scn =
+let run ?(config = Config.default) ?resume ?checkpoint scn =
   let jobs = max 1 config.Config.jobs in
   let t0 = Unix.gettimeofday () in
-  let frontier = Frontier.create ~workers:jobs () in
-  Frontier.push frontier Choice.root;
-  let reserved = Atomic.make 0 in
-  let stopped = Atomic.make false in
-  let capped = Atomic.make false in
-  let work = worker ~config ~scn ~frontier ~reserved ~stopped ~capped in
-  (* A worker that dies (Choice.Divergence — a broken harness) must not
-     leave its peers blocked on the frontier forever: close it, join
-     everyone, then re-raise. *)
-  let guarded () =
-    match work () with
-    | r -> Ok r
-    | exception e ->
-        let bt = Printexc.get_raw_backtrace () in
-        Atomic.set stopped true;
-        Frontier.close frontier;
-        Error (e, bt)
-  in
-  let results =
-    if jobs = 1 then [ guarded () ]
-    else begin
-      let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn guarded) in
-      let mine = guarded () in
-      mine :: List.map Domain.join spawned
-    end
-  in
-  let results =
-    List.map
-      (function Ok r -> r | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
-      results
-  in
-  (* Deterministic merge: per-key least representative, then a total order
-     on the reports — byte-identical output for any [jobs] value. *)
+  let fingerprint = Checkpoint.fingerprint ~workload:scn.name config in
+  (* Global merge tables — deterministic per-key least representative, so the
+     final reports are byte-identical for any jobs value, any partition of
+     the tree across rounds, and any interrupt/resume history. *)
   let bug_tbl = Hashtbl.create 16 in
   let multi_rf_tbl = Hashtbl.create 16 in
   let perf_tbl = Hashtbl.create 16 in
   let findings_tbl = Hashtbl.create 16 in
-  List.iter
-    (fun r ->
-      Hashtbl.iter (fun key b -> keep_min bug_tbl key b) r.wr_bugs;
-      Hashtbl.iter (fun key m -> keep_min multi_rf_tbl key m) r.wr_multi_rf;
-      Hashtbl.iter (fun p () -> Hashtbl.replace perf_tbl p ()) r.wr_perf;
-      Hashtbl.iter (fun f () -> Hashtbl.replace findings_tbl f ()) r.wr_findings)
-    results;
-  let bugs = List.sort compare (Hashtbl.fold (fun _ b acc -> b :: acc) bug_tbl []) in
-  let multi_rf =
-    List.sort
-      (fun a b -> compare (a.Ctx.load_label, a.Ctx.load_addr) (b.Ctx.load_label, b.Ctx.load_addr))
-      (Hashtbl.fold (fun _ r acc -> r :: acc) multi_rf_tbl [])
+  let stats_acc = ref Stats.zero in
+  let prior_wall = ref 0. in
+  let initial_tasks =
+    match resume with
+    | None -> [ Choice.root ]
+    | Some (cp : Checkpoint.t) ->
+        Checkpoint.validate cp ~workload:scn.name ~config;
+        List.iter (fun b -> keep_min bug_tbl (Bug.report_key b) b) cp.bugs;
+        List.iter
+          (fun (m : Ctx.multi_rf) -> keep_min multi_rf_tbl (m.load_label, m.load_addr) m)
+          cp.multi_rf;
+        List.iter (fun p -> Hashtbl.replace perf_tbl p ()) cp.perf;
+        List.iter (fun f -> Hashtbl.replace findings_tbl f ()) cp.findings;
+        prior_wall := cp.stats.Stats.wall_time;
+        (* The stored flags describe the interrupted session; this session
+           recomputes them. The counters carry over — in particular
+           [executions] restarts the execution budget where it stood. *)
+        stats_acc := { cp.stats with Stats.wall_time = 0.; exhausted = true; interrupted = false };
+        Checkpoint.frontier_prefixes cp
   in
-  let perf = List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) perf_tbl []) in
-  let findings =
-    List.sort Analysis.Report.compare_finding
-      (Hashtbl.fold (fun f () acc -> f :: acc) findings_tbl [])
+  let reserved = Atomic.make !stats_acc.Stats.executions in
+  let merged_reports () =
+    let bugs = List.sort compare (Hashtbl.fold (fun _ b acc -> b :: acc) bug_tbl []) in
+    let multi_rf =
+      List.sort
+        (fun a b ->
+          compare (a.Ctx.load_label, a.Ctx.load_addr) (b.Ctx.load_label, b.Ctx.load_addr))
+        (Hashtbl.fold (fun _ r acc -> r :: acc) multi_rf_tbl [])
+    in
+    let perf = List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) perf_tbl []) in
+    let findings =
+      List.sort Analysis.Report.compare_finding
+        (Hashtbl.fold (fun f () acc -> f :: acc) findings_tbl [])
+    in
+    (bugs, multi_rf, perf, findings)
   in
-  let stats = List.fold_left Stats.merge Stats.zero (List.map (fun r -> r.wr_stats) results) in
-  let stats =
-    {
-      stats with
-      Stats.multi_rf_loads = Hashtbl.length multi_rf_tbl;
-      findings = List.length findings;
-      wall_time = Unix.gettimeofday () -. t0;
-      exhausted = not (Atomic.get capped) && not (config.Config.stop_at_first_bug && bugs <> []);
-    }
+  let outcome_now ~completed ~interrupted =
+    let bugs, multi_rf, perf, findings = merged_reports () in
+    let stats =
+      {
+        !stats_acc with
+        Stats.multi_rf_loads = Hashtbl.length multi_rf_tbl;
+        findings = List.length findings;
+        wall_time = !prior_wall +. (Unix.gettimeofday () -. t0);
+        exhausted = completed && not (config.Config.stop_at_first_bug && bugs <> []);
+        interrupted;
+      }
+    in
+    { bugs; stats; multi_rf; perf; findings }
   in
-  { bugs; stats; multi_rf; perf; findings }
+  let save_checkpoint ~remainder ~interrupted =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+        let o = outcome_now ~completed:(remainder = []) ~interrupted in
+        Checkpoint.save
+          (Checkpoint.make ~fingerprint
+             ~frontier:(List.map Choice.encode_prefix remainder)
+             ~bugs:o.bugs ~multi_rf:o.multi_rf ~perf:o.perf ~findings:o.findings ~stats:o.stats)
+          path
+  in
+  (* One round: explore the given tasks until completion or the first stop
+     trigger. Returns the stop reason (None = ran to completion) and the
+     unexplored remainder. A [Tick] stop loops into another round after
+     writing a checkpoint; anything else ends the run. *)
+  let round tasks =
+    let frontier = Frontier.create ~workers:jobs () in
+    List.iter (Frontier.push frontier) tasks;
+    let stopped = Atomic.make false in
+    let reason : stop_reason option Atomic.t = Atomic.make None in
+    let trigger r =
+      if Atomic.compare_and_set reason None (Some r) then begin
+        Atomic.set stopped true;
+        Frontier.close frontier
+      end
+    in
+    let now = Unix.gettimeofday () in
+    let monitor =
+      Monitor.create ~workers:jobs ~interrupt:interrupt_flag
+        ?wall_deadline:(Option.map (fun b -> t0 +. b) config.Config.wall_budget)
+        ?tick_deadline:
+          (match checkpoint with
+          | Some _ -> Some (now +. config.Config.checkpoint_every)
+          | None -> None)
+        ?step_deadline:config.Config.step_deadline ?mem_budget:config.Config.mem_budget
+        ~on_stop:(fun r ->
+          trigger
+            (match r with
+            | Monitor.Interrupt -> Interrupted
+            | Monitor.Wall_budget -> Wall_budget
+            | Monitor.Tick -> Tick))
+        ()
+    in
+    Monitor.start monitor;
+    (* A worker that dies (Choice.Divergence — a broken harness) must not
+       leave its peers blocked on the frontier forever: close it, join
+       everyone, then re-raise. *)
+    let guarded idx () =
+      match worker ~config ~scn ~frontier ~reserved ~stopped ~trigger ~monitor ~idx () with
+      | r -> Ok r
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Atomic.set stopped true;
+          Frontier.close frontier;
+          Error (e, bt)
+    in
+    let results =
+      Fun.protect
+        ~finally:(fun () -> Monitor.shutdown monitor)
+        (fun () ->
+          if jobs = 1 then [ guarded 0 () ]
+          else begin
+            let spawned = List.init (jobs - 1) (fun i -> Domain.spawn (guarded (i + 1))) in
+            let mine = guarded 0 () in
+            mine :: List.map Domain.join spawned
+          end)
+    in
+    let results =
+      List.map
+        (function Ok r -> r | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+        results
+    in
+    List.iter
+      (fun r ->
+        Hashtbl.iter (fun key b -> keep_min bug_tbl key b) r.wr_bugs;
+        Hashtbl.iter (fun key m -> keep_min multi_rf_tbl key m) r.wr_multi_rf;
+        Hashtbl.iter (fun p () -> Hashtbl.replace perf_tbl p ()) r.wr_perf;
+        Hashtbl.iter (fun f () -> Hashtbl.replace findings_tbl f ()) r.wr_findings;
+        stats_acc := Stats.merge !stats_acc r.wr_stats)
+      results;
+    let remainder =
+      List.concat_map (fun r -> r.wr_remainder) results @ Frontier.drain_remaining frontier
+    in
+    (Atomic.get reason, remainder)
+  in
+  let rec rounds tasks =
+    match round tasks with
+    | Some Tick, (_ :: _ as remainder) ->
+        save_checkpoint ~remainder ~interrupted:true;
+        rounds remainder
+    | (None | Some Tick), _ ->
+        (* Ran dry (a Tick that found nothing left is completion too). *)
+        save_checkpoint ~remainder:[] ~interrupted:false;
+        outcome_now ~completed:true ~interrupted:false
+    | Some (Interrupted | Wall_budget), remainder ->
+        save_checkpoint ~remainder ~interrupted:true;
+        outcome_now ~completed:false ~interrupted:true
+    | Some (Capped | First_bug), remainder ->
+        (* Cut short, but not "interrupted": resuming a capped checkpoint
+           just caps again (the budget travels in the stats). *)
+        save_checkpoint ~remainder ~interrupted:false;
+        outcome_now ~completed:false ~interrupted:false
+  in
+  rounds initial_tasks
 
 let found_bug o = o.bugs <> []
 
@@ -473,3 +612,6 @@ let pp_outcome ppf o =
       o.findings
   end;
   Format.fprintf ppf "@]"
+
+let comparable_outcome o = { o with stats = Stats.comparable o.stats }
+let pp_report ppf o = pp_outcome ppf (comparable_outcome o)

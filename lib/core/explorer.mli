@@ -35,10 +35,28 @@ type outcome = {
           [config.analyze] *)
 }
 
-val run : ?config:Config.t -> scenario -> outcome
+val run : ?config:Config.t -> ?resume:Checkpoint.t -> ?checkpoint:string -> scenario -> outcome
 (** Explores the scenario exhaustively. Checked-program bugs become entries
     in [outcome.bugs]; {!Choice.Divergence} propagates (it indicates a broken
     test harness, not a program bug).
+
+    {b Survivability.} With [checkpoint:path] the run periodically (every
+    [config.checkpoint_every] seconds) and at every stop — including
+    completion — atomically writes a {!Checkpoint} of the unexplored
+    frontier and the merged reports to [path]. With [resume:cp] it first
+    validates [cp]'s fingerprint against this workload and configuration
+    (raising {!Checkpoint.Rejected} on mismatch), seeds the report tables
+    and statistics from it, and explores only the checkpointed frontier; an
+    interrupted-then-resumed run therefore reports byte-identically
+    (see {!pp_report}) to an uninterrupted one, for every [jobs] value and
+    with the memo/snapshot layers on or off. A cooperative stop — a SIGINT
+    routed through {!request_interrupt}, or an exceeded
+    [config.wall_budget] — lets every worker finish its current replay,
+    reports the partial outcome with [stats.interrupted] set, and preserves
+    the rest of the tree in the checkpoint. [config.step_deadline] cancels
+    individual runaway executions as {!Bug.Execution_timeout} bugs, and
+    [config.mem_budget] sheds the memo/snapshot caches under memory
+    pressure; neither ends the run.
 
     With [config.jobs > 1] the choice tree is explored by that many OCaml
     domains: each worker replays executions out of a shared {!Frontier} of
@@ -73,5 +91,26 @@ val run : ?config:Config.t -> scenario -> outcome
     [stop_at_first_bug] (such runs stop mid-subtree, so no verdict is ever
     complete). *)
 
+val request_interrupt : unit -> unit
+(** Requests a cooperative stop of every in-flight {!run} in this process:
+    workers finish their current replay, the partial outcome is flagged
+    [interrupted] and the frontier is checkpointed (when a path was given).
+    Async-signal-safe — the CLI calls it from SIGINT/SIGTERM handlers. The
+    request is sticky until {!clear_interrupt}, so a signal arriving between
+    rounds (or just before [run]) is not lost. *)
+
+val clear_interrupt : unit -> unit
+(** Clears a pending {!request_interrupt} — call before a run that must not
+    inherit a stale request (tests; the CLI at startup). *)
+
 val found_bug : outcome -> bool
 val pp_outcome : Format.formatter -> outcome -> unit
+
+val comparable_outcome : outcome -> outcome
+(** The outcome with {!Stats.comparable} applied — everything that is
+    allowed to differ between equivalent runs zeroed. *)
+
+val pp_report : Format.formatter -> outcome -> unit
+(** [pp_outcome] of {!comparable_outcome}: a rendering that is byte-identical
+    across [jobs] values, memo/snapshot settings, and interrupt/resume
+    histories of the same exploration — the artifact CI diffs. *)

@@ -22,10 +22,12 @@ let create ~workers () =
 
 let push t task =
   Mutex.lock t.lock;
-  if not t.closed then begin
-    Queue.add task t.queue;
-    Condition.signal t.nonempty
-  end;
+  (* Enqueue even after close: a stopping worker may donate a subtree in the
+     window between the stop request and noticing it, and dropping the task
+     would lose that subtree from the checkpointed frontier. Closed-queue
+     leftovers are harvested by [drain_remaining]; [pop] never returns them. *)
+  Queue.add task t.queue;
+  if not t.closed then Condition.signal t.nonempty;
   Mutex.unlock t.lock
 
 let close t =
@@ -41,6 +43,13 @@ let closed t =
   c
 
 let needs_work t = Atomic.get t.hungry > 0
+
+let drain_remaining t =
+  Mutex.lock t.lock;
+  let tasks = List.of_seq (Queue.to_seq t.queue) in
+  Queue.clear t.queue;
+  Mutex.unlock t.lock;
+  tasks
 
 let pop t =
   Mutex.lock t.lock;

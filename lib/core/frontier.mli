@@ -16,8 +16,10 @@ val create : workers:int -> unit -> 'a t
     [workers <= 0]. *)
 
 val push : 'a t -> 'a -> unit
-(** Enqueue a task and wake one idle worker. Silently dropped after
-    {!close} — the exploration is being abandoned anyway. *)
+(** Enqueue a task and wake one idle worker. Still enqueues after {!close}
+    (though no {!pop} will ever deliver it): a worker may donate a subtree
+    in the window between a stop request and noticing it, and the task must
+    survive for {!drain_remaining} to checkpoint. *)
 
 val pop : 'a t -> 'a option
 (** Blocks until a task is available ([Some task]) or no task can ever
@@ -34,3 +36,9 @@ val needs_work : 'a t -> bool
 (** Whether at least one worker is currently blocked in {!pop} — the hint
     that busy workers should donate a subtree. Lock-free; may be stale by
     the time the donation lands, which only costs an extra queued task. *)
+
+val drain_remaining : 'a t -> 'a list
+(** Removes and returns every still-queued task, in queue order — the
+    undelivered part of the frontier, destined for a checkpoint. Call after
+    the workers have joined (on a stopped run tasks survive {!close}; on a
+    completed run the queue is empty and this returns [[]]). *)

@@ -140,3 +140,7 @@ let store t ~digest ~key v =
     end
 
 let stored t = t.size
+
+let clear t =
+  Hashtbl.reset t.buckets;
+  t.size <- 0

@@ -103,6 +103,11 @@ val store : table -> digest:int -> key:string -> verdict -> unit
 val stored : table -> int
 (** Number of verdicts currently held (diagnostic). *)
 
+val clear : table -> unit
+(** Drops every cached verdict (memory-pressure shedding — see
+    [Config.mem_budget]). Sound: a cleared table only costs future misses,
+    and the capacity is freed for new verdicts. *)
+
 (** {1 Test hook} *)
 
 val set_key_transform : (string -> string) option -> unit

@@ -130,3 +130,5 @@ let find cache choice =
   in
   cache.snaps <- live;
   !matched
+
+let clear_cache cache = cache.snaps <- []

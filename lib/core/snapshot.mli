@@ -98,3 +98,8 @@ val find : cache -> Choice.t -> t option
     replay's recorded decisions (call between {!Choice.begin_replay} and the
     replay). [None] means this replay must execute from the start — which is
     exactly what (re)captures snapshots for its subtree. *)
+
+val clear_cache : cache -> unit
+(** Drops every cached snapshot (memory-pressure shedding — see
+    [Config.mem_budget]). Sound for the same reason eviction is: a dropped
+    snapshot is re-captured by the next full replay of its path. *)

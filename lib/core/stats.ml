@@ -9,8 +9,10 @@ type t = {
   memo_hits : int;
   memo_misses : int;
   memo_saved : int;
+  sheds : int;
   wall_time : float;
   exhausted : bool;
+  interrupted : bool;
 }
 
 let zero =
@@ -25,8 +27,10 @@ let zero =
     memo_hits = 0;
     memo_misses = 0;
     memo_saved = 0;
+    sheds = 0;
     wall_time = 0.;
     exhausted = true;
+    interrupted = false;
   }
 
 let merge a b =
@@ -40,6 +44,7 @@ let merge a b =
     memo_hits = a.memo_hits + b.memo_hits;
     memo_misses = a.memo_misses + b.memo_misses;
     memo_saved = a.memo_saved + b.memo_saved;
+    sheds = a.sheds + b.sheds;
     (* Properties of the original (failure-free) execution: exactly one
        worker — whichever ran the root subtree — observed them. *)
     failure_points = max a.failure_points b.failure_points;
@@ -50,12 +55,14 @@ let merge a b =
     (* Workers ran concurrently, so the slowest one bounds the wall clock. *)
     wall_time = max a.wall_time b.wall_time;
     exhausted = a.exhausted && b.exhausted;
+    interrupted = a.interrupted || b.interrupted;
   }
 
 (* Everything that is allowed to differ between runs that must otherwise be
    byte-identical (jobs values, memo/snapshot on vs off): wall time and the
    memo-table traffic counters. *)
-let comparable s = { s with memo_hits = 0; memo_misses = 0; memo_saved = 0; wall_time = 0. }
+let comparable s =
+  { s with memo_hits = 0; memo_misses = 0; memo_saved = 0; sheds = 0; wall_time = 0. }
 
 let executions_per_fp s =
   if s.failure_points = 0 then 0. else float_of_int s.executions /. float_of_int s.failure_points
@@ -67,4 +74,6 @@ let pp ppf s =
     s.executions s.failure_points (executions_per_fp s) s.rf_decisions s.multi_rf_loads s.stores
     s.flushes s.wall_time
     ((if s.findings > 0 then Printf.sprintf ", %d analysis findings" s.findings else "")
-    ^ if s.exhausted then "" else " (cut short)")
+    ^ (if s.sheds > 0 then Printf.sprintf ", %d cache sheds" s.sheds else "")
+    ^
+    if s.interrupted then " (interrupted)" else if s.exhausted then "" else " (cut short)")

@@ -23,10 +23,17 @@ type t = {
   memo_saved : int;
       (** executions credited from cached verdicts rather than replayed —
           [executions - memo_saved] is the number actually executed *)
+  sheds : int;
+      (** times the watchdog monitor tripped [Config.mem_budget] and workers
+          dropped their memo/snapshot caches (0 unless a budget is set) *)
   wall_time : float;  (** seconds spent exploring (JTime) *)
   exhausted : bool;
       (** whether the search space was fully explored (false when a limit or
           stop-at-first-bug cut it short) *)
+  interrupted : bool;
+      (** whether a cooperative stop (signal or [Config.wall_budget]) cut the
+          run short — implies [not exhausted]; resume from a checkpoint to
+          continue *)
 }
 
 val zero : t
@@ -37,13 +44,14 @@ val merge : t -> t -> t
     [executions], [rf_decisions] and the memo counters add; the original-execution counters
     ([failure_points], [stores], [flushes]) and the post-merge totals
     ([multi_rf_loads], [findings]) take the max; [wall_time] takes the max
-    (workers ran concurrently); [exhausted] ands. Associative and
-    commutative, with {!zero} as identity. *)
+    (workers ran concurrently); [exhausted] ands; [interrupted] ors.
+    Associative and commutative, with {!zero} as identity. *)
 
 val comparable : t -> t
-(** The statistics with every schedule-dependent counter zeroed: [wall_time]
-    and the memo-table traffic ([memo_hits]/[memo_misses]/[memo_saved], whose
-    split across workers depends on the work partition). Two exhaustive runs
+(** The statistics with every schedule-dependent counter zeroed: [wall_time],
+    the memo-table traffic ([memo_hits]/[memo_misses]/[memo_saved], whose
+    split across workers depends on the work partition) and [sheds] (a
+    wall-clock-dependent memory-pressure artifact). Two exhaustive runs
     of the same scenario must have equal [comparable] statistics whatever
     their [jobs], [snapshot] and [memo] settings. *)
 

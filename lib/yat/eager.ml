@@ -102,7 +102,9 @@ let observe ctx post =
   | exception Jaaru.Ctx.Power_failure -> assert false
   | exception e ->
       let bug =
-        bug_of ctx (Jaaru.Bug.Program_exception (Printexc.to_string e)) (Jaaru.Ctx.last_label ctx)
+        bug_of ctx
+          (Jaaru.Bug.Program_exception (Jaaru.Bug.normalize_message (Printexc.to_string e)))
+          (Jaaru.Ctx.last_label ctx)
       in
       ("bug: " ^ Jaaru.Bug.symptom bug, Some bug)
 

@@ -69,8 +69,10 @@ let test_stats_ratio () =
       memo_hits = 0;
       memo_misses = 0;
       memo_saved = 0;
+      sheds = 0;
       wall_time = 0.;
       exhausted = true;
+      interrupted = false;
     }
   in
   Alcotest.(check (float 1e-9)) "ratio" 2.5 (Stats.executions_per_fp s);

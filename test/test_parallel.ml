@@ -185,8 +185,10 @@ let test_stats_merge_identity_and_sums () =
       memo_hits = 0;
       memo_misses = 0;
       memo_saved = 1;
+      sheds = 0;
       wall_time = 1.5;
       exhausted = true;
+      interrupted = false;
     }
   in
   Alcotest.(check bool) "zero is identity" true (Stats.merge Stats.zero a = a);
