@@ -20,9 +20,12 @@ parallel-smoke: build
 
 # Static persistency lint over every bundled case: fails on any
 # high-severity finding on a clean case and on any seeded missing-flush bug
-# the passes fail to root-cause.
+# the passes fail to root-cause. The example binary then asserts the
+# happens-before race leg end-to-end: race found on the seeded racy
+# workload, locked variant clean, seeded labels suppressible.
 lint: build
 	dune exec bin/jaaru_cli.exe -- lint --fail-on high
+	dune exec examples/persistency_race.exe
 
 check: build test parallel-smoke lint
 

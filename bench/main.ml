@@ -189,28 +189,69 @@ let scaling () =
 
 (* --- analysis overhead ---------------------------------------------------------- *)
 
-(* Cost of the online persistency-sanitizer passes: each Fig. 14 workload
-   explored exhaustively with the analysis engine off and on. The passes are
-   O(1) hashtable work per event, so the overhead should be a small constant
-   factor on the event rate. *)
+(* Cost of the online persistency-sanitizer passes, split along the
+   [analyze_hb] axis: each Fig. 14 workload explored exhaustively with the
+   analysis engine off, with the sanitizer passes alone, and with the
+   happens-before passes (vector-clock substrate + race + robustness) on
+   top. All passes are O(1)-ish hashtable work per event — the HB layer adds
+   clock allocation on stores and synchronisation events — so the HB
+   increment should stay within ~2x of the sanitizer increment.
+
+   Single runs are tens of milliseconds, well inside scheduler jitter, so
+   the three configs are interleaved across several rounds and each
+   (config, benchmark) cell keeps its minimum — the TOTAL row over those
+   minima is the denoised summary and its HB/sanit ratio the number to
+   watch. *)
 let analysis_overhead () =
-  section_header "Analysis: sanitizer-pass overhead (analyze off vs on, Fig. 14 workloads)";
-  Format.printf "%-12s %10s %10s %10s %10s@." "Benchmark" "off" "on" "overhead" "findings";
+  section_header
+    "Analysis: sanitizer + happens-before overhead (off / sanitizer / +HB, Fig. 14 \
+     workloads)";
+  let scns =
+    List.map (fun (b, n) -> (b, Recipe.Workloads.fixed_scenario b n)) fig14_sizes
+  in
+  let configs = [| (false, false); (true, false); (true, true) |] in
+  let nb = List.length scns in
+  let times = Array.make_matrix (Array.length configs) nb infinity in
+  let findings = Array.make nb 0 in
+  (* One untimed warmup per workload so round 1 does not pay page faults and
+     allocator growth the later rounds skip. *)
   List.iter
-    (fun (benchmark, n) ->
-      let scn = Recipe.Workloads.fixed_scenario benchmark n in
-      let run analyze =
-        let config = { Config.default with Config.max_steps = 200_000; analyze } in
-        let t0 = Unix.gettimeofday () in
-        let o = Explorer.run ~config scn in
-        (o, Unix.gettimeofday () -. t0)
-      in
-      let _, t_off = run false in
-      let o_on, t_on = run true in
-      Format.printf "%-12s %9.2fs %9.2fs %9.1f%% %10d@." benchmark t_off t_on
-        (100. *. ((t_on /. t_off) -. 1.))
-        o_on.Explorer.stats.Stats.findings)
-    fig14_sizes
+    (fun (_, scn) ->
+      ignore (Explorer.run ~config:{ Config.default with Config.max_steps = 200_000 } scn))
+    scns;
+  for _round = 1 to 5 do
+    Array.iteri
+      (fun ci (analyze, analyze_hb) ->
+        let config =
+          { Config.default with Config.max_steps = 200_000; analyze; analyze_hb }
+        in
+        List.iteri
+          (fun bi (_, scn) ->
+            let t0 = Unix.gettimeofday () in
+            let o = Explorer.run ~config scn in
+            times.(ci).(bi) <- min times.(ci).(bi) (Unix.gettimeofday () -. t0);
+            if analyze && analyze_hb then findings.(bi) <- o.Explorer.stats.Stats.findings)
+          scns)
+      configs
+  done;
+  Format.printf "%-12s %10s %10s %10s %10s %10s %9s@." "Benchmark" "off" "sanitizer"
+    "+HB" "sanit.ovh" "HB ovh" "HB/sanit";
+  let row name t_off t_san t_hb tail =
+    let san_ovh = t_san -. t_off and hb_ovh = t_hb -. t_san in
+    Format.printf "%-12s %9.2fs %9.2fs %9.2fs %9.1f%% %9.1f%% %8.2fx%s@." name t_off t_san
+      t_hb
+      (100. *. san_ovh /. t_off)
+      (100. *. hb_ovh /. t_off)
+      (if san_ovh > 0. then hb_ovh /. san_ovh else Float.nan)
+      tail
+  in
+  List.iteri
+    (fun bi (benchmark, _) ->
+      row benchmark times.(0).(bi) times.(1).(bi) times.(2).(bi)
+        (Printf.sprintf "  (%d finding(s))" findings.(bi)))
+    scns;
+  let total ci = Array.fold_left ( +. ) 0. times.(ci) in
+  row "TOTAL" (total 0) (total 1) (total 2) ""
 
 (* --- snapshot/resume ----------------------------------------------------------- *)
 

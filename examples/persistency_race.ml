@@ -1,0 +1,122 @@
+(* A seeded persistency race, linted by the happens-before passes — the
+   example behind `make lint`'s race leg:
+
+     dune exec examples/persistency_race.exe
+
+   Two threads increment a shared persistent counter. The racy variant uses
+   plain load/store with no synchronisation: the accesses are unordered under
+   happens-before and the [persistency-race-hb] rule must flag them in a
+   single failure-free execution (vector clocks see the race on every
+   schedule, so no crash exploration is needed). The locked variant guards
+   the increment with a CAS spin lock and persists what it wrote, so every
+   pass — race, robustness, missing-flush, torn-write, redundant — comes
+   back clean without any suppression.
+
+   The third leg re-lints the racy variant with the seeded labels
+   suppressed, the workflow for signing off a known-benign race: the race
+   findings (and every other High finding rooted at those labels) must
+   disappear.
+
+   Exits non-zero if any expectation fails, so the Makefile / CI lint target
+   can gate on it. *)
+
+open Jaaru
+
+let counter = 0x1000 (* the shared persistent cell *)
+let lock = 0x1040 (* lock word, its own cache line *)
+
+(* The labels seeded into the racy variant — the `--suppress` argument of
+   the third leg. *)
+let racy_labels =
+  [ "racy read 0"; "racy read 1"; "racy write 0"; "racy write 1" ]
+
+let racy_increment i ctx =
+  let v = Ctx.load64 ctx ~label:(Printf.sprintf "racy read %d" i) counter in
+  Ctx.store64 ctx ~label:(Printf.sprintf "racy write %d" i) counter (v + 1);
+  Ctx.clwb ctx ~label:(Printf.sprintf "racy flush %d" i) counter 8;
+  Ctx.sfence ctx ~label:(Printf.sprintf "racy fence %d" i) ()
+
+let locked_increment i ctx =
+  let rec acquire () =
+    if not (Ctx.cas64 ctx ~label:"lock cas" lock ~expected:0 ~desired:1) then begin
+      Ctx.progress ctx ~label:"spin" ();
+      acquire ()
+    end
+  in
+  acquire ();
+  let v = Ctx.load64 ctx ~label:(Printf.sprintf "read %d" i) counter in
+  Ctx.store64 ctx ~label:(Printf.sprintf "write %d" i) counter (v + 1);
+  Ctx.clwb ctx ~label:(Printf.sprintf "flush %d" i) counter 8;
+  Ctx.sfence ctx ~label:(Printf.sprintf "fence %d" i) ();
+  (* Plain-store release; persist the lock word too so the lint is clean
+     end-to-end (an unflushed lock word is itself a missing-flush hit). *)
+  Ctx.store64 ctx ~label:"unlock" lock 0;
+  Ctx.clwb ctx ~label:"unlock flush" lock 8;
+  Ctx.sfence ctx ~label:"unlock fence" ()
+
+let scenario ~racy =
+  let increment = if racy then racy_increment else locked_increment in
+  let pre ctx =
+    Ctx.parallel ctx ~label:"incrementers" [ increment 0; increment 1 ];
+    Ctx.check ctx ~label:"persistency_race.ml:sum"
+      (Ctx.load64 ctx ~label:"final read" counter = 2)
+      "an increment was lost"
+  in
+  let post ctx = ignore (Ctx.load64 ctx ~label:"recovery read" counter) in
+  Explorer.scenario
+    ~name:(if racy then "racy increment" else "locked increment")
+    ~pre ~post
+
+(* One failure-free execution with the analysis passes on — exactly what
+   `jaaru lint` runs. *)
+let lint ?(suppress = []) ~racy () =
+  let config =
+    {
+      Config.default with
+      Config.analyze = true;
+      evict_policy = Config.Buffered;
+      max_executions = 1;
+      stop_at_first_bug = false;
+      suppress;
+    }
+  in
+  (Explorer.run ~config (scenario ~racy)).Explorer.findings
+
+let failed = ref false
+
+let expect what cond =
+  Format.printf "  %s %s@." (if cond then "ok  " else "FAIL") what;
+  if not cond then failed := true
+
+let has_rule rule fs = List.exists (fun f -> f.Analysis.Report.rule = rule) fs
+
+let pp_findings fs =
+  List.iter (fun f -> Format.printf "    %a@." Analysis.Report.pp_finding f) fs
+
+let () =
+  Format.printf "== racy variant, analysis on ==@.";
+  let fs = lint ~racy:true () in
+  pp_findings fs;
+  expect "persistency-race-hb fires" (has_rule "persistency-race-hb" fs);
+  expect "the race is High severity"
+    (List.exists
+       (fun f ->
+         f.Analysis.Report.rule = "persistency-race-hb"
+         && f.Analysis.Report.severity = Analysis.Report.High)
+       fs);
+
+  Format.printf "== locked variant, analysis on ==@.";
+  let fs = lint ~racy:false () in
+  pp_findings fs;
+  expect "no findings at all" (fs = []);
+
+  Format.printf "== racy variant, seeded labels suppressed ==@.";
+  let fs = lint ~suppress:racy_labels ~racy:true () in
+  pp_findings fs;
+  expect "race findings suppressed" (not (has_rule "persistency-race-hb" fs));
+  expect "no High finding survives"
+    (not
+       (List.exists (fun f -> f.Analysis.Report.severity = Analysis.Report.High) fs));
+
+  if !failed then exit 1;
+  Format.printf "persistency-race lint: all expectations hold@."

@@ -2,11 +2,15 @@ type t = {
   passes : Pass.instance list;
   findings : (Report.finding, unit) Hashtbl.t;
   suppress : string list;
+  hb : Hb.t option;  (* shared happens-before view, fed before the passes *)
 }
 
-let create ?(suppress = []) passes = { passes; findings = Hashtbl.create 32; suppress }
+let create ?(suppress = []) ?hb passes = { passes; findings = Hashtbl.create 32; suppress; hb }
+
+let hb t = t.hb
 
 let emit t ev =
+  (match t.hb with Some hb -> Hb.observe hb ev | None -> ());
   List.iter
     (fun (p : Pass.instance) ->
       match p.feed ev with

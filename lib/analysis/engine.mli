@@ -8,11 +8,19 @@
 
 type t
 
-val create : ?suppress:string list -> Pass.instance list -> t
+val create : ?suppress:string list -> ?hb:Hb.t -> Pass.instance list -> t
 (** [suppress] lists store labels whose findings are acknowledged noise
     (e.g. a volatile-by-design lock word on a persistent line). A suppressed
     label is removed from every finding; findings left with no labels are
-    dropped. *)
+    dropped.
+
+    [hb] is the shared happens-before view the HB-aware passes were
+    instantiated over ({!Pass.instantiate_hb}): {!emit} feeds it every event
+    {e before} the passes, so a pass handling event [e] reads post-[e]
+    clocks. *)
+
+val hb : t -> Hb.t option
+(** The engine's happens-before view, when one was attached. *)
 
 val emit : t -> Event.t -> unit
 

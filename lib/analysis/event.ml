@@ -4,10 +4,20 @@ type fence_kind = Sfence | Mfence
 type t =
   | Store of { addr : Pmem.Addr.t; width : int; value : int; tid : int; label : string }
   | Load of { addr : Pmem.Addr.t; width : int; value : int; tid : int; label : string }
+  | Rmw of {
+      addr : Pmem.Addr.t;
+      width : int;
+      old_value : int;
+      new_value : int option;
+      tid : int;
+      label : string;
+    }
   | Flush of { line_addr : Pmem.Addr.t; kind : flush_kind; tid : int; label : string }
   | Fence of { kind : fence_kind; tid : int; label : string }
-  | Failure_point of { label : string }
-  | Crash of { label : string option }
+  | Thread_start of { tid : int; parent : int; label : string }
+  | Thread_join of { tid : int; parent : int; label : string }
+  | Failure_point of { label : string; tid : int }
+  | Crash of { label : string option; tid : int }
   | End_execution
 
 let render = function
@@ -15,15 +25,24 @@ let render = function
       Printf.sprintf "store%-2d %s [0x%x] := %d" (8 * width) label addr value
   | Load { addr; width; value; tid = _; label } ->
       Printf.sprintf "load%-2d %s [0x%x] -> %d" (8 * width) label addr value
+  | Rmw { addr; width = _; old_value; new_value = Some v; tid = _; label } ->
+      Printf.sprintf "rmw    %s [0x%x] %d := %d" label addr old_value v
+  | Rmw { addr; width = _; old_value; new_value = None; tid = _; label } ->
+      Printf.sprintf "rmw    %s [0x%x] %d (no store)" label addr old_value
   | Flush { line_addr; kind; tid = _; label } ->
       Printf.sprintf "%s %s line 0x%x"
         (match kind with Clflush -> "clflush" | Clflushopt -> "clflushopt" | Clwb -> "clwb")
         label line_addr
   | Fence { kind = Sfence; tid = _; label } -> Printf.sprintf "sfence %s" label
   | Fence { kind = Mfence; tid = _; label } -> Printf.sprintf "mfence %s" label
-  | Failure_point { label } -> Printf.sprintf "failure point before %s" label
-  | Crash { label = Some label } -> Printf.sprintf "power failure injected before %s" label
-  | Crash { label = None } -> "explicit crash injected"
+  | Thread_start { tid; parent; label } ->
+      Printf.sprintf "thread %d started by thread %d (%s)" tid parent label
+  | Thread_join { tid; parent; label } ->
+      Printf.sprintf "thread %d joined by thread %d (%s)" tid parent label
+  | Failure_point { label; tid = _ } -> Printf.sprintf "failure point before %s" label
+  | Crash { label = Some label; tid = _ } ->
+      Printf.sprintf "power failure injected before %s" label
+  | Crash { label = None; tid = _ } -> "explicit crash injected"
   | End_execution -> "<end of execution>"
 
 let pp ppf ev = Format.pp_print_string ppf (render ev)

@@ -19,19 +19,26 @@
    persisted log entry can roll them back, and they are flushed later at
    transaction commit. A flag is therefore an *obligation*: it is discharged
    silently if the line is persisted (flush + fence) later in the execution,
-   and becomes a finding only when the execution ends with it still open. *)
+   and becomes a finding only when the execution ends with it still open.
+
+   Alongside the store labels, each obligation carries the tids of the
+   storing threads, reported in the finding detail — on multi-threaded
+   workloads "which thread left the line unflushed" is the first triage
+   question. The tids enrich the detail only; the labels/line identity of
+   each finding is unchanged. *)
 
 let name = "missing-flush"
 
 type line_state = {
-  mutable dirty : (string list * int) option;
-      (* labels of unflushed stores to the line, epoch of the first of them *)
-  mutable pending : string list;  (* labels flushed but not yet fenced *)
-  mutable flagged : (string list * string) option;
+  mutable dirty : (string list * int list * int) option;
+      (* labels and tids of unflushed stores to the line, epoch of the first *)
+  mutable pending : (string list * int list) option;
+      (* labels/tids flushed but not yet fenced *)
+  mutable flagged : (string list * int list * string) option;
       (* open obligation: stores that crossed a commit fence dirty
-         (labels, label of the fence that committed other lines); cleared
-         when the line is subsequently persisted — a flush covers the whole
-         line, so flush + fence discharges the old stores too *)
+         (labels, tids, label of the fence that committed other lines);
+         cleared when the line is subsequently persisted — a flush covers the
+         whole line, so flush + fence discharges the old stores too *)
 }
 
 type state = { lines : (int, line_state) Hashtbl.t; mutable epoch : int }
@@ -42,11 +49,19 @@ let get st line =
   match Hashtbl.find_opt st.lines line with
   | Some ls -> ls
   | None ->
-      let ls = { dirty = None; pending = []; flagged = None } in
+      let ls = { dirty = None; pending = None; flagged = None } in
       Hashtbl.add st.lines line ls;
       ls
 
 let add_label labels l = if List.mem l labels then labels else l :: labels
+let add_tid tids t = if List.mem t tids then tids else t :: tids
+
+(* "thread 0" / "threads 0,1" — appended to finding details. *)
+let threads_str tids =
+  let tids = List.sort_uniq compare tids in
+  Printf.sprintf "thread%s %s"
+    (if List.length tids > 1 then "s" else "")
+    (String.concat "," (List.map string_of_int tids))
 
 let finding rule labels line detail =
   {
@@ -58,75 +73,103 @@ let finding rule labels line detail =
     detail;
   }
 
+let mark_dirty st ~tid ~label ~epoch addr width =
+  List.iter
+    (fun line ->
+      let ls = get st line in
+      match ls.dirty with
+      | None -> ls.dirty <- Some ([ label ], [ tid ], epoch)
+      | Some (labels, tids, e) -> ls.dirty <- Some (add_label labels label, add_tid tids tid, e))
+    (Pmem.Addr.lines_spanned addr width)
+
+(* A fence: commit every pending flush; if anything committed, lines dirty
+   since before the previous epoch acquire an open obligation. *)
+let fence st fence_label =
+  let committed = ref false in
+  Hashtbl.iter
+    (fun _ ls ->
+      if ls.pending <> None then begin
+        committed := true;
+        ls.pending <- None;
+        (* The flush persisted the whole line, discharging any open
+           obligation on it. *)
+        ls.flagged <- None
+      end)
+    st.lines;
+  if !committed then
+    Hashtbl.iter
+      (fun _ ls ->
+        match ls.dirty with
+        | Some (labels, tids, e) when e < st.epoch && ls.flagged = None ->
+            ls.flagged <- Some (labels, tids, fence_label)
+        | _ -> ())
+      st.lines;
+  st.epoch <- st.epoch + 1
+
 let on_event st (ev : Event.t) =
   match ev with
-  | Store { addr; width; label; _ } ->
-      List.iter
-        (fun line ->
-          let ls = get st line in
-          match ls.dirty with
-          | None -> ls.dirty <- Some ([ label ], st.epoch)
-          | Some (labels, e) -> ls.dirty <- Some (add_label labels label, e))
-        (Pmem.Addr.lines_spanned addr width);
+  | Store { addr; width; tid; label; _ } ->
+      mark_dirty st ~tid ~label ~epoch:st.epoch addr width;
+      []
+  | Rmw { addr; width; tid; label; new_value; _ } ->
+      (* Locked RMW: its mfences end the epoch and commit pending flushes;
+         its store (when taken) dirties the line in the new epoch. *)
+      fence st label;
+      (match new_value with
+      | Some _ -> mark_dirty st ~tid ~label ~epoch:st.epoch addr width
+      | None -> ());
       []
   | Flush { line_addr; _ } ->
       (match Hashtbl.find_opt st.lines (Pmem.Addr.line_of line_addr) with
-      | Some ({ dirty = Some (labels, _); _ } as ls) ->
-          ls.pending <- List.fold_left add_label ls.pending labels;
+      | Some ({ dirty = Some (labels, tids, _); _ } as ls) ->
+          let p_labels, p_tids =
+            match ls.pending with Some (pl, pt) -> (pl, pt) | None -> ([], [])
+          in
+          ls.pending <-
+            Some
+              ( List.fold_left add_label p_labels labels,
+                List.fold_left add_tid p_tids tids );
           ls.dirty <- None
       | Some _ | None -> ());
       []
   | Fence { label = fence_label; _ } ->
-      let committed = ref false in
-      Hashtbl.iter
-        (fun _ ls ->
-          if ls.pending <> [] then begin
-            committed := true;
-            ls.pending <- [];
-            (* The flush persisted the whole line, discharging any open
-               obligation on it. *)
-            ls.flagged <- None
-          end)
-        st.lines;
-      if !committed then
-        Hashtbl.iter
-          (fun _ ls ->
-            match ls.dirty with
-            | Some (labels, e) when e < st.epoch && ls.flagged = None ->
-                ls.flagged <- Some (labels, fence_label)
-            | _ -> ())
-          st.lines;
-      st.epoch <- st.epoch + 1;
+      fence st fence_label;
       []
   | End_execution ->
       let fs = ref [] in
       Hashtbl.iter
         (fun line ls ->
           match ls.flagged with
-          | Some (labels, fence_label) ->
+          | Some (labels, tids, fence_label) ->
               fs :=
                 finding "unpersisted-at-commit" labels line
                   (Printf.sprintf
-                     "line was still unflushed when '%s' persisted other lines and was never \
-                      persisted afterwards; a crash keeps the committed state but loses these \
-                      stores"
-                     fence_label)
+                     "line was still unflushed (stores by %s) when '%s' persisted other lines \
+                      and was never persisted afterwards; a crash keeps the committed state \
+                      but loses these stores"
+                     (threads_str tids) fence_label)
                 :: !fs
           | None -> (
               match ls.dirty with
-              | Some (labels, _) ->
+              | Some (labels, tids, _) ->
                   fs :=
                     finding "unflushed-at-end" labels line
-                      "stored but never flushed; a failure at the end of the execution can \
-                       lose the data"
+                      (Printf.sprintf
+                         "stored by %s but never flushed; a failure at the end of the \
+                          execution can lose the data"
+                         (threads_str tids))
                     :: !fs
-              | None ->
-                  if ls.pending <> [] then
-                    fs :=
-                      finding "unfenced-at-end" ls.pending line
-                        "flushed but never fenced; the flush may not have completed at a \
-                         failure"
-                      :: !fs))
+              | None -> (
+                  match ls.pending with
+                  | Some (labels, tids) ->
+                      fs :=
+                        finding "unfenced-at-end" labels line
+                          (Printf.sprintf
+                             "flushed (stores by %s) but never fenced; the flush may not \
+                              have completed at a failure"
+                             (threads_str tids))
+                        :: !fs
+                  | None -> ())))
         st.lines;
       !fs
   | Crash _ ->
@@ -134,4 +177,4 @@ let on_event st (ev : Event.t) =
       Hashtbl.reset st.lines;
       st.epoch <- 0;
       []
-  | Load _ | Failure_point _ -> []
+  | Load _ | Thread_start _ | Thread_join _ | Failure_point _ -> []

@@ -7,8 +7,21 @@ module type S = sig
   val on_event : state -> Event.t -> Report.finding list
 end
 
+module type S_hb = sig
+  val name : string
+
+  type state
+
+  val create : unit -> state
+  val on_event : hb:Hb.t -> state -> Event.t -> Report.finding list
+end
+
 type instance = { name : string; feed : Event.t -> Report.finding list }
 
 let instantiate (module P : S) =
   let state = P.create () in
   { name = P.name; feed = (fun ev -> P.on_event state ev) }
+
+let instantiate_hb ~hb (module P : S_hb) =
+  let state = P.create () in
+  { name = P.name; feed = (fun ev -> P.on_event ~hb state ev) }

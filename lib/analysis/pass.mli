@@ -22,7 +22,27 @@ module type S = sig
       execution dies at a crash, so crash-truncated runs are exempt). *)
 end
 
+module type S_hb = sig
+  val name : string
+
+  type state
+
+  val create : unit -> state
+  (** Fresh state; called once per execution. *)
+
+  val on_event : hb:Hb.t -> state -> Event.t -> Report.finding list
+  (** Like {!S.on_event}, with the engine's shared happens-before view. The
+      engine feeds [hb] every event {e before} the passes, so clocks read
+      here already include the event being handled. The determinism
+      contract extends to [hb]: it is itself a pure function of the stream,
+      so HB-derived findings stay byte-identical across [--jobs] and the
+      snapshot/memo layers. *)
+end
+
 type instance = { name : string; feed : Event.t -> Report.finding list }
 (** A pass packaged with its per-execution state. *)
 
 val instantiate : (module S) -> instance
+
+val instantiate_hb : hb:Hb.t -> (module S_hb) -> instance
+(** Package an HB-aware pass over the engine's shared {!Hb} instance. *)

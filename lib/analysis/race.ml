@@ -1,0 +1,142 @@
+(* The persistency-race detector: a FastTrack-style pass over the
+   happens-before view. Two conflicting plain accesses (same byte, at least
+   one a store) by different threads with no synchronisation path between
+   them are a data race on persistent memory — and worse than a volatile
+   race: the racing store may persist in either order, so the post-crash
+   winner is undefined even on schedules where the volatile winner is fixed.
+
+   Per byte we keep the last plain write and the plain reads since then,
+   each with the accessing thread's clock at access time. The checks are the
+   FastTrack epoch tests (O(1) per pair): a prior access at clock [a] by
+   thread [p] is ordered before the current thread iff the current clock has
+   seen component [p] as far as [a] advanced it.
+
+   Locked RMWs are synchronisation, not accesses: the Hb substrate gives
+   them acquire-release semantics (a CAS joining the clock of the store it
+   reads), and this pass deliberately does not race-check their bytes —
+   flagging a spinlock's CAS against the plain unlock store it synchronises
+   with would turn every lock word into noise. The cost is that a genuinely
+   unsynchronised plain-store-vs-RMW pair on a data word goes unreported
+   here (torn-write still sees the overlap). *)
+
+let name = "race"
+
+type access = { tid : int; label : string; clock : Vector_clock.t }
+
+(* Per-byte access history, stored as one 64-slot cell array per cache line
+   so the per-access cost is one hashtable probe per line plus array
+   indexing — not a hashtable operation per byte. *)
+type cell = {
+  mutable w : access option;  (* last plain write *)
+  mutable rs : access list;
+      (* newest plain read per thread since that write. Per thread, the
+         newest read subsumes the older ones: a write unordered with an
+         older read is also unordered with every newer read by the same
+         thread (its own-component only grows), so keeping the newest loses
+         no race — only the reported label names the latest read. *)
+}
+
+type state = {
+  lines : (int, cell array) Hashtbl.t;
+  mutable live : int;
+      (* live threads (parent + unjoined children). Under the structured
+         fork-join of [Ctx.parallel], an access made while only one thread
+         is live is happens-before-ordered against everything: earlier
+         events are ordered in via the join edges that made it sole
+         survivor, later ones via program order or a spawn edge it
+         precedes. Such accesses can never race, so the pass skips them
+         entirely — the sequential portions of a workload cost nothing. *)
+}
+
+let create () = { lines = Hashtbl.create 64; live = 1 }
+
+let cells st line =
+  match Hashtbl.find_opt st.lines line with
+  | Some cs -> cs
+  | None ->
+      let cs = Array.init Pmem.Addr.cache_line_size (fun _ -> { w = None; rs = [] }) in
+      Hashtbl.add st.lines line cs;
+      cs
+
+(* Iterate the cells an access covers, line by line. *)
+let iter_cells st addr width f =
+  List.iter
+    (fun line ->
+      let base = line * Pmem.Addr.cache_line_size in
+      let cs = cells st line in
+      let lo = max addr base
+      and hi = min (addr + width - 1) (base + Pmem.Addr.cache_line_size - 1) in
+      for b = lo to hi do
+        f b cs.(b - base)
+      done)
+    (Pmem.Addr.lines_spanned addr width)
+
+let ordered (prior : access) now = Vector_clock.epoch_leq prior.clock ~tid:prior.tid now
+
+let finding ~(prior : access) ~(cur : access) ~prior_kind ~cur_kind b =
+  {
+    Report.severity = High;
+    pass = name;
+    rule = "persistency-race-hb";
+    labels = List.sort_uniq String.compare [ prior.label; cur.label ];
+    line = Some (Pmem.Addr.line_base b);
+    detail =
+      Printf.sprintf
+        "unsynchronized %s '%s' (thread %d @ %s) and %s '%s' (thread %d @ %s) to the same \
+         persistent location; the racing store may persist in either order"
+        prior_kind prior.label prior.tid
+        (Vector_clock.to_string prior.clock)
+        cur_kind cur.label cur.tid
+        (Vector_clock.to_string cur.clock);
+  }
+
+let add_unique fs f = if List.mem f !fs then () else fs := f :: !fs
+
+let on_event ~hb st (ev : Event.t) =
+  match ev with
+  | Event.Store _ when st.live <= 1 -> []
+  | Load _ when st.live <= 1 -> []
+  | Event.Store { addr; width; tid; label; _ } ->
+      let cur = { tid; label; clock = Hb.clock hb tid } in
+      (* One shared [Some cur] for every byte the store covers. *)
+      let w_cur = Some cur in
+      let fs = ref [] in
+      iter_cells st addr width (fun b cell ->
+          (match cell.w with
+          | Some w when w.tid <> tid && not (ordered w cur.clock) ->
+              add_unique fs (finding ~prior:w ~cur ~prior_kind:"store" ~cur_kind:"store" b)
+          | _ -> ());
+          List.iter
+            (fun r ->
+              if r.tid <> tid && not (ordered r cur.clock) then
+                add_unique fs (finding ~prior:r ~cur ~prior_kind:"load" ~cur_kind:"store" b))
+            cell.rs;
+          cell.w <- w_cur;
+          if cell.rs <> [] then cell.rs <- []);
+      !fs
+  | Load { addr; width; tid; label; _ } ->
+      let cur = { tid; label; clock = Hb.clock hb tid } in
+      (* One shared singleton for the common fresh-read-set case. *)
+      let rs_cur = [ cur ] in
+      let fs = ref [] in
+      iter_cells st addr width (fun b cell ->
+          (match cell.w with
+          | Some w when w.tid <> tid && not (ordered w cur.clock) ->
+              add_unique fs (finding ~prior:w ~cur ~prior_kind:"store" ~cur_kind:"load" b)
+          | _ -> ());
+          match cell.rs with
+          | [] -> cell.rs <- rs_cur
+          | [ r ] when r.tid = tid -> cell.rs <- rs_cur
+          | rs -> cell.rs <- cur :: List.filter (fun r -> r.tid <> tid) rs);
+      !fs
+  | Thread_start _ ->
+      st.live <- st.live + 1;
+      []
+  | Thread_join _ ->
+      st.live <- st.live - 1;
+      []
+  | Crash _ ->
+      Hashtbl.reset st.lines;
+      st.live <- 1;
+      []
+  | Rmw _ | Flush _ | Fence _ | Failure_point _ | End_execution -> []

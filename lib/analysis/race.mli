@@ -1,0 +1,15 @@
+(** The persistency-race detector (High severity, rule
+    ["persistency-race-hb"]).
+
+    Flags concurrent conflicting plain accesses — same byte, at least one a
+    store, different threads, no happens-before path between them (FastTrack
+    epoch test against the {!Hb} clocks). A racing store on persistent
+    memory may persist in either order, so the post-crash winner is
+    undefined regardless of the volatile schedule. Findings carry both
+    access labels and both access-time clocks.
+
+    Locked RMWs are treated as pure synchronisation (the acquire-release
+    edges live in {!Hb}) and are not race-checked — a spinlock CAS spinning
+    against a plain unlock store is protocol, not a race. *)
+
+include Pass.S_hb

@@ -1,53 +1,79 @@
 (* The redundant-flush / redundant-fence performance hints (the §5.1
    extension the paper proposes), previously computed inline by
-   [Ctx.note_perf]. Low severity: they cost cycles, not data. *)
+   [Ctx.note_perf]. Low severity: they cost cycles, not data.
+
+   All state is keyed by thread: flushes and fences order the issuing
+   thread's own persist pipeline, so a store on thread A must not mask a
+   redundant sfence on thread B — and two threads each flushing a line they
+   both dirtied are each doing necessary work, not duplicating it. *)
 
 let name = "redundant"
 
 type state = {
-  dirty : (int, unit) Hashtbl.t;  (* lines stored to since their last flush *)
-  mutable unfenced : int;  (* stores/flushes since the last fence *)
+  dirty : (int * int, unit) Hashtbl.t;
+      (* (tid, line): lines a thread stored to since its last flush of them *)
+  unfenced : (int, int) Hashtbl.t;  (* tid -> stores/flushes since its last fence *)
 }
 
-let create () = { dirty = Hashtbl.create 32; unfenced = 0 }
+let create () = { dirty = Hashtbl.create 32; unfenced = Hashtbl.create 8 }
+
+let pending st tid = Option.value ~default:0 (Hashtbl.find_opt st.unfenced tid)
+let bump st tid = Hashtbl.replace st.unfenced tid (pending st tid + 1)
 
 let finding rule label line detail =
   { Report.severity = Low; pass = name; rule; labels = [ label ]; line; detail }
 
 let on_event st (ev : Event.t) =
   match ev with
-  | Store { addr; width; _ } ->
+  | Store { addr; width; tid; _ } ->
       List.iter
-        (fun line -> Hashtbl.replace st.dirty line ())
+        (fun line -> Hashtbl.replace st.dirty (tid, line) ())
         (Pmem.Addr.lines_spanned addr width);
-      st.unfenced <- st.unfenced + 1;
+      bump st tid;
       []
-  | Flush { line_addr; label; _ } ->
+  | Rmw { addr; width; tid; new_value; _ } ->
+      (* A locked RMW carries its own mfences: its store leaves the line
+         dirty (a later flush of it is useful work) and nothing stays
+         unfenced behind it. The intrinsic fences are never flagged. *)
+      (match new_value with
+      | Some _ ->
+          List.iter
+            (fun line -> Hashtbl.replace st.dirty (tid, line) ())
+            (Pmem.Addr.lines_spanned addr width)
+      | None -> ());
+      Hashtbl.replace st.unfenced tid 0;
+      []
+  | Flush { line_addr; tid; label; _ } ->
       let line = Pmem.Addr.line_of line_addr in
       let fs =
-        if Hashtbl.mem st.dirty line then []
+        if Hashtbl.mem st.dirty (tid, line) then []
         else
           [
             finding "redundant-flush" label (Some line_addr)
               "flush of a cache line with no new stores to persist";
           ]
       in
-      Hashtbl.remove st.dirty line;
-      st.unfenced <- st.unfenced + 1;
+      Hashtbl.remove st.dirty (tid, line);
+      bump st tid;
       fs
-  | Fence { kind = Sfence; label; _ } ->
+  | Fence { kind = Sfence; tid; label } ->
       let fs =
-        if st.unfenced = 0 then
+        if pending st tid = 0 then
           [ finding "redundant-fence" label None "sfence with nothing pending to order" ]
         else []
       in
-      st.unfenced <- 0;
+      Hashtbl.replace st.unfenced tid 0;
       fs
-  | Fence { kind = Mfence; _ } ->
-      st.unfenced <- 0;
-      []
+  | Fence { kind = Mfence; tid; label } ->
+      let fs =
+        if pending st tid = 0 then
+          [ finding "redundant-mfence" label None "mfence with nothing pending to order" ]
+        else []
+      in
+      Hashtbl.replace st.unfenced tid 0;
+      fs
   | Crash _ ->
       Hashtbl.reset st.dirty;
-      st.unfenced <- 0;
+      Hashtbl.reset st.unfenced;
       []
-  | Load _ | Failure_point _ | End_execution -> []
+  | Load _ | Thread_start _ | Thread_join _ | Failure_point _ | End_execution -> []

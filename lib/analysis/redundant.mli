@@ -1,7 +1,10 @@
 (** Redundant-flush / redundant-fence hints (performance, not correctness):
-    flushing a cache line with no new stores to persist, or an [sfence] with
-    no stores or flushes pending since the previous fence. Low severity;
-    rules ["redundant-flush"] and ["redundant-fence"], with the flush/fence
-    label as the reported label. *)
+    flushing a cache line with no new stores to persist, or an [sfence] /
+    [mfence] with no stores or flushes pending since the previous fence.
+    All state is per-thread — a store on thread A does not excuse a
+    redundant fence on thread B. Low severity; rules ["redundant-flush"],
+    ["redundant-fence"] and ["redundant-mfence"], with the flush/fence label
+    as the reported label. A locked RMW's intrinsic mfences are never
+    flagged. *)
 
 include Pass.S

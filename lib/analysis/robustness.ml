@@ -1,0 +1,122 @@
+(* The strict-persistency (robustness) check, after PSan: a load that
+   observes another thread's store whose cache line has not been committed
+   by a flush+fence edge ordered before the load. The observing thread can
+   now make decisions — and persist values — based on data that a crash may
+   lose, leaving the post-crash state one no sequential execution produces
+   (the execution is not "persistency-robust").
+
+   The pass keeps the last writer per byte with the line's store generation
+   at write time; the commit question ("did some flush+fence cover that
+   generation, with the fence ordered before this load?") is answered by
+   the Hb substrate's per-line commit clocks. Same-thread observation is
+   exempt: a thread reading its own uncommitted store is TSO store
+   forwarding, not an ordering decision. Medium severity — lock words and
+   other volatile-by-design state on persistent lines trip it idiomatically
+   (suppress their store labels), and the racy schedules that make it a
+   real bug are better confirmed by exploration. *)
+
+let name = "robustness"
+
+type wrec = { tid : int; label : string; gen : int }
+
+(* Last writer per byte, as one 64-slot array per cache line — one
+   hashtable probe per line on the load-heavy hot path. [writer_tid] is the
+   sole storing thread so far (-1 before the first store); once a second
+   thread stores, [multi] latches and every cross-thread load is checked.
+   Until then, loads by the sole writer (the entire sequential portion of a
+   workload) can observe nobody else's stores and are skipped outright. *)
+type state = {
+  lines : (int, wrec option array) Hashtbl.t;
+  mutable writer_tid : int;
+  mutable multi : bool;
+}
+
+let create () = { lines = Hashtbl.create 64; writer_tid = -1; multi = false }
+
+let slots st line =
+  match Hashtbl.find_opt st.lines line with
+  | Some a -> a
+  | None ->
+      let a = Array.make Pmem.Addr.cache_line_size None in
+      Hashtbl.add st.lines line a;
+      a
+
+let record st ~hb ~tid ~label addr width =
+  if st.writer_tid = -1 then st.writer_tid <- tid
+  else if st.writer_tid <> tid then st.multi <- true;
+  List.iter
+    (fun line ->
+      let w = Some { tid; label; gen = Hb.line_gen hb line } in
+      let a = slots st line in
+      let base = line * Pmem.Addr.cache_line_size in
+      let lo = max addr base in
+      let hi = min (addr + width - 1) (base + Pmem.Addr.cache_line_size - 1) in
+      for b = lo to hi do
+        a.(b - base) <- w
+      done)
+    (Pmem.Addr.lines_spanned addr width)
+
+let on_event ~hb st (ev : Event.t) =
+  match ev with
+  | Event.Store { addr; width; tid; label; _ } ->
+      record st ~hb ~tid ~label addr width;
+      []
+  | Rmw { addr; width; tid; label; new_value = Some _; _ } ->
+      record st ~hb ~tid ~label addr width;
+      []
+  | Load _ when (not st.multi) && st.writer_tid = -1 -> []
+  | Load { tid; _ } when (not st.multi) && st.writer_tid = tid -> []
+  | Load { addr; width; tid; label; _ } ->
+      let now = Hb.clock hb tid in
+      let fs = ref [] in
+      (* The bytes of one load usually share a writer: memoize the commit
+         query per (line, generation) within the event. *)
+      let memo_line = ref (-1) and memo_gen = ref (-1) and memo_res = ref false in
+      let committed line gen =
+        if !memo_line <> line || !memo_gen <> gen then begin
+          memo_line := line;
+          memo_gen := gen;
+          memo_res := Hb.line_committed hb line ~gen ~before:now
+        end;
+        !memo_res
+      in
+      List.iter
+        (fun line ->
+          let a = slots st line in
+          let base = line * Pmem.Addr.cache_line_size in
+          let lo = max addr base in
+          let hi = min (addr + width - 1) (base + Pmem.Addr.cache_line_size - 1) in
+          for b = lo to hi do
+            match a.(b - base) with
+            | Some w when w.tid <> tid ->
+                if not (committed line w.gen) then begin
+                  let f =
+                    {
+                      Report.severity = Medium;
+                      pass = name;
+                      rule = "unordered-persist-observed";
+                      labels = [ w.label ];
+                      line = Some (Pmem.Addr.line_base b);
+                      detail =
+                        Printf.sprintf
+                          "load '%s' (thread %d) observes this store by thread %d before \
+                           its cache line is committed by a flush+fence ordered before the \
+                           load; a crash can lose the observed value while later persists \
+                           survive (strict-persistency violation)"
+                          label tid w.tid;
+                    }
+                  in
+                  if not (List.mem f !fs) then fs := f :: !fs
+                end
+            | _ -> ()
+          done)
+        (Pmem.Addr.lines_spanned addr width);
+      !fs
+  | Crash _ ->
+      Hashtbl.reset st.lines;
+      st.writer_tid <- -1;
+      st.multi <- false;
+      []
+  | Rmw _ | Flush _ | Fence _ | Thread_start _ | Thread_join _ | Failure_point _
+  | End_execution ->
+      []

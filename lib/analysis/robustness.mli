@@ -1,0 +1,13 @@
+(** The strict-persistency (robustness) check, after PSan (Medium severity,
+    rule ["unordered-persist-observed"]).
+
+    Flags a load observing another thread's store whose cache line has not
+    been committed by a flush+fence edge ordered happens-before the load —
+    the observer may persist dependent data while the observed value can
+    still be lost at a crash, producing post-crash states no sequential
+    execution explains. Same-thread observation (TSO store forwarding) is
+    exempt. The finding's label is the {e store}'s (the root cause to
+    persist or suppress), the detail names both threads and the observing
+    load. *)
+
+include Pass.S_hb

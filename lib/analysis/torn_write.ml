@@ -9,7 +9,11 @@
    - a same-thread store overwriting bytes whose flush has not yet been
      fenced: the in-flight flush may persist either value (Medium). Plain
      overwrites of unflushed bytes are normal program behaviour (initialise
-     then update) and are not reported. *)
+     then update) and are not reported.
+
+   Finding details name the threads involved (which thread's bytes were
+   overwritten, and by whom) — the tids enrich the detail only; the
+   labels/line identity of each finding is unchanged. *)
 
 let name = "torn-write"
 
@@ -19,65 +23,91 @@ type state = { bytes : (int, entry) Hashtbl.t }
 
 let create () = { bytes = Hashtbl.create 64 }
 
+(* One store-shaped write of [width] bytes at [addr] by [tid]: the straddle
+   check plus the per-byte overlap checks against the previous writers. *)
+let check_write st ~tid ~label ~addr ~width =
+  let fs = ref [] in
+  (match Pmem.Addr.lines_spanned addr width with
+  | _ :: _ :: _ ->
+      fs :=
+        [
+          {
+            Report.severity = High;
+            pass = name;
+            rule = "straddles-cache-line";
+            labels = [ label ];
+            line = Some (Pmem.Addr.line_base addr);
+            detail =
+              Printf.sprintf
+                "%d-byte store by thread %d crosses a cache-line boundary; the halves \
+                 persist independently and a failure can tear the value"
+                width tid;
+          };
+        ]
+  | _ -> ());
+  for i = 0 to width - 1 do
+    let b = addr + i in
+    (match Hashtbl.find_opt st.bytes b with
+    | Some e when e.label <> label ->
+        let report =
+          if e.tid <> tid then
+            Some
+              ( "cross-thread-overlap",
+                Report.High,
+                Printf.sprintf
+                  "the same bytes were written by thread %d and then thread %d with no \
+                   intervening fence by the first writer; the persisted winner is undefined"
+                  e.tid tid )
+          else if e.flushed then
+            Some
+              ( "unfenced-overwrite",
+                Report.Medium,
+                Printf.sprintf
+                  "store by thread %d overwrites bytes whose flush has not been fenced yet; \
+                   the in-flight flush may persist either value"
+                  tid )
+          else None
+        in
+        (match report with
+        | Some (rule, severity, detail) ->
+            let f =
+              {
+                Report.severity;
+                pass = name;
+                rule;
+                labels = List.sort_uniq String.compare [ e.label; label ];
+                line = Some (Pmem.Addr.line_base b);
+                detail;
+              }
+            in
+            if not (List.mem f !fs) then fs := f :: !fs
+        | None -> ())
+    | _ -> ());
+    Hashtbl.replace st.bytes b { tid; label; flushed = false }
+  done;
+  !fs
+
+(* A fence by [tid] hands its bytes off: later writers are no longer racing
+   with it. *)
+let fence_clears st tid =
+  let mine = Hashtbl.fold (fun b e acc -> if e.tid = tid then b :: acc else acc) st.bytes [] in
+  List.iter (Hashtbl.remove st.bytes) mine
+
 let on_event st (ev : Event.t) =
   match ev with
-  | Store { addr; width; tid; label; _ } ->
-      let fs = ref [] in
-      (match Pmem.Addr.lines_spanned addr width with
-      | _ :: _ :: _ ->
-          fs :=
-            [
-              {
-                Report.severity = High;
-                pass = name;
-                rule = "straddles-cache-line";
-                labels = [ label ];
-                line = Some (Pmem.Addr.line_base addr);
-                detail =
-                  Printf.sprintf
-                    "%d-byte store crosses a cache-line boundary; the halves persist \
-                     independently and a failure can tear the value"
-                    width;
-              };
-            ]
-      | _ -> ());
-      for i = 0 to width - 1 do
-        let b = addr + i in
-        (match Hashtbl.find_opt st.bytes b with
-        | Some e when e.label <> label ->
-            let report =
-              if e.tid <> tid then
-                Some
-                  ( "cross-thread-overlap",
-                    Report.High,
-                    "the same bytes were written by two threads with no intervening fence; \
-                     the persisted winner is undefined" )
-              else if e.flushed then
-                Some
-                  ( "unfenced-overwrite",
-                    Report.Medium,
-                    "store overwrites bytes whose flush has not been fenced yet; the \
-                     in-flight flush may persist either value" )
-              else None
-            in
-            (match report with
-            | Some (rule, severity, detail) ->
-                let f =
-                  {
-                    Report.severity;
-                    pass = name;
-                    rule;
-                    labels = List.sort_uniq String.compare [ e.label; label ];
-                    line = Some (Pmem.Addr.line_base b);
-                    detail;
-                  }
-                in
-                if not (List.mem f !fs) then fs := f :: !fs
-            | None -> ())
-        | _ -> ());
-        Hashtbl.replace st.bytes b { tid; label; flushed = false }
-      done;
-      !fs
+  | Store { addr; width; tid; label; _ } -> check_write st ~tid ~label ~addr ~width
+  | Rmw { addr; width; tid; label; new_value; _ } ->
+      (* A locked RMW's store participates in the overlap checks (its write
+         really does overwrite the previous writer's bytes), then its
+         trailing mfence clears the thread's ownership — its own bytes
+         included. *)
+      let fs =
+        match new_value with
+        | Some _ -> check_write st ~tid ~label ~addr ~width
+        | None -> []
+      in
+      fence_clears st tid;
+      fs
   | Flush { line_addr; _ } ->
       for b = line_addr to line_addr + Pmem.Addr.cache_line_size - 1 do
         match Hashtbl.find_opt st.bytes b with
@@ -86,10 +116,9 @@ let on_event st (ev : Event.t) =
       done;
       []
   | Fence { tid; _ } ->
-      let mine = Hashtbl.fold (fun b e acc -> if e.tid = tid then b :: acc else acc) st.bytes [] in
-      List.iter (Hashtbl.remove st.bytes) mine;
+      fence_clears st tid;
       []
   | Crash _ ->
       Hashtbl.reset st.bytes;
       []
-  | Load _ | Failure_point _ | End_execution -> []
+  | Load _ | Thread_start _ | Thread_join _ | Failure_point _ | End_execution -> []

@@ -1,0 +1,51 @@
+(* Packed int-array vector clocks. Values are immutable: [tick] and [join]
+   return fresh arrays, so a clock handed out (to a finding detail, an event
+   snapshot, a per-location table) can be aliased freely without defensive
+   copies. Arrays are sized to the highest component ever set; missing
+   components read as 0, which makes clocks over a growing tid space
+   comparable without padding. *)
+
+type t = int array
+
+let empty = [||]
+
+let size = Array.length
+
+let get (c : t) i = if i >= 0 && i < Array.length c then c.(i) else 0
+
+let of_list = Array.of_list
+
+let tick (c : t) i =
+  if i < 0 then invalid_arg "Vector_clock.tick: negative component";
+  let n = max (Array.length c) (i + 1) in
+  let r = Array.make n 0 in
+  Array.blit c 0 r 0 (Array.length c);
+  r.(i) <- r.(i) + 1;
+  r
+
+let join (a : t) (b : t) =
+  if Array.length a = 0 then b
+  else if Array.length b = 0 then a
+  else begin
+    let n = max (Array.length a) (Array.length b) in
+    let r = Array.init n (fun i -> max (get a i) (get b i)) in
+    r
+  end
+
+(* a ⪯ b: every component of [a] is bounded by [b]'s. *)
+let leq (a : t) (b : t) =
+  let rec go i = i >= Array.length a || (a.(i) <= get b i && go (i + 1)) in
+  go 0
+
+(* The FastTrack epoch test: the access recorded at clock [a] by thread
+   [tid] happens-before the thread currently at clock [b] iff [b] has seen
+   [tid]'s component as far as [a] advanced it — no full comparison
+   needed. *)
+let epoch_leq (a : t) ~tid (b : t) = get a tid <= get b tid
+
+let compare = Stdlib.compare
+
+let to_string (c : t) =
+  "[" ^ String.concat "," (List.map string_of_int (Array.to_list c)) ^ "]"
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

@@ -1,0 +1,44 @@
+(** Packed int-array vector clocks for the happens-before engine.
+
+    Component [i] counts events executed by thread [i]. Values are
+    immutable — {!tick} and {!join} allocate — so handed-out clocks can be
+    aliased without defensive copies. Components beyond a clock's backing
+    array read as 0, making clocks over a growing thread space comparable
+    without padding. Domain-free: no locks, no shared state. *)
+
+type t
+
+val empty : t
+(** The zero clock: ⪯ every clock. *)
+
+val of_list : int list -> t
+val size : t -> int
+
+val get : t -> int -> int
+(** [get c i] is thread [i]'s component; 0 when [i] is out of range. *)
+
+val tick : t -> int -> t
+(** [tick c i] is [c] with component [i] incremented (growing the clock as
+    needed). *)
+
+val join : t -> t -> t
+(** Component-wise maximum — the clock after a synchronisation edge. *)
+
+val leq : t -> t -> bool
+(** [leq a b] is the happens-before order: every component of [a] bounded by
+    [b]'s. *)
+
+val epoch_leq : t -> tid:int -> t -> bool
+(** The FastTrack epoch test: an access recorded at clock [a] by thread
+    [tid] happens-before the thread currently at [b] iff
+    [get a tid <= get b tid] — an O(1) check equivalent to [leq a b] when
+    [a] is the access-time clock of a [tid] event. *)
+
+val compare : t -> t -> int
+(** Structural total order (not the happens-before partial order) — for
+    deterministic sorting and test assertions. *)
+
+val to_string : t -> string
+(** ["[c0,c1,...]"] — the form embedded in finding details. *)
+
+val pp : Format.formatter -> t -> unit

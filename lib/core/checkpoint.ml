@@ -37,6 +37,7 @@ let fingerprint ~workload (c : Config.t) =
         c.region_size,
         c.trace_depth,
         c.analyze,
+        c.analyze_hb,
         c.suppress,
         c.step_deadline )
       [ Marshal.No_sharing ]

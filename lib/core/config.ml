@@ -14,6 +14,7 @@ type t = {
   region_size : int;
   trace_depth : int;
   analyze : bool;
+  analyze_hb : bool;
   suppress : string list;
   snapshot : bool;
   memo : bool;
@@ -38,6 +39,7 @@ let default =
     region_size = 64 * 1024;
     trace_depth = 64;
     analyze = false;
+    analyze_hb = true;
     suppress = [];
     snapshot = true;
     memo = true;

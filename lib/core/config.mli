@@ -51,9 +51,17 @@ type t = {
           tracing entirely (no event is recorded or formatted). *)
   analyze : bool;
       (** Run the full analysis-pass suite ({!Analysis.Missing_flush},
-          {!Analysis.Torn_write}, {!Analysis.Redundant}) over every explored
-          execution and surface the findings on the outcome. Off by default;
-          [report_perf] alone runs only the redundant-flush/fence pass. *)
+          {!Analysis.Torn_write}, {!Analysis.Redundant}, and — see
+          [analyze_hb] — {!Analysis.Race}, {!Analysis.Robustness}) over
+          every explored execution and surface the findings on the outcome.
+          Off by default; [report_perf] alone runs only the
+          redundant-flush/fence pass. *)
+  analyze_hb : bool;
+      (** With [analyze]: also run the happens-before passes
+          ({!Analysis.Race}, {!Analysis.Robustness}) over a shared
+          {!Analysis.Hb} view of the event stream. On by default; turning it
+          off isolates the sanitizer-only overhead (the bench's [analysis]
+          section uses this axis). Ignored when [analyze] is off. *)
   suppress : string list;
       (** Store labels whose analysis findings are acknowledged noise (e.g.
           a volatile-by-design lock word living on a persistent cache line).

@@ -28,6 +28,9 @@ type t = {
   mutable multi_rf : multi_rf list;
   engine : Analysis.Engine.t option;  (* analysis passes fed the event stream *)
   events_on : bool;  (* emit typed events at all (trace or engine present) *)
+  mutable in_rmw : bool;
+      (* inside a locked RMW: its constituent load/store/mfence operations
+         are not mirrored as events — the RMW is one [Analysis.Event.Rmw] *)
   mutable parallel_depth : int;
   mutable atomic_depth : int;
   mutable last : string;
@@ -49,12 +52,23 @@ let create ?snapshots ?cancel ~config ~choice () =
   let thread0 = Tso.Thread_state.create ~tid:0 in
   let trace = Trace.create ~depth:config.Config.trace_depth in
   let engine =
+    let hb =
+      if config.Config.analyze && config.Config.analyze_hb then Some (Analysis.Hb.create ())
+      else None
+    in
     let passes =
       if config.Config.analyze then
         [
           Analysis.Pass.instantiate (module Analysis.Missing_flush);
           Analysis.Pass.instantiate (module Analysis.Torn_write);
         ]
+        @ (match hb with
+          | Some hb ->
+              [
+                Analysis.Pass.instantiate_hb ~hb (module Analysis.Race);
+                Analysis.Pass.instantiate_hb ~hb (module Analysis.Robustness);
+              ]
+          | None -> [])
       else []
     in
     let passes =
@@ -64,7 +78,7 @@ let create ?snapshots ?cancel ~config ~choice () =
     in
     match passes with
     | [] -> None
-    | _ -> Some (Analysis.Engine.create ~suppress:config.Config.suppress passes)
+    | _ -> Some (Analysis.Engine.create ~suppress:config.Config.suppress ?hb passes)
   in
   {
     cfg = config;
@@ -84,6 +98,7 @@ let create ?snapshots ?cancel ~config ~choice () =
     multi_rf = [];
     engine;
     events_on = Trace.enabled trace || engine <> None;
+    in_rmw = false;
     parallel_depth = 0;
     atomic_depth = 0;
     last = "<start>";
@@ -209,13 +224,14 @@ let failure_point ?(force = false) ctx label =
     ctx.writes_since_fp <- false;
     ctx.fp_count <- ctx.fp_count + 1;
     (match ctx.fp_hook with Some hook -> hook label | None -> ());
-    if ctx.events_on then emit ctx (Analysis.Event.Failure_point { label });
+    if ctx.events_on then emit ctx (Analysis.Event.Failure_point { label; tid = tid ctx });
     capture_snapshot ctx ~crash_label:(Some label) ~pending_failure:true;
     match Choice.choose ctx.choice Choice.Failure_point 2 with
     | 0 -> ()
     | _ ->
         if not (eager ctx) then drain_choices ctx;
-        if ctx.events_on then emit ctx (Analysis.Event.Crash { label = Some label });
+        if ctx.events_on then
+          emit ctx (Analysis.Event.Crash { label = Some label; tid = tid ctx });
         at_crash ctx;
         ctx.failure_count <- ctx.failure_count + 1;
         raise Power_failure
@@ -238,7 +254,7 @@ let after_crash ctx =
 let crash ctx =
   capture_snapshot ctx ~crash_label:None ~pending_failure:false;
   if not (eager ctx) then drain_choices ctx;
-  if ctx.events_on then emit ctx (Analysis.Event.Crash { label = None });
+  if ctx.events_on then emit ctx (Analysis.Event.Crash { label = None; tid = tid ctx });
   at_crash ctx;
   ctx.failure_count <- ctx.failure_count + 1;
   raise Power_failure
@@ -263,7 +279,8 @@ let resume_from_snapshot ctx (snap : Snapshot.t) =
   ctx.rng <- snap.Snapshot.rng;
   ctx.last <- snap.Snapshot.last;
   if not (eager ctx) then drain_choices ctx;
-  if ctx.events_on then emit ctx (Analysis.Event.Crash { label = snap.Snapshot.crash_label });
+  if ctx.events_on then
+    emit ctx (Analysis.Event.Crash { label = snap.Snapshot.crash_label; tid = tid ctx });
   at_crash ctx;
   ctx.failure_count <- ctx.failure_count + 1
 
@@ -287,7 +304,7 @@ let store ctx ?(label = "store") ~width addr v =
   let bytes = Array.of_list (Pmem.Bytes_le.explode ~width v) in
   Tso.Thread_state.exec_store ctx.cur addr ~bytes ~label;
   ctx.writes_since_fp <- true;
-  if ctx.events_on then
+  if ctx.events_on && not ctx.in_rmw then
     emit ctx (Analysis.Event.Store { addr; width; value = v; tid = tid ctx; label });
   if eager ctx then Tso.Thread_state.drain ctx.cur ctx.sink
 
@@ -320,7 +337,7 @@ let clwb ctx ?(label = "clwb") addr size =
 
 let sfence ctx ?(label = "sfence") () =
   step ctx label;
-  if ctx.events_on then
+  if ctx.events_on && not ctx.in_rmw then
     emit ctx (Analysis.Event.Fence { kind = Analysis.Event.Sfence; tid = tid ctx; label });
   Tso.Thread_state.exec_sfence ctx.cur;
   if eager ctx then Tso.Thread_state.drain ctx.cur ctx.sink;
@@ -328,7 +345,7 @@ let sfence ctx ?(label = "sfence") () =
 
 let mfence ctx ?(label = "mfence") () =
   step ctx label;
-  if ctx.events_on then
+  if ctx.events_on && not ctx.in_rmw then
     emit ctx (Analysis.Event.Fence { kind = Analysis.Event.Mfence; tid = tid ctx; label });
   Tso.Thread_state.exec_mfence ctx.cur ctx.sink;
   maybe_yield ctx
@@ -364,7 +381,7 @@ let load ctx ?(label = "load") ~width addr =
   maybe_yield ctx;
   let bytes = List.init width (fun i -> read_byte ctx (addr + i) label) in
   let v = Pmem.Bytes_le.implode bytes in
-  if ctx.events_on then
+  if ctx.events_on && not ctx.in_rmw then
     emit ctx (Analysis.Event.Load { addr; width; value = v; tid = tid ctx; label });
   v
 
@@ -434,15 +451,36 @@ let atomically ctx f =
   ctx.atomic_depth <- ctx.atomic_depth + 1;
   Fun.protect ~finally:(fun () -> ctx.atomic_depth <- ctx.atomic_depth - 1) f
 
+(* The constituent mfence/load/store operations run with their full TSO
+   semantics but are not mirrored as events ([in_rmw]): the analysis passes
+   see one [Rmw] event carrying the observed and stored values, emitted
+   after the instruction completes — a locked RMW is one synchronisation
+   point, and the happens-before engine gives it acquire-release semantics
+   that the constituent plain accesses must not dilute. *)
 let rmw64 ctx label addr f =
   maybe_yield ctx;
   atomically ctx (fun () ->
-      mfence ctx ~label ();
-      let old = load ctx ~label ~width:8 addr in
-      (match f old with
-      | None -> ()
-      | Some desired -> store ctx ~label ~width:8 addr desired);
-      mfence ctx ~label ();
+      ctx.in_rmw <- true;
+      let old, stored =
+        Fun.protect
+          ~finally:(fun () -> ctx.in_rmw <- false)
+          (fun () ->
+            mfence ctx ~label ();
+            let old = load ctx ~label ~width:8 addr in
+            let stored =
+              match f old with
+              | None -> None
+              | Some desired ->
+                  store ctx ~label ~width:8 addr desired;
+                  Some desired
+            in
+            mfence ctx ~label ();
+            (old, stored))
+      in
+      if ctx.events_on then
+        emit ctx
+          (Analysis.Event.Rmw
+             { addr; width = 8; old_value = old; new_value = stored; tid = tid ctx; label });
       old)
 
 let cas64 ctx ?(label = "cas64") addr ~expected ~desired =
@@ -479,7 +517,8 @@ let install_concrete_state ctx bytes =
       incr ctx.seq;
       Exec.Exec_record.flush_line record (line * Pmem.Addr.cache_line_size) ~seq:!(ctx.seq))
     touched;
-  if ctx.events_on then emit ctx (Analysis.Event.Crash { label = Some "<concrete state>" });
+  if ctx.events_on then
+    emit ctx (Analysis.Event.Crash { label = Some "<concrete state>"; tid = tid ctx });
   ctx.failure_count <- ctx.failure_count + 1;
   after_crash ctx
 
@@ -493,12 +532,13 @@ let next_rand ctx bound =
   ctx.rng <- x;
   x lsr 11 mod bound
 
-let parallel ctx bodies =
+let parallel ctx ?(label = "parallel") bodies =
   (* Spawning is a synchronisation edge (pthread_create implies
      happens-before): the parent's buffered stores and flushes become
      visible before any fiber runs. *)
   Tso.Thread_state.drain ctx.cur ctx.sink;
   Tso.Thread_state.drain_flush_buffer ctx.cur ctx.sink;
+  let parent_tid = tid ctx in
   let spawned =
     List.map
       (fun body ->
@@ -507,6 +547,13 @@ let parallel ctx bodies =
         (th, body))
       bodies
   in
+  if ctx.events_on then
+    List.iter
+      (fun (th, _) ->
+        emit ctx
+          (Analysis.Event.Thread_start
+             { tid = Tso.Thread_state.tid th; parent = parent_tid; label }))
+      spawned;
   (* One append for the whole section: the live-thread list grows by the
      section's fibers, not once per spawn over an ever-longer history. *)
   ctx.threads <- ctx.threads @ List.map fst spawned;
@@ -548,7 +595,11 @@ let parallel ctx bodies =
   List.iter
     (fun (th, _) ->
       Tso.Thread_state.drain th ctx.sink;
-      Tso.Thread_state.drain_flush_buffer th ctx.sink)
+      Tso.Thread_state.drain_flush_buffer th ctx.sink;
+      if ctx.events_on then
+        emit ctx
+          (Analysis.Event.Thread_join
+             { tid = Tso.Thread_state.tid th; parent = parent_tid; label }))
     spawned;
   (* The joined threads are dead: drop them so later crash points and
      parallel sections walk only live threads. *)

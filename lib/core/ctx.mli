@@ -188,10 +188,13 @@ val check : t -> ?label:string -> bool -> string -> unit
 val abort : t -> ?label:string -> string -> 'a
 (** Unconditional assertion failure. *)
 
-val parallel : t -> (t -> unit) list -> unit
+val parallel : t -> ?label:string -> (t -> unit) list -> unit
 (** Runs the given thread bodies under the deterministic round-robin
     scheduler, each with its own store and flush buffer. Returns when all
-    complete. *)
+    complete. Emits {!Analysis.Event.Thread_start} for each spawned thread
+    before any body runs and {!Analysis.Event.Thread_join} after all bodies
+    complete (joins are not emitted when a power failure unwinds the
+    section); [label] tags those events, default ["parallel"]. *)
 
 val crash : t -> 'a
 (** Unconditionally injects a power failure at this exact point. With

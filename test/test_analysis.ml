@@ -15,13 +15,36 @@ let run_pass (module P : Analysis.Pass.S) events =
 let store ?(tid = 0) ?(width = 8) ?(value = 1) ~label addr =
   Analysis.Event.Store { addr; width; value; tid; label }
 
+let load ?(tid = 0) ?(width = 8) ?(value = 0) ~label addr =
+  Analysis.Event.Load { addr; width; value; tid; label }
+
 let flush ?(tid = 0) ~label line_addr =
   Analysis.Event.Flush { line_addr; kind = Analysis.Event.Clflush; tid; label }
 
 let sfence ?(tid = 0) ~label () =
   Analysis.Event.Fence { kind = Analysis.Event.Sfence; tid; label }
 
-let crash = Analysis.Event.Crash { label = Some "crash" }
+let mfence ?(tid = 0) ~label () =
+  Analysis.Event.Fence { kind = Analysis.Event.Mfence; tid; label }
+
+let rmw ?(tid = 0) ?(width = 8) ?(old_value = 0) ~new_value ~label addr =
+  Analysis.Event.Rmw { addr; width; old_value; new_value; tid; label }
+
+let tstart ?(label = "par") ~parent tid = Analysis.Event.Thread_start { tid; parent; label }
+let tjoin ?(label = "par") ~parent tid = Analysis.Event.Thread_join { tid; parent; label }
+
+(* Feed a synthetic event list to one HB-aware pass, mirroring the engine's
+   order: the shared clock substrate observes each event before the pass. *)
+let run_pass_hb (module P : Analysis.Pass.S_hb) events =
+  let hb = Analysis.Hb.create () in
+  let inst = Analysis.Pass.instantiate_hb ~hb (module P) in
+  List.concat_map
+    (fun ev ->
+      Analysis.Hb.observe hb ev;
+      inst.Analysis.Pass.feed ev)
+    events
+
+let crash = Analysis.Event.Crash { label = Some "crash"; tid = 0 }
 let fin = Analysis.Event.End_execution
 let rules fs = List.sort_uniq compare (List.map (fun f -> f.Analysis.Report.rule) fs)
 let labels fs = List.sort_uniq compare (List.concat_map (fun f -> f.Analysis.Report.labels) fs)
@@ -243,6 +266,325 @@ let test_perf_reports_via_explorer () =
   Alcotest.(check bool) "flush f2" true (List.mem (Ctx.Redundant_flush, "f2") kinds);
   Alcotest.(check bool) "fence s2" true (List.mem (Ctx.Redundant_fence, "s2") kinds)
 
+(* --- redundant pass is thread-aware ---------------------------------------------- *)
+
+let test_red_per_thread_fence () =
+  (* A store on thread 0 must not excuse a fence on thread 1. *)
+  let fs =
+    run_pass (module Analysis.Redundant)
+      [ store ~tid:0 ~label:"w" base; sfence ~tid:1 ~label:"s1" (); fin ]
+  in
+  Alcotest.(check (list string)) "rule" [ "redundant-fence" ] (rules fs);
+  Alcotest.(check (list string)) "label" [ "s1" ] (labels fs)
+
+let test_red_per_thread_flush () =
+  (* Two threads each flushing a line they both dirtied are each doing
+     necessary work — neither flush is redundant. *)
+  let fs =
+    run_pass (module Analysis.Redundant)
+      [
+        store ~tid:0 ~label:"w0" base;
+        store ~tid:1 ~label:"w1" (base + 8);
+        flush ~tid:0 ~label:"f0" base;
+        flush ~tid:1 ~label:"f1" base;
+        sfence ~tid:0 ~label:"s0" ();
+        sfence ~tid:1 ~label:"s1" ();
+        fin;
+      ]
+  in
+  Alcotest.(check int) "no findings" 0 (List.length fs)
+
+let test_red_redundant_mfence () =
+  let fs =
+    run_pass (module Analysis.Redundant)
+      [ mfence ~label:"m1" (); store ~label:"w" base; mfence ~label:"m2" (); fin ]
+  in
+  Alcotest.(check (list string)) "rule" [ "redundant-mfence" ] (rules fs);
+  Alcotest.(check (list string)) "only the empty fence" [ "m1" ] (labels fs)
+
+let test_red_rmw_fences_exempt () =
+  (* A locked RMW's intrinsic mfences are never flagged, even when nothing
+     is pending — and they clear the thread's pending count. *)
+  let fs =
+    run_pass (module Analysis.Redundant)
+      [ rmw ~new_value:None ~label:"cas" base; fin ]
+  in
+  Alcotest.(check int) "no findings" 0 (List.length fs)
+
+(* --- vector clocks ---------------------------------------------------------------- *)
+
+let test_vc_basics () =
+  let open Analysis.Vector_clock in
+  Alcotest.(check int) "empty reads 0" 0 (get empty 3);
+  let c = tick (tick empty 1) 1 in
+  Alcotest.(check int) "ticked" 2 (get c 1);
+  Alcotest.(check int) "out of range reads 0" 0 (get c 5);
+  let j = join c (of_list [ 3; 1 ]) in
+  Alcotest.(check int) "join max (0)" 3 (get j 0);
+  Alcotest.(check int) "join max (1)" 2 (get j 1);
+  Alcotest.(check bool) "leq refl" true (leq j j);
+  Alcotest.(check bool) "c leq join" true (leq c j);
+  Alcotest.(check bool) "join not leq c" false (leq j c);
+  Alcotest.(check bool) "empty leq all" true (leq empty c);
+  Alcotest.(check string) "render" "[3,2]" (to_string j)
+
+let test_vc_epoch () =
+  let open Analysis.Vector_clock in
+  (* An access by thread 1 at its step 2... *)
+  let a = of_list [ 0; 2 ] in
+  Alcotest.(check bool) "ordered" true (epoch_leq a ~tid:1 (of_list [ 5; 2 ]));
+  Alcotest.(check bool) "concurrent" false (epoch_leq a ~tid:1 (of_list [ 5; 1 ]))
+
+(* --- happens-before substrate ----------------------------------------------------- *)
+
+let test_hb_edges () =
+  let hb = Analysis.Hb.create () in
+  let obs = Analysis.Hb.observe hb in
+  let vc_leq = Analysis.Vector_clock.leq in
+  obs (store ~tid:0 ~label:"init" base);
+  let init_clock = Option.get (Analysis.Hb.location hb base) in
+  obs (tstart ~parent:0 1);
+  Alcotest.(check bool) "spawn edge: child sees parent's store" true
+    (vc_leq init_clock (Analysis.Hb.clock hb 1));
+  obs (tstart ~parent:0 2);
+  obs (store ~tid:1 ~label:"w1" (base + 8));
+  let w1_clock = Option.get (Analysis.Hb.location hb (base + 8)) in
+  Alcotest.(check bool) "siblings unordered" false
+    (vc_leq w1_clock (Analysis.Hb.clock hb 2));
+  (* rf-into-RMW: a CAS reading those bytes inherits the writer's history. *)
+  obs (rmw ~tid:2 ~new_value:(Some 1) ~label:"cas" (base + 8));
+  Alcotest.(check bool) "acquire edge" true (vc_leq w1_clock (Analysis.Hb.clock hb 2));
+  obs (tjoin ~parent:0 1);
+  Alcotest.(check bool) "join edge" true (vc_leq w1_clock (Analysis.Hb.clock hb 0))
+
+let test_hb_commit_and_reset () =
+  let hb = Analysis.Hb.create () in
+  let obs = Analysis.Hb.observe hb in
+  let ln = Pmem.Addr.line_of base in
+  obs (store ~tid:0 ~label:"w" base);
+  let g = Analysis.Hb.line_gen hb ln in
+  Alcotest.(check bool) "store bumps the generation" true (g > 0);
+  let committed () =
+    Analysis.Hb.line_committed hb ln ~gen:g ~before:(Analysis.Hb.clock hb 0)
+  in
+  Alcotest.(check bool) "store alone uncommitted" false (committed ());
+  obs (flush ~tid:0 ~label:"f" base);
+  Alcotest.(check bool) "flush alone uncommitted" false (committed ());
+  obs (sfence ~tid:0 ~label:"s" ());
+  Alcotest.(check bool) "flush+fence commits" true (committed ());
+  Alcotest.(check bool) "commit not ordered before a stale clock" false
+    (Analysis.Hb.line_committed hb ln ~gen:g ~before:Analysis.Vector_clock.empty);
+  obs crash;
+  Alcotest.(check int) "crash resets generations" 0 (Analysis.Hb.line_gen hb ln);
+  Alcotest.(check bool) "crash resets location clocks" true
+    (Analysis.Hb.location hb base = None)
+
+let test_hb_snapshot () =
+  let hb = Analysis.Hb.create ~record:true () in
+  List.iter (Analysis.Hb.observe hb)
+    [
+      store ~tid:0 ~label:"a" base;
+      tstart ~parent:0 1;
+      store ~tid:1 ~label:"b" (base + 8);
+      store ~tid:0 ~label:"c" (base + 16);
+    ];
+  Alcotest.(check int) "ids assigned" 4 (Analysis.Hb.events_seen hb);
+  let hb_before a ~tid b =
+    Analysis.Vector_clock.epoch_leq (Analysis.Hb.snapshot hb a) ~tid
+      (Analysis.Hb.snapshot hb b)
+  in
+  Alcotest.(check bool) "a happens-before b (spawn edge)" true (hb_before 0 ~tid:0 2);
+  Alcotest.(check bool) "b concurrent with c" false (hb_before 2 ~tid:1 3);
+  (match Analysis.Hb.snapshot (Analysis.Hb.create ()) 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "snapshot without ~record:true must raise")
+
+(* --- persistency-race-hb ---------------------------------------------------------- *)
+
+let test_race_write_write () =
+  let fs =
+    run_pass_hb
+      (module Analysis.Race)
+      [
+        tstart ~parent:0 1;
+        tstart ~parent:0 2;
+        store ~tid:1 ~label:"w1" base;
+        store ~tid:2 ~label:"w2" base;
+        fin;
+      ]
+  in
+  Alcotest.(check (list string)) "rule" [ "persistency-race-hb" ] (rules fs);
+  Alcotest.(check (list string)) "both labels" [ "w1"; "w2" ] (labels fs);
+  match fs with
+  | [ f ] -> Alcotest.(check bool) "high severity" true (f.Analysis.Report.severity = High)
+  | _ -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_race_read_write () =
+  let fs =
+    run_pass_hb
+      (module Analysis.Race)
+      [
+        tstart ~parent:0 1;
+        tstart ~parent:0 2;
+        load ~tid:1 ~label:"r1" base;
+        store ~tid:2 ~label:"w2" base;
+        fin;
+      ]
+  in
+  Alcotest.(check (list string)) "read/write race" [ "r1"; "w2" ] (labels fs)
+
+let test_race_lock_protocol_silent () =
+  (* The P-CLHT locking shape: CAS acquire, plain-store release. The second
+     thread's CAS reads the unlock word and inherits the first critical
+     section's history, ordering the data accesses. *)
+  let lock = base + 256 in
+  let fs =
+    run_pass_hb
+      (module Analysis.Race)
+      [
+        tstart ~parent:0 1;
+        tstart ~parent:0 2;
+        rmw ~tid:1 ~new_value:(Some 1) ~label:"lock1" lock;
+        store ~tid:1 ~label:"data1" base;
+        store ~tid:1 ~value:0 ~label:"unlock1" lock;
+        rmw ~tid:2 ~new_value:(Some 1) ~label:"lock2" lock;
+        load ~tid:2 ~label:"read2" base;
+        store ~tid:2 ~label:"data2" base;
+        store ~tid:2 ~value:0 ~label:"unlock2" lock;
+        tjoin ~parent:0 1;
+        tjoin ~parent:0 2;
+        load ~tid:0 ~label:"check" base;
+        fin;
+      ]
+  in
+  Alcotest.(check int) "no findings" 0 (List.length fs)
+
+let test_race_join_orders_parent () =
+  let fs =
+    run_pass_hb
+      (module Analysis.Race)
+      [
+        tstart ~parent:0 1;
+        store ~tid:1 ~label:"w1" base;
+        tjoin ~parent:0 1;
+        store ~tid:0 ~label:"w0" base;
+        fin;
+      ]
+  in
+  Alcotest.(check int) "no findings" 0 (List.length fs)
+
+(* --- unordered-persist-observed --------------------------------------------------- *)
+
+let test_rob_uncommitted_observed () =
+  let fs =
+    run_pass_hb
+      (module Analysis.Robustness)
+      [
+        tstart ~parent:0 1;
+        store ~tid:1 ~label:"w" base;
+        tjoin ~parent:0 1;
+        load ~tid:0 ~label:"r" base;
+        fin;
+      ]
+  in
+  Alcotest.(check (list string)) "rule" [ "unordered-persist-observed" ] (rules fs);
+  Alcotest.(check (list string)) "store label" [ "w" ] (labels fs);
+  match fs with
+  | [ f ] ->
+      Alcotest.(check bool) "medium severity" true (f.Analysis.Report.severity = Medium)
+  | _ -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_rob_committed_silent () =
+  let fs =
+    run_pass_hb
+      (module Analysis.Robustness)
+      [
+        tstart ~parent:0 1;
+        store ~tid:1 ~label:"w" base;
+        flush ~tid:1 ~label:"f" base;
+        sfence ~tid:1 ~label:"s" ();
+        tjoin ~parent:0 1;
+        load ~tid:0 ~label:"r" base;
+        fin;
+      ]
+  in
+  Alcotest.(check int) "no findings" 0 (List.length fs)
+
+let test_rob_same_thread_exempt () =
+  let fs =
+    run_pass_hb
+      (module Analysis.Robustness)
+      [ store ~tid:0 ~label:"w" base; load ~tid:0 ~label:"r" base; fin ]
+  in
+  Alcotest.(check int) "no findings" 0 (List.length fs)
+
+let test_rob_concurrent_commit_still_flagged () =
+  (* The line was committed, but not by an edge ordered before the load:
+     the observing thread cannot rely on it. *)
+  let fs =
+    run_pass_hb
+      (module Analysis.Robustness)
+      [
+        tstart ~parent:0 1;
+        tstart ~parent:0 2;
+        store ~tid:1 ~label:"w" base;
+        flush ~tid:1 ~label:"f" base;
+        sfence ~tid:1 ~label:"s" ();
+        load ~tid:2 ~label:"r" base;
+        fin;
+      ]
+  in
+  Alcotest.(check (list string)) "flagged" [ "w" ] (labels fs)
+
+(* --- HB findings are deterministic across jobs x snapshot x memo ------------------ *)
+
+let test_hb_findings_deterministic () =
+  let base_config =
+    {
+      Config.default with
+      Config.analyze = true;
+      evict_policy = Config.Buffered;
+      stop_at_first_bug = false;
+    }
+  in
+  List.iter
+    (fun (name, scn, want_race) ->
+      let render config =
+        let o = Explorer.run ~config scn in
+        String.concat "\n"
+          (List.map
+             (Format.asprintf "%a" Analysis.Report.pp_finding)
+             o.Explorer.findings)
+      in
+      let reference =
+        render { base_config with Config.jobs = 1; snapshot = false; memo = false }
+      in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool)
+        (name ^ " race findings as expected")
+        want_race
+        (contains reference "persistency-race-hb");
+      List.iter
+        (fun jobs ->
+          List.iter
+            (fun (snapshot, memo) ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s jobs=%d snapshot=%b memo=%b" name jobs snapshot memo)
+                reference
+                (render { base_config with Config.jobs = jobs; snapshot; memo }))
+            [ (false, false); (true, false); (false, true); (true, true) ])
+        (Test_env.jobs_matrix ~default:[ 1; 4 ]))
+    [
+      ( "P-CLHT-small",
+        Recipe.Workloads.concurrent_scenario ~ks0:[ 3 ] ~ks1:[ 11 ] ~racy:false (),
+        false );
+      ("P-CLHT-racy", Recipe.Workloads.concurrent_scenario ~racy:true (), true);
+    ]
+
 (* --- engine: dedup, suppression, ordering ---------------------------------------- *)
 
 let mk_engine ?suppress () =
@@ -421,7 +763,39 @@ let () =
           Alcotest.test_case "redundant flush" `Quick test_red_redundant_flush;
           Alcotest.test_case "redundant fence" `Quick test_red_redundant_fence;
           Alcotest.test_case "crash resets" `Quick test_red_crash_resets;
+          Alcotest.test_case "per-thread fence" `Quick test_red_per_thread_fence;
+          Alcotest.test_case "per-thread flush" `Quick test_red_per_thread_flush;
+          Alcotest.test_case "redundant mfence" `Quick test_red_redundant_mfence;
+          Alcotest.test_case "rmw fences exempt" `Quick test_red_rmw_fences_exempt;
           Alcotest.test_case "perf reports via explorer" `Quick test_perf_reports_via_explorer;
+        ] );
+      ( "vector-clock",
+        [
+          Alcotest.test_case "basics" `Quick test_vc_basics;
+          Alcotest.test_case "epoch test" `Quick test_vc_epoch;
+        ] );
+      ( "happens-before",
+        [
+          Alcotest.test_case "spawn/acquire/join edges" `Quick test_hb_edges;
+          Alcotest.test_case "persist commit and crash reset" `Quick
+            test_hb_commit_and_reset;
+          Alcotest.test_case "snapshot oracle" `Quick test_hb_snapshot;
+          Alcotest.test_case "findings deterministic" `Quick test_hb_findings_deterministic;
+        ] );
+      ( "race",
+        [
+          Alcotest.test_case "write/write race" `Quick test_race_write_write;
+          Alcotest.test_case "read/write race" `Quick test_race_read_write;
+          Alcotest.test_case "lock protocol silent" `Quick test_race_lock_protocol_silent;
+          Alcotest.test_case "join orders parent" `Quick test_race_join_orders_parent;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "uncommitted observed" `Quick test_rob_uncommitted_observed;
+          Alcotest.test_case "committed silent" `Quick test_rob_committed_silent;
+          Alcotest.test_case "same thread exempt" `Quick test_rob_same_thread_exempt;
+          Alcotest.test_case "concurrent commit flagged" `Quick
+            test_rob_concurrent_commit_still_flagged;
         ] );
       ( "engine",
         [
