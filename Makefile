@@ -2,7 +2,7 @@
 # the whole test suite (which includes the jobs>1 determinism tests in
 # test_parallel.ml), and a CLI smoke run of the parallel explorer.
 
-.PHONY: all build test check parallel-smoke lint bench bench-smoke interrupt-smoke clean
+.PHONY: all build test check parallel-smoke lint bench bench-smoke bench-check interrupt-smoke clean
 
 all: build
 
@@ -36,9 +36,18 @@ bench: build
 # assert that outcomes stay byte-identical with the failure-point snapshot
 # layer and the crash-state memoization layer on and off, and that a chain of
 # wall-budget-interrupted sessions resumed from checkpoints reports
-# identically to one uninterrupted run.
+# identically to one uninterrupted run. Also regenerates BENCH_fig14.json,
+# the committed replay-throughput trajectory.
 bench-smoke: build
-	dune exec bench/main.exe -- snapshot-smoke memo-smoke checkpoint-smoke
+	dune exec bench/main.exe -- fig14-json snapshot-smoke memo-smoke checkpoint-smoke
+
+# Regression gate over the committed BENCH_fig14.json: re-measures jobs=1
+# replay throughput per Fig. 14 workload and fails on an execution-count
+# mismatch or a throughput drop beyond JAARU_BENCH_TOLERANCE (default 20%).
+# Run this BEFORE bench-smoke if you want to compare against the committed
+# baseline — bench-smoke overwrites it with fresh numbers.
+bench-check: build
+	dune exec bench/main.exe -- fig14-check
 
 # Out-of-process half of the survivability story: SIGTERM a real CLI run
 # mid-flight, resume it from its checkpoint, and diff the resumed report

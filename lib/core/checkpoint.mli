@@ -12,11 +12,14 @@
 
     {2 File format}
 
-    A magic line ["jaaru-checkpoint-v1"], a CRC-32 line (8 hex digits) of the
-    payload, then the [Marshal] image of {!t}. Saves are atomic
-    (write-temp-then-rename), so a crash mid-save leaves the previous
-    checkpoint intact. Checkpoints are single-version: a format change bumps
-    the magic and old files are {!Rejected}, never misread.
+    A magic line ["jaaru-checkpoint-v2"], a CRC-32 line (8 hex digits) of the
+    payload, then the {!Pmem.Wire} encoding of {!t} — the same hand-rolled
+    structural format the memo keys use, with an explicit per-field codec
+    instead of a [Marshal] image. Saves are atomic (write-temp-then-rename),
+    so a crash mid-save leaves the previous checkpoint intact; a save that
+    fails before the rename removes its temp file. Checkpoints are
+    single-version: a format change bumps the magic and old files are
+    {!Rejected}, never misread.
 
     {2 The fingerprint}
 
@@ -60,7 +63,16 @@ val frontier_prefixes : t -> Choice.prefix list
     prefix (also checked eagerly by {!load}). *)
 
 val save : t -> string -> unit
-(** Atomically writes the checkpoint to a path (temp file + rename). *)
+(** Atomically writes the checkpoint to a path (temp file + rename). If the
+    write fails before the rename, the temp file is removed and the original
+    exception re-raised — a failed save never leaves a stale [.tmp] sibling
+    behind. *)
+
+val set_write_fault : (unit -> unit) option -> unit
+(** Test hook: a function {!save} calls after the header and before the
+    payload write. Tests inject a raise here to simulate a mid-save failure
+    (full disk, kill) and assert that the temp file is cleaned up and the
+    previous checkpoint survives. [None] (the default) disables it. *)
 
 val load : string -> t
 (** Reads and integrity-checks a checkpoint (magic, checksum, payload and

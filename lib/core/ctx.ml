@@ -46,11 +46,23 @@ type t = {
          wall-clock deadline, observed (and consumed) at the next [step] *)
 }
 
-let create ?snapshots ?cancel ~config ~choice () =
+let create ?snapshots ?cancel ?trace_labels ?trace_ring ~config ~choice () =
   let stack = Exec.Exec_stack.create () in
   let seq = ref 0 in
   let thread0 = Tso.Thread_state.create ~tid:0 in
-  let trace = Trace.create ~depth:config.Config.trace_depth in
+  (* A ring of [trace_depth] packed cells is a major-heap allocation (well
+     past [Max_young_wosize]); workers replay hundreds of thousands of times,
+     so they pass one pooled ring in rather than paying a major alloc per
+     replay. *)
+  let trace =
+    match trace_ring with
+    | Some ring ->
+        if Trace.depth ring <> config.Config.trace_depth then
+          invalid_arg "Ctx.create: trace_ring depth <> config.trace_depth";
+        Trace.clear ring;
+        ring
+    | None -> Trace.create ?labels:trace_labels ~depth:config.Config.trace_depth ()
+  in
   let engine =
     let hb =
       if config.Config.analyze && config.Config.analyze_hb then Some (Analysis.Hb.create ())
@@ -143,6 +155,7 @@ let perf_reports ctx =
 
 let trace_events ctx = List.map Analysis.Event.render (Trace.events ctx.trace)
 let trace_raw ctx = Trace.events ctx.trace
+let trace_ring ctx = ctx.trace
 let trace_dropped ctx = Trace.dropped ctx.trace
 let last_label ctx = ctx.last
 let exec_stack ctx = ctx.stack
@@ -157,6 +170,30 @@ let emit ctx ev =
   match ctx.engine with Some e -> Analysis.Engine.emit e ev | None -> ()
 
 let tid ctx = Tso.Thread_state.tid ctx.cur
+
+(* Hot-path emission: with no analysis engine attached (the common search
+   configuration) the event goes straight into the packed trace ring — a few
+   int writes — without ever constructing the boxed [Analysis.Event.t]. With
+   an engine, the boxed event is built once and shared by ring and passes. *)
+let emit_store ctx ~addr ~width ~value ~label =
+  match ctx.engine with
+  | None -> Trace.add_store ctx.trace ~addr ~width ~value ~tid:(tid ctx) ~label
+  | Some _ -> emit ctx (Analysis.Event.Store { addr; width; value; tid = tid ctx; label })
+
+let emit_load ctx ~addr ~width ~value ~label =
+  match ctx.engine with
+  | None -> Trace.add_load ctx.trace ~addr ~width ~value ~tid:(tid ctx) ~label
+  | Some _ -> emit ctx (Analysis.Event.Load { addr; width; value; tid = tid ctx; label })
+
+let emit_flush ctx ~line_addr ~kind ~label =
+  match ctx.engine with
+  | None -> Trace.add_flush ctx.trace ~line_addr ~kind ~tid:(tid ctx) ~label
+  | Some _ -> emit ctx (Analysis.Event.Flush { line_addr; kind; tid = tid ctx; label })
+
+let emit_fence ctx ~kind ~label =
+  match ctx.engine with
+  | None -> Trace.add_fence ctx.trace ~kind ~tid:(tid ctx) ~label
+  | Some _ -> emit ctx (Analysis.Event.Fence { kind; tid = tid ctx; label })
 
 let step ctx label =
   ctx.last <- label;
@@ -301,11 +338,9 @@ let store ctx ?(label = "store") ~width addr v =
   step ctx label;
   bounds ctx addr width "store" label;
   maybe_yield ctx;
-  let bytes = Array.of_list (Pmem.Bytes_le.explode ~width v) in
-  Tso.Thread_state.exec_store ctx.cur addr ~bytes ~label;
+  Tso.Thread_state.exec_store ctx.cur addr ~value:v ~width ~label;
   ctx.writes_since_fp <- true;
-  if ctx.events_on && not ctx.in_rmw then
-    emit ctx (Analysis.Event.Store { addr; width; value = v; tid = tid ctx; label });
+  if ctx.events_on && not ctx.in_rmw then emit_store ctx ~addr ~width ~value:v ~label;
   if eager ctx then Tso.Thread_state.drain ctx.cur ctx.sink
 
 let flush_lines ctx ~kind ~label addr size =
@@ -313,17 +348,16 @@ let flush_lines ctx ~kind ~label addr size =
   (* clwb shares clflushopt's reordering semantics (paper §2) but is a
      distinct instruction: traces and analysis passes see the real kind. *)
   let opt = match kind with Analysis.Event.Clflush -> false | Clflushopt | Clwb -> true in
-  List.iter
+  Pmem.Addr.iter_lines_spanned
     (fun line ->
       let line_addr = line * Pmem.Addr.cache_line_size in
       failure_point ctx label;
       step ctx label;
-      if ctx.events_on then
-        emit ctx (Analysis.Event.Flush { line_addr; kind; tid = tid ctx; label });
+      if ctx.events_on then emit_flush ctx ~line_addr ~kind ~label;
       if opt then Tso.Thread_state.exec_clflushopt ctx.cur ctx.sink line_addr ~label
       else Tso.Thread_state.exec_clflush ctx.cur line_addr ~label;
       if eager ctx then Tso.Thread_state.drain ctx.cur ctx.sink)
-    (Pmem.Addr.lines_spanned addr (max size 1));
+    addr (max size 1);
   maybe_yield ctx
 
 let clflush ctx ?(label = "clflush") addr size =
@@ -337,24 +371,26 @@ let clwb ctx ?(label = "clwb") addr size =
 
 let sfence ctx ?(label = "sfence") () =
   step ctx label;
-  if ctx.events_on && not ctx.in_rmw then
-    emit ctx (Analysis.Event.Fence { kind = Analysis.Event.Sfence; tid = tid ctx; label });
+  if ctx.events_on && not ctx.in_rmw then emit_fence ctx ~kind:Analysis.Event.Sfence ~label;
   Tso.Thread_state.exec_sfence ctx.cur;
   if eager ctx then Tso.Thread_state.drain ctx.cur ctx.sink;
   maybe_yield ctx
 
 let mfence ctx ?(label = "mfence") () =
   step ctx label;
-  if ctx.events_on && not ctx.in_rmw then
-    emit ctx (Analysis.Event.Fence { kind = Analysis.Event.Mfence; tid = tid ctx; label });
+  if ctx.events_on && not ctx.in_rmw then emit_fence ctx ~kind:Analysis.Event.Mfence ~label;
   Tso.Thread_state.exec_mfence ctx.cur ctx.sink;
   maybe_yield ctx
 
 (* --- loads -------------------------------------------------------------- *)
 
-let read_byte ctx addr label =
-  let sb_value = Tso.Thread_state.bypass ctx.cur addr in
-  let candidates = Exec.Read_from.build_may_read_from ?sb_value ctx.stack addr in
+(* Reads whose single candidate lives in the current execution — a store-
+   buffer bypass hit or a store this execution already made — carry no
+   persistency constraint ([do_read] is a no-op for them), record no multi-rf
+   report and consume no choice. [read_byte_slow] handles the rest; the fast
+   checks here allocate nothing. *)
+let read_byte_slow ctx addr label =
+  let candidates = Exec.Read_from.build_may_read_from ctx.stack addr in
   let src =
     match candidates with
     | [] -> assert false (* the initial image backstops the recursion *)
@@ -375,14 +411,23 @@ let read_byte ctx addr label =
   Exec.Read_from.do_read ctx.stack addr src;
   src.Exec.Read_from.value
 
+let read_byte ctx addr label =
+  match Tso.Thread_state.bypass ctx.cur addr with
+  | Some (value, _) -> value
+  | None ->
+      let b = Exec.Exec_record.last_store_byte (Exec.Exec_stack.top ctx.stack) addr in
+      if b >= 0 then b else read_byte_slow ctx addr label
+
 let load ctx ?(label = "load") ~width addr =
   step ctx label;
   bounds ctx addr width "load" label;
   maybe_yield ctx;
-  let bytes = List.init width (fun i -> read_byte ctx (addr + i) label) in
-  let v = Pmem.Bytes_le.implode bytes in
-  if ctx.events_on && not ctx.in_rmw then
-    emit ctx (Analysis.Event.Load { addr; width; value = v; tid = tid ctx; label });
+  let v = ref 0 in
+  for i = 0 to width - 1 do
+    v := !v lor (read_byte ctx (addr + i) label lsl (8 * i))
+  done;
+  let v = !v in
+  if ctx.events_on && not ctx.in_rmw then emit_load ctx ~addr ~width ~value:v ~label;
   v
 
 let store8 ctx ?label addr v = store ctx ?label ~width:1 addr v

@@ -41,6 +41,8 @@ type perf_report = { perf_kind : perf_kind; perf_label : string }
 val create :
   ?snapshots:Snapshot.cache ->
   ?cancel:bool Atomic.t ->
+  ?trace_labels:Analysis.Arena.labels ->
+  ?trace_ring:Trace.t ->
   config:Config.t ->
   choice:Choice.t ->
   unit ->
@@ -49,6 +51,18 @@ val create :
     present, every failure point the execution considers captures a
     resumable snapshot into it (see {!Snapshot}). Omitted (e.g. with
     [config.snapshot] off), executions always run from the start.
+
+    [trace_labels] is the worker's trace-ring label intern table. Snapshots
+    hold trace rings across replays, and a ring can only be restored from
+    one encoded against the same table — a worker that reuses a snapshot
+    cache across contexts must pass one table to all of them.
+
+    [trace_ring] is an optional pooled ring the context clears and adopts
+    instead of allocating its own — a ring of [trace_depth] packed cells is
+    a major-heap allocation, so a worker replaying many executions should
+    create one ring (against its [trace_labels] table) and pass it to every
+    context. Its depth must equal [config.trace_depth] ([Invalid_argument]
+    otherwise), and [trace_labels] is ignored in its favour.
 
     [cancel] is the worker's watchdog flag: when the monitor sets it (the
     execution blew [Config.step_deadline]), the next {!step} consumes the
@@ -112,9 +126,12 @@ val trace_events : t -> string list
     emission — an execution that reports no bug never formats a string. *)
 
 val trace_raw : t -> Analysis.Event.t list
-(** The same ring unrendered — for the crash-state memoization key, which
-    must incorporate the trace (cached bug reports embed it) but runs at
-    every crash and must not pay for formatting. *)
+(** The same ring decoded to boxed events, oldest first. *)
+
+val trace_ring : t -> Trace.t
+(** The packed ring itself — for the crash-state memoization key, which must
+    incorporate the trace (cached bug reports embed it) but runs at every
+    crash and must pay neither decoding nor formatting. *)
 
 val trace_dropped : t -> int
 (** How many older events fell out of the bounded trace ring. *)

@@ -129,6 +129,14 @@ let reserve_slots reserved ~budget n =
 let worker ~config ~scn ~frontier ~reserved ~stopped ~trigger ~monitor ~idx () =
   let budget = config.Config.max_executions in
   let snapshots = if config.Config.snapshot then Some (Snapshot.create_cache ()) else None in
+  (* One label intern table for every context this worker creates: snapshots
+     hold packed trace rings across replays, and restoring a ring requires
+     the destination to share the source's table. *)
+  let trace_labels = Analysis.Arena.labels () in
+  (* One pooled trace ring reused by every replay: the packed ring is a
+     major-heap array, and allocating it per context shows up directly as
+     major-GC pressure on snapshot/memo-heavy workloads. *)
+  let trace_ring = Trace.create ~labels:trace_labels ~depth:config.Config.trace_depth () in
   (* Memoization is disabled under stop-at-first-bug: crediting a cached
      subtree's executions without replaying it would change which replay
      trips the stop, breaking the "same outcome for every jobs value"
@@ -158,6 +166,8 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~trigger ~monitor ~idx () =
   let memo_hits = ref 0 in
   let memo_misses = ref 0 in
   let memo_saved = ref 0 in
+  let snapshot_hits = ref 0 in
+  let snapshot_misses = ref 0 in
   let sheds = ref 0 in
   let remainder = ref [] in
   (* Open accumulators of the current task, deepest first (depths strictly
@@ -211,9 +221,9 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~trigger ~monitor ~idx () =
       let d = Choice.depth choice in
       if d >= task_depth && not (List.exists (fun a -> a.acc_depth = d) !accs) then begin
         let key =
-          Memo.canonical_key ~stack:(Ctx.exec_stack ctx) ~trace:(Ctx.trace_raw ctx)
-            ~dropped:(Ctx.trace_dropped ctx) ~failures:(Ctx.failures ctx)
-            ~rng:(Ctx.rng_state ctx) ~last:(Ctx.last_label ctx)
+          Memo.canonical_key ~scratch:(Memo.scratch table) ~stack:(Ctx.exec_stack ctx)
+            ~trace:(Ctx.trace_ring ctx) ~dropped:(Ctx.trace_dropped ctx)
+            ~failures:(Ctx.failures ctx) ~rng:(Ctx.rng_state ctx) ~last:(Ctx.last_label ctx) ()
         in
         let digest = Memo.digest key in
         let found = Memo.find table ~digest ~key in
@@ -300,9 +310,18 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~trigger ~monitor ~idx () =
         else begin
           Choice.begin_replay choice;
           let snapshot =
-            match snapshots with None -> None | Some cache -> Snapshot.find cache choice
+            match snapshots with
+            | None -> None
+            | Some cache -> (
+                match Snapshot.find cache choice with
+                | Some _ as s ->
+                    incr snapshot_hits;
+                    s
+                | None ->
+                    incr snapshot_misses;
+                    None)
           in
-          let ctx = Ctx.create ?snapshots ?cancel ~config ~choice () in
+          let ctx = Ctx.create ?snapshots ?cancel ~trace_labels ~trace_ring ~config ~choice () in
           (match memo_table with
           | Some table -> Ctx.set_crash_hook ctx (probe table ctx)
           | None -> ());
@@ -414,6 +433,8 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~trigger ~monitor ~idx () =
         memo_hits = !memo_hits;
         memo_misses = !memo_misses;
         memo_saved = !memo_saved;
+        snapshot_hits = !snapshot_hits;
+        snapshot_misses = !snapshot_misses;
         sheds = !sheds;
       };
     wr_remainder = !remainder;

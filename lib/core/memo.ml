@@ -21,26 +21,16 @@ exception Hit of verdict
 let key_transform : (string -> string) option ref = ref None
 let set_key_transform f = key_transform := f
 
-(* The normalized form of one execution record: is-initial tag, per-address
-   visible store history as (seq rank, value, label), addresses sorted, and
-   the non-default line intervals as (line, lo rank, hi rank), sorted. *)
-type norm_record = bool * (int * (int * int * string) list) list * (int * int * int) list
+(* The key is a hand-rolled wire serialization (length-prefixed ints and
+   strings, see {!Pmem.Wire}) of everything recovery can observe. The wire
+   encoding is injective — every field is fixed-width or length-prefixed and
+   every variable-length sequence is count-prefixed — so equal bytes mean
+   structurally equal states, exactly the property the old [Marshal]
+   [No_sharing] image provided, without Marshal's block-header bookkeeping
+   and with the output accumulating in a caller-provided scratch buffer that
+   a worker reuses across every crash it probes. *)
 
-(* Everything recovery can observe, as a plain immutable value. The key is
-   its Marshal image: [No_sharing] makes the bytes purely structural (equal
-   values marshal identically regardless of physical sharing), and
-   marshalling skips the formatting cost a textual serialization would pay
-   at every crash. *)
-type norm_state = {
-  n_failures : int;
-  n_rng : int;
-  n_last : string;
-  n_dropped : int;
-  n_trace : Analysis.Event.t list;
-  n_records : norm_record list;
-}
-
-let canonical_key ~stack ~trace ~dropped ~failures ~rng ~last =
+let canonical_key ?scratch ~stack ~trace ~dropped ~failures ~rng ~last () =
   let records = Exec.Exec_stack.to_list stack in
   (* Pass 1: rank-normalize sequence numbers. Collect every finite seq the
      state mentions — store seqs and interval bounds — and map them to dense
@@ -53,14 +43,17 @@ let canonical_key ~stack ~trace ~dropped ~failures ~rng ~last =
     (fun r ->
       List.iter
         (fun addr ->
-          Exec.Exec_record.fold_stores
-            (fun (e : Exec.Store_queue.entry) () -> note e.seq)
-            r addr ())
+          match Exec.Exec_record.visible_stores r addr with
+          | None -> ()
+          | Some (q, n) ->
+              for i = 0 to n - 1 do
+                note (Exec.Store_queue.seq_at q i)
+              done)
         (Exec.Exec_record.written_addrs r);
       Exec.Exec_record.fold_lines
-        (fun _line iv () ->
-          note (Pmem.Interval.lo iv);
-          note (Pmem.Interval.hi iv))
+        (fun _line ~lo ~hi () ->
+          note lo;
+          note hi)
         r ())
     records;
   let sorted = List.sort_uniq compare (Hashtbl.fold (fun s () acc -> s :: acc) seen []) in
@@ -71,46 +64,52 @@ let canonical_key ~stack ~trace ~dropped ~failures ~rng ~last =
     else if s = Pmem.Interval.infinity then -1 (* top marker, below any real rank *)
     else Hashtbl.find ranks s
   in
-  (* Pass 2: normalize (hash-table enumerations sorted, seqs replaced by
-     ranks) and marshal. *)
-  let norm_record r : norm_record =
-    let addrs =
-      List.sort compare
-        (List.map
-           (fun addr ->
-             let entries =
-               List.rev (Exec.Exec_record.fold_stores (fun e acc -> e :: acc) r addr [])
-             in
-             ( addr,
-               List.map
-                 (fun (e : Exec.Store_queue.entry) -> (rank e.seq, e.value, e.label))
-                 entries ))
-           (Exec.Exec_record.written_addrs r))
-    in
-    let lines =
-      List.sort compare
-        (Exec.Exec_record.fold_lines
-           (fun line iv acc ->
-             let lo = Pmem.Interval.lo iv and hi = Pmem.Interval.hi iv in
-             (* A materialized line still at [0, inf) reads identically to an
-                absent one — skip it or identical states would differ. *)
-             if lo = 0 && hi = Pmem.Interval.infinity then acc
-             else (line, rank lo, rank hi) :: acc)
-           r [])
-    in
-    (Exec.Exec_record.is_initial r, addrs, lines)
-  in
-  let norm =
-    {
-      n_failures = failures;
-      n_rng = rng;
-      n_last = last;
-      n_dropped = dropped;
-      n_trace = trace;
-      n_records = List.map norm_record records;
-    }
-  in
-  let key = Marshal.to_string norm [ Marshal.No_sharing ] in
+  (* Pass 2: serialize, with every hash-table enumeration sorted and seqs
+     replaced by ranks. *)
+  let sink = match scratch with Some s -> Pmem.Wire.reset s; s | None -> Pmem.Wire.sink () in
+  Pmem.Wire.int sink failures;
+  Pmem.Wire.int sink rng;
+  Pmem.Wire.string sink last;
+  Pmem.Wire.int sink dropped;
+  Trace.serialize trace sink;
+  Pmem.Wire.int sink (List.length records);
+  List.iter
+    (fun r ->
+      Pmem.Wire.bool sink (Exec.Exec_record.is_initial r);
+      let addrs = List.sort compare (Exec.Exec_record.written_addrs r) in
+      Pmem.Wire.int sink (List.length addrs);
+      List.iter
+        (fun addr ->
+          Pmem.Wire.int sink addr;
+          match Exec.Exec_record.visible_stores r addr with
+          | None -> Pmem.Wire.int sink 0 (* written_addrs only lists non-empty *)
+          | Some (q, n) ->
+              Pmem.Wire.int sink n;
+              for i = 0 to n - 1 do
+                Pmem.Wire.int sink (rank (Exec.Store_queue.seq_at q i));
+                Pmem.Wire.int sink (Exec.Store_queue.value_at q i);
+                Pmem.Wire.string sink (Exec.Store_queue.label_at q i)
+              done)
+        addrs;
+      let lines =
+        List.sort compare
+          (Exec.Exec_record.fold_lines
+             (fun line ~lo ~hi acc ->
+               (* A materialized line still at [0, inf) reads identically to
+                  an absent one — skip it or identical states would differ. *)
+               if lo = 0 && hi = Pmem.Interval.infinity then acc
+               else (line, rank lo, rank hi) :: acc)
+             r [])
+      in
+      Pmem.Wire.int sink (List.length lines);
+      List.iter
+        (fun (line, lo, hi) ->
+          Pmem.Wire.int sink line;
+          Pmem.Wire.int sink lo;
+          Pmem.Wire.int sink hi)
+        lines)
+    records;
+  let key = Pmem.Wire.contents sink in
   match !key_transform with None -> key | Some f -> f key
 
 let digest = Pmem.Crc32.digest_string
@@ -121,10 +120,15 @@ type table = {
          harmless (they just miss). *)
   capacity : int;
   mutable size : int;
+  scratch : Pmem.Wire.sink;
+      (* per-worker key-construction buffer, reused across every crash this
+         table's worker probes *)
 }
 
 let create_table ?(capacity = 8192) () =
-  { buckets = Hashtbl.create 512; capacity; size = 0 }
+  { buckets = Hashtbl.create 512; capacity; size = 0; scratch = Pmem.Wire.sink () }
+
+let scratch t = t.scratch
 
 let find t ~digest ~key =
   match Hashtbl.find_opt t.buckets digest with

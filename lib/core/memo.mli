@@ -23,9 +23,13 @@
       different trace histories must not collide;
     - the failure count, the last executed label and the schedule-PRNG state.
 
-    The serialized form is the [Marshal] image (with [No_sharing], so the
-    bytes are purely structural) of the normalized value — the probe runs at
-    every committed crash, so the key must not pay text-formatting costs.
+    The serialized form is a hand-rolled wire image ({!Pmem.Wire}:
+    fixed-width ints, length-prefixed strings, count-prefixed sequences) of
+    the normalized value, built in a reusable per-worker scratch buffer. The
+    encoding is injective, so equal bytes mean structurally equal states —
+    the property the previous [Marshal] [No_sharing] image provided — and
+    the probe, which runs at every committed crash, pays neither Marshal's
+    generic traversal nor any text formatting.
 
     Sequence numbers are {e rank-normalized} before serialization: every
     finite seq appearing anywhere in the state (store seqs, interval bounds)
@@ -66,17 +70,21 @@ exception Hit of verdict
     subtree is already memoized. *)
 
 val canonical_key :
+  ?scratch:Pmem.Wire.sink ->
   stack:Exec.Exec_stack.t ->
-  trace:Analysis.Event.t list ->
+  trace:Trace.t ->
   dropped:int ->
   failures:int ->
   rng:int ->
   last:string ->
+  unit ->
   string
 (** The canonical serialization of a crash state, built from the context's
     accessors at the moment the crash commits (after buffered-drain
-    decisions). Deterministic: independent of hash-table iteration order and
-    of absolute sequence-number values. *)
+    decisions). Deterministic: independent of hash-table iteration order, of
+    absolute sequence-number values and of trace-ring label intern order.
+    [scratch] is the reusable construction buffer (see {!scratch}); omitting
+    it allocates a fresh one. *)
 
 val digest : string -> int
 (** CRC-32 of a canonical key. *)
@@ -92,6 +100,10 @@ type table
 
 val create_table : ?capacity:int -> unit -> table
 (** [capacity] defaults to 8192 verdicts. *)
+
+val scratch : table -> Pmem.Wire.sink
+(** The table's per-worker key-construction buffer, for passing back to
+    {!canonical_key}. Reused (reset) on every call that receives it. *)
 
 val find : table -> digest:int -> key:string -> verdict option
 (** Full-key comparison behind the digest bucket — never trusts the CRC

@@ -91,12 +91,18 @@ let poll t now =
         Atomic.set t.mem_armed true
   | None -> ()
 
-let period t =
-  (* Deadlines want responsive sampling; a bare mem budget can be lazier. *)
+let period t ~now =
+  (* Deadlines want responsive sampling; a bare mem budget can be lazier.
+     Absolute deadlines scale the period to the time actually remaining — a
+     budget smaller than a fixed poll period would otherwise never fire
+     before the run completes (the packed replay path finishes whole test
+     workloads in single-digit milliseconds). *)
   let of_deadline d = Float.max 0.001 (Float.min 0.05 (d /. 4.)) in
+  let of_abs d = Float.max 0.0002 (Float.min 0.01 ((d -. now) /. 4.)) in
   let candidates =
     (match t.step_deadline with Some d -> [ of_deadline d ] | None -> [])
-    @ (if t.wall_deadline <> None || t.tick_deadline <> None then [ 0.01 ] else [])
+    @ (match t.wall_deadline with Some d -> [ of_abs d ] | None -> [])
+    @ (match t.tick_deadline with Some d -> [ of_abs d ] | None -> [])
     @ if t.mem_budget <> None then [ 0.05 ] else []
   in
   List.fold_left Float.min 0.05 candidates
@@ -110,7 +116,7 @@ let needed t =
 
 let start t =
   if needed t && t.thread = None then
-    let dt = period t in
+    let dt = period t ~now:(Unix.gettimeofday ()) in
     t.thread <-
       Some
         (Thread.create

@@ -9,6 +9,8 @@ type t = {
   memo_hits : int;
   memo_misses : int;
   memo_saved : int;
+  snapshot_hits : int;
+  snapshot_misses : int;
   sheds : int;
   wall_time : float;
   exhausted : bool;
@@ -27,6 +29,8 @@ let zero =
     memo_hits = 0;
     memo_misses = 0;
     memo_saved = 0;
+    snapshot_hits = 0;
+    snapshot_misses = 0;
     sheds = 0;
     wall_time = 0.;
     exhausted = true;
@@ -44,6 +48,8 @@ let merge a b =
     memo_hits = a.memo_hits + b.memo_hits;
     memo_misses = a.memo_misses + b.memo_misses;
     memo_saved = a.memo_saved + b.memo_saved;
+    snapshot_hits = a.snapshot_hits + b.snapshot_hits;
+    snapshot_misses = a.snapshot_misses + b.snapshot_misses;
     sheds = a.sheds + b.sheds;
     (* Properties of the original (failure-free) execution: exactly one
        worker — whichever ran the root subtree — observed them. *)
@@ -62,7 +68,16 @@ let merge a b =
    byte-identical (jobs values, memo/snapshot on vs off): wall time and the
    memo-table traffic counters. *)
 let comparable s =
-  { s with memo_hits = 0; memo_misses = 0; memo_saved = 0; sheds = 0; wall_time = 0. }
+  {
+    s with
+    memo_hits = 0;
+    memo_misses = 0;
+    memo_saved = 0;
+    snapshot_hits = 0;
+    snapshot_misses = 0;
+    sheds = 0;
+    wall_time = 0.;
+  }
 
 let executions_per_fp s =
   if s.failure_points = 0 then 0. else float_of_int s.executions /. float_of_int s.failure_points

@@ -23,6 +23,11 @@ type t = {
   memo_saved : int;
       (** executions credited from cached verdicts rather than replayed —
           [executions - memo_saved] is the number actually executed *)
+  snapshot_hits : int;
+      (** replays resumed from a cached failure-point snapshot instead of
+          re-executing from the start (0 unless [Config.snapshot]) *)
+  snapshot_misses : int;
+      (** replays that found no usable snapshot and ran from the start *)
   sheds : int;
       (** times the watchdog monitor tripped [Config.mem_budget] and workers
           dropped their memo/snapshot caches (0 unless a budget is set) *)
@@ -49,8 +54,9 @@ val merge : t -> t -> t
 
 val comparable : t -> t
 (** The statistics with every schedule-dependent counter zeroed: [wall_time],
-    the memo-table traffic ([memo_hits]/[memo_misses]/[memo_saved], whose
-    split across workers depends on the work partition) and [sheds] (a
+    the memo-table and snapshot-cache traffic
+    ([memo_hits]/[memo_misses]/[memo_saved]/[snapshot_hits]/[snapshot_misses],
+    whose split across workers depends on the work partition) and [sheds] (a
     wall-clock-dependent memory-pressure artifact). Two exhaustive runs
     of the same scenario must have equal [comparable] statistics whatever
     their [jobs], [snapshot] and [memo] settings. *)

@@ -1,7 +1,7 @@
 type t = {
   id : int;
   queues : (Pmem.Addr.t, Store_queue.t) Hashtbl.t;
-  lines : (int, Pmem.Interval.t) Hashtbl.t;
+  lines : Pmem.Line_table.t;
   seq_bound : int;
       (* Stores with seq > seq_bound are invisible to every read accessor:
          a snapshot view shares the live record's queue table and hides the
@@ -15,7 +15,7 @@ let create ~id =
   {
     id;
     queues = Hashtbl.create 64;
-    lines = Hashtbl.create 16;
+    lines = Pmem.Line_table.create ();
     seq_bound = max_int;
     store_count = 0;
     flush_count = 0;
@@ -35,35 +35,54 @@ let queue e addr =
 
 let queue_opt e addr = Hashtbl.find_opt e.queues addr
 
+(* Unboxed line-interval reads: the per-line state lives in the flat
+   {!Pmem.Line_table}, so the bounds come back as plain ints. The slot index
+   is only valid until the next insertion, hence the immediate reads. *)
+let line_lo e addr =
+  let lines = e.lines in
+  Pmem.Line_table.lo lines (Pmem.Line_table.find lines (Pmem.Addr.line_of addr))
+
+let line_bounds e addr =
+  let lines = e.lines in
+  let slot = Pmem.Line_table.find lines (Pmem.Addr.line_of addr) in
+  (Pmem.Line_table.lo lines slot, Pmem.Line_table.hi lines slot)
+
+let raise_line_lo e addr ~seq =
+  let lines = e.lines in
+  Pmem.Line_table.raise_lo lines (Pmem.Line_table.find lines (Pmem.Addr.line_of addr)) seq
+
+let lower_line_hi e addr ~seq =
+  let lines = e.lines in
+  Pmem.Line_table.lower_hi lines (Pmem.Line_table.find lines (Pmem.Addr.line_of addr)) seq
+
+(* Boxed view for cold paths (state counters, tests): a copy, not an alias —
+   refinements must go through {!raise_line_lo} / {!lower_line_hi}. *)
 let cacheline e addr =
-  let line = Pmem.Addr.line_of addr in
-  match Hashtbl.find_opt e.lines line with
-  | Some iv -> iv
-  | None ->
-      let iv = Pmem.Interval.make () in
-      Hashtbl.add e.lines line iv;
-      iv
+  let lo, hi = line_bounds e addr in
+  Pmem.Interval.of_bounds ~lo ~hi
 
 let push_store e addr ~value ~seq ~label =
   if e.seq_bound <> max_int then
     invalid_arg "Exec_record.push_store: snapshot views are read-only";
-  Store_queue.push (queue e addr) { Store_queue.value; seq; label };
+  Store_queue.push_unboxed (queue e addr) ~value ~seq ~label;
   e.store_count <- e.store_count + 1
 
 (* Bounded store accessors: the visible history of [addr] is the queue prefix
    with seq <= seq_bound. On unbounded records (the common case) this is the
    whole queue. *)
+let visible_len e q =
+  if e.seq_bound = max_int then Store_queue.length q else Store_queue.count_le q e.seq_bound
+
 let stores_opt e addr =
   match Hashtbl.find_opt e.queues addr with
   | None -> None
   | Some q ->
-      let n =
-        if e.seq_bound = max_int then Store_queue.length q
-        else Store_queue.count_le q e.seq_bound
-      in
+      let n = visible_len e q in
       if n = 0 then None else Some (q, n)
 
+let visible_stores = stores_opt
 let has_stores e addr = stores_opt e addr <> None
+
 let fold_stores f e addr acc =
   match stores_opt e addr with
   | None -> acc
@@ -75,6 +94,13 @@ let first_store e addr =
 let last_store e addr =
   match stores_opt e addr with None -> None | Some (q, n) -> Some (Store_queue.get q (n - 1))
 
+let last_store_byte e addr =
+  match Hashtbl.find_opt e.queues addr with
+  | None -> -1
+  | Some q ->
+      let n = visible_len e q in
+      if n = 0 then -1 else Store_queue.value_at q (n - 1)
+
 let next_store_seq_after e addr s =
   match stores_opt e addr with
   | None -> Pmem.Interval.infinity
@@ -83,34 +109,29 @@ let next_store_seq_after e addr s =
       if r > e.seq_bound then Pmem.Interval.infinity else r
 
 let flush_line e addr ~seq =
-  Pmem.Interval.raise_lo (cacheline e addr) seq;
+  raise_line_lo e addr ~seq;
   e.flush_count <- e.flush_count + 1
 
-(* Line-interval enumeration for state canonicalization: [f line interval]
+(* Line-interval enumeration for state canonicalization: [f line ~lo ~hi]
    over every materialized line, in unspecified order (callers sort). Lines
    still at the default [0, inf) are indistinguishable from absent ones to
    every reader, so canonicalizers must skip them. *)
-let fold_lines f e acc = Hashtbl.fold f e.lines acc
-
-let copy_lines e =
-  let lines = Hashtbl.create (max 16 (Hashtbl.length e.lines)) in
-  Hashtbl.iter (fun line iv -> Hashtbl.add lines line (Pmem.Interval.copy iv)) e.lines;
-  lines
+let fold_lines f e acc = Pmem.Line_table.fold f e.lines acc
 
 (* A read-only view that stays correct while the original keeps executing,
-   for the failure-point snapshot layer. Line intervals are duplicated: the
-   recovery read-from analysis refines them in place even on buried records
-   (UpdateRanges). The per-byte store queues are *shared* — queue entries are
-   immutable, appends only ever add entries with larger seqs, and the view's
-   [seq_bound] hides everything pushed after the capture. Capture cost is
-   therefore O(lines touched), independent of how many stores the pre-failure
-   program executed. *)
+   for the failure-point snapshot layer. Line intervals are duplicated — a
+   flat three-blit copy — because the recovery read-from analysis refines
+   them in place even on buried records (UpdateRanges). The per-byte store
+   queues are *shared* — queue entries are immutable, appends only ever add
+   entries with larger seqs, and the view's [seq_bound] hides everything
+   pushed after the capture. Capture cost is therefore O(lines touched),
+   independent of how many stores the pre-failure program executed. *)
 let snapshot_view ?bound e =
   let seq_bound = match bound with None -> e.seq_bound | Some b -> min b e.seq_bound in
   {
     id = e.id;
     queues = e.queues;
-    lines = copy_lines e;
+    lines = Pmem.Line_table.copy e.lines;
     seq_bound;
     store_count = e.store_count;
     flush_count = e.flush_count;
@@ -124,16 +145,13 @@ let snapshot_freeze e =
   let queues = Hashtbl.create (max 16 (Hashtbl.length e.queues)) in
   Hashtbl.iter
     (fun addr q ->
-      let n =
-        if e.seq_bound = max_int then Store_queue.length q
-        else Store_queue.count_le q e.seq_bound
-      in
+      let n = visible_len e q in
       if n > 0 then Hashtbl.add queues addr (Store_queue.truncated_copy q n))
     e.queues;
   {
     id = e.id;
     queues;
-    lines = copy_lines e;
+    lines = Pmem.Line_table.copy e.lines;
     seq_bound = max_int;
     store_count = e.store_count;
     flush_count = e.flush_count;
@@ -149,10 +167,12 @@ let unflushed_store_count e addr =
   match stores_opt e addr with
   | None -> 0
   | Some (q, n) ->
-      let lo = Pmem.Interval.lo (cacheline e addr) in
-      Store_queue.fold_prefix
-        (fun entry m -> if entry.Store_queue.seq > lo then m + 1 else m)
-        q n 0
+      let lo = line_lo e addr in
+      let m = ref 0 in
+      for i = 0 to n - 1 do
+        if Store_queue.seq_at q i > lo then incr m
+      done;
+      !m
 
 let pp ppf e =
   Format.fprintf ppf "exec#%d: %d stores, %d flushes over %d addrs" e.id e.store_count

@@ -30,8 +30,24 @@ val queue_opt : t -> Pmem.Addr.t -> Store_queue.t option
 (** Like {!queue} but without materialising an empty history. *)
 
 val cacheline : t -> Pmem.Addr.t -> Pmem.Interval.t
-(** The last-writeback interval of the line containing the given byte,
-    created as [\[0, inf)] on first use. *)
+(** A boxed {e copy} of the last-writeback interval of the line containing
+    the given byte, created as [\[0, inf)] on first use. Read-only: the live
+    per-line state is unboxed (see {!line_bounds}); refinements must go
+    through {!raise_line_lo} / {!lower_line_hi}, and a copy taken before a
+    refinement does not see it. *)
+
+val line_lo : t -> Pmem.Addr.t -> int
+(** The line's last-writeback lower bound, without boxing. *)
+
+val line_bounds : t -> Pmem.Addr.t -> int * int
+(** The line's [(lo, hi)] bounds, without boxing. *)
+
+val raise_line_lo : t -> Pmem.Addr.t -> seq:int -> unit
+(** Raises the line's lower bound to [seq] if higher (a flush took effect). *)
+
+val lower_line_hi : t -> Pmem.Addr.t -> seq:int -> unit
+(** Lowers the line's upper bound to [seq] if lower (a recovery read proved
+    the writeback happened before [seq]). *)
 
 val push_store : t -> Pmem.Addr.t -> value:int -> seq:int -> label:string -> unit
 (** Records one byte store taking effect in the cache. *)
@@ -51,11 +67,22 @@ val flush_line : t -> Pmem.Addr.t -> seq:int -> unit
 val has_stores : t -> Pmem.Addr.t -> bool
 (** Whether [addr] has at least one visible store. *)
 
+val visible_stores : t -> Pmem.Addr.t -> (Store_queue.t * int) option
+(** The store history of [addr] together with its visible length (the prefix
+    a snapshot view exposes), for unboxed indexed reads via
+    {!Store_queue.value_at} and friends. Indices [0 .. n-1] are visible; the
+    queue may physically hold more. *)
+
 val fold_stores : (Store_queue.entry -> 'a -> 'a) -> t -> Pmem.Addr.t -> 'a -> 'a
 (** Oldest-first fold over the visible stores of [addr]. *)
 
 val first_store : t -> Pmem.Addr.t -> Store_queue.entry option
 val last_store : t -> Pmem.Addr.t -> Store_queue.entry option
+
+val last_store_byte : t -> Pmem.Addr.t -> int
+(** The newest visible store's byte value at [addr], or [-1] if the address
+    has no visible store — the allocation-free probe behind the common-case
+    read path (every recorded value is a byte in [0, 255]). *)
 
 val next_store_seq_after : t -> Pmem.Addr.t -> int -> int
 (** The sequence number of the oldest visible store of [addr] strictly newer
@@ -89,9 +116,9 @@ val store_count : t -> int
 val flush_count : t -> int
 (** Total line-flush events recorded. *)
 
-val fold_lines : (int -> Pmem.Interval.t -> 'a -> 'a) -> t -> 'a -> 'a
-(** Folds over every materialized line interval as [(line index, interval)],
-    in unspecified order. A line that was never touched has no entry, and a
+val fold_lines : (int -> lo:int -> hi:int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over every materialized line interval as [f line ~lo ~hi], in
+    unspecified order. A line that was never touched has no entry, and a
     materialized line still at the default [\[0, inf)] behaves identically to
     an absent one — canonical-state builders must treat the two as equal. *)
 

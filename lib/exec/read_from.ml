@@ -8,8 +8,13 @@ type source = {
 let source_from_current stack ~value ~label =
   { exec = Exec_stack.top stack; seq = None; value; label }
 
-let source_of_entry exec (e : Store_queue.entry) =
-  { exec; seq = Some e.seq; value = e.value; label = e.label }
+let source_of_idx exec q i =
+  {
+    exec;
+    seq = Some (Store_queue.seq_at q i);
+    value = Store_queue.value_at q i;
+    label = Store_queue.label_at q i;
+  }
 
 let initial_source exec =
   { exec; seq = Some 0; value = 0; label = "<initial zero>" }
@@ -19,45 +24,55 @@ let initial_source exec =
    store inside the open interval (lo, hi), plus the newest store at or before
    lo (the value certainly in PM when the guaranteed flush happened). If no
    store predates lo, the flush (if any) wrote a value inherited from an older
-   execution, so the search continues below. *)
+   execution, so the search continues below. The visible history is indexed
+   directly (seqs strictly increase, so the window is a contiguous index
+   range) instead of folding boxed entries. *)
 let rec read_pre_failure stack e addr =
   if Exec_record.is_initial e then [ initial_source e ]
   else
-    let cl = Exec_record.cacheline e addr in
-    let lo = Pmem.Interval.lo cl and hi = Pmem.Interval.hi cl in
-    let in_window, newest_le_lo =
-      Exec_record.fold_stores
-        (fun entry (wins, best) ->
-          if entry.Store_queue.seq <= lo then (wins, Some entry)
-          else if entry.Store_queue.seq < hi then (entry :: wins, best)
-          else (wins, best))
-        e addr ([], None)
-    in
-    (* [in_window] is newest-first already (fold is oldest-first, cons reverses). *)
-    let wins = List.map (source_of_entry e) in_window in
-    match newest_le_lo with
-    | Some entry -> wins @ [ source_of_entry e entry ]
-    | None -> wins @ read_pre_failure stack (Exec_stack.prev stack e) addr
+    let lo, hi = Exec_record.line_bounds e addr in
+    match Exec_record.visible_stores e addr with
+    | None -> read_pre_failure stack (Exec_stack.prev stack e) addr
+    | Some (q, n) ->
+        (* Newest index with seq <= lo, or -1; the window (lo, hi) is the
+           index range (idx_le_lo, first index with seq >= hi). *)
+        let idx_le_lo = Store_queue.count_le q lo - 1 in
+        let below_hi = min n (Store_queue.count_le q (hi - 1)) in
+        let wins = ref [] in
+        (* Ascending index walk with cons leaves the newest store (highest
+           index) at the head — the newest-first order callers rely on. *)
+        for i = idx_le_lo + 1 to below_hi - 1 do
+          wins := source_of_idx e q i :: !wins
+        done;
+        let wins = !wins in
+        if idx_le_lo >= 0 then wins @ [ source_of_idx e q idx_le_lo ]
+        else wins @ read_pre_failure stack (Exec_stack.prev stack e) addr
 
 let build_may_read_from ?sb_value stack addr =
   match sb_value with
   | Some (value, label) -> [ source_from_current stack ~value ~label ]
   | None -> (
       let top = Exec_stack.top stack in
-      match Exec_record.last_store top addr with
-      | Some e ->
+      match Exec_record.visible_stores top addr with
+      | Some (q, n) ->
           (* A store of the current execution carries no persistency
              constraint: the paper's ⟨top(exec), _, val⟩ tuple. *)
-          [ { exec = top; seq = None; value = e.Store_queue.value; label = e.Store_queue.label } ]
+          [
+            {
+              exec = top;
+              seq = None;
+              value = Store_queue.value_at q (n - 1);
+              label = Store_queue.label_at q (n - 1);
+            };
+          ]
       | None -> read_pre_failure stack (Exec_stack.prev stack top) addr)
 
 (* UpdateRanges (Fig. 10). Walk down from the execution just below the current
-   one to the source's execution, refining each line interval. *)
+   one to the source's execution, refining each line interval in place. *)
 let rec update_ranges stack ec addr src =
   if Exec_record.id ec <> Exec_record.id src.exec then begin
-    let cl = Exec_record.cacheline ec addr in
-    (match Exec_record.first_store ec addr with
-    | Some f -> Pmem.Interval.lower_hi cl f.Store_queue.seq
+    (match Exec_record.visible_stores ec addr with
+    | Some (q, _) -> Exec_record.lower_line_hi ec addr ~seq:(Store_queue.seq_at q 0)
     | None -> ());
     update_ranges stack (Exec_stack.prev stack ec) addr src
   end
@@ -66,9 +81,9 @@ let rec update_ranges stack ec addr src =
     match src.seq with
     | None -> assert false
     | Some seq ->
-        let cl = Exec_record.cacheline ec addr in
-        Pmem.Interval.raise_lo cl seq;
-        Pmem.Interval.lower_hi cl (Exec_record.next_store_seq_after ec addr seq)
+        Exec_record.raise_line_lo ec addr ~seq;
+        Exec_record.lower_line_hi ec addr
+          ~seq:(Exec_record.next_store_seq_after ec addr seq)
 
 let do_read stack addr src =
   let top = Exec_stack.top stack in

@@ -1,38 +1,77 @@
+(* Structure-of-arrays slab: values, sequence numbers and labels in parallel
+   arrays rather than one boxed record per store. A push is three array
+   writes; the binary searches ([count_le], [next_seq_after]) scan a flat
+   [int array] of seqs; [copy] for the snapshot layer is three blits. The
+   boxed {!entry} view survives only on cold paths (reports, tests). *)
+
 type entry = { value : int; seq : int; label : string }
 
-type t = { mutable entries : entry array; mutable len : int }
+type t = {
+  mutable values : int array;
+  mutable seqs : int array;
+  mutable labels : string array;
+  mutable len : int;
+}
 
-let create () = { entries = [||]; len = 0 }
+let create () = { values = [||]; seqs = [||]; labels = [||]; len = 0 }
 let length q = q.len
 let is_empty q = q.len = 0
 
 let grow q =
-  let cap = Array.length q.entries in
+  let cap = Array.length q.seqs in
   let cap' = if cap = 0 then 8 else 2 * cap in
-  let dummy = { value = 0; seq = 0; label = "" } in
-  let entries = Array.make cap' dummy in
-  Array.blit q.entries 0 entries 0 q.len;
-  q.entries <- entries
+  let values = Array.make cap' 0 and seqs = Array.make cap' 0 and labels = Array.make cap' "" in
+  Array.blit q.values 0 values 0 q.len;
+  Array.blit q.seqs 0 seqs 0 q.len;
+  Array.blit q.labels 0 labels 0 q.len;
+  q.values <- values;
+  q.seqs <- seqs;
+  q.labels <- labels
 
-let push q e =
-  if q.len > 0 && e.seq <= q.entries.(q.len - 1).seq then
+let push_unboxed q ~value ~seq ~label =
+  if q.len > 0 && seq <= q.seqs.(q.len - 1) then
     invalid_arg "Store_queue.push: sequence numbers must increase";
-  if q.len = Array.length q.entries then grow q;
-  q.entries.(q.len) <- e;
+  if q.len = Array.length q.seqs then grow q;
+  Array.unsafe_set q.values q.len value;
+  Array.unsafe_set q.seqs q.len seq;
+  Array.unsafe_set q.labels q.len label;
   q.len <- q.len + 1
 
-let copy q = { entries = Array.copy q.entries; len = q.len }
+let push q e = push_unboxed q ~value:e.value ~seq:e.seq ~label:e.label
+
+let copy q =
+  { values = Array.copy q.values; seqs = Array.copy q.seqs; labels = Array.copy q.labels; len = q.len }
 
 let truncated_copy q n =
   let n = min n q.len in
-  { entries = Array.sub q.entries 0 n; len = n }
+  {
+    values = Array.sub q.values 0 n;
+    seqs = Array.sub q.seqs 0 n;
+    labels = Array.sub q.labels 0 n;
+    len = n;
+  }
+
+let check_index q i =
+  if i < 0 || i >= q.len then invalid_arg "Store_queue.get: index out of range"
+
+let value_at q i =
+  check_index q i;
+  Array.unsafe_get q.values i
+
+let seq_at q i =
+  check_index q i;
+  Array.unsafe_get q.seqs i
+
+let label_at q i =
+  check_index q i;
+  Array.unsafe_get q.labels i
 
 let get q i =
-  if i < 0 || i >= q.len then invalid_arg "Store_queue.get: index out of range";
-  q.entries.(i)
+  check_index q i;
+  { value = q.values.(i); seq = q.seqs.(i); label = q.labels.(i) }
 
-let first q = if q.len = 0 then None else Some q.entries.(0)
-let last q = if q.len = 0 then None else Some q.entries.(q.len - 1)
+let first q = if q.len = 0 then None else Some (get q 0)
+let last q = if q.len = 0 then None else Some (get q (q.len - 1))
 
 let count_le q s =
   (* Binary search: number of entries with seq <= s (seqs strictly increase). *)
@@ -40,7 +79,7 @@ let count_le q s =
     if lo >= hi then lo
     else
       let mid = (lo + hi) / 2 in
-      if q.entries.(mid).seq <= s then loop (mid + 1) hi else loop lo mid
+      if Array.unsafe_get q.seqs mid <= s then loop (mid + 1) hi else loop lo mid
   in
   loop 0 q.len
 
@@ -48,26 +87,21 @@ let fold_prefix f q n acc =
   let n = min n q.len in
   let acc = ref acc in
   for i = 0 to n - 1 do
-    acc := f q.entries.(i) !acc
+    acc := f (get q i) !acc
   done;
   !acc
 
 let next_seq_after q s =
   (* Binary search for the oldest entry with seq > s. *)
   let rec loop lo hi =
-    if lo >= hi then if lo >= q.len then Pmem.Interval.infinity else q.entries.(lo).seq
+    if lo >= hi then if lo >= q.len then Pmem.Interval.infinity else q.seqs.(lo)
     else
       let mid = (lo + hi) / 2 in
-      if q.entries.(mid).seq <= s then loop (mid + 1) hi else loop lo mid
+      if Array.unsafe_get q.seqs mid <= s then loop (mid + 1) hi else loop lo mid
   in
   loop 0 q.len
 
-let fold f q acc =
-  let acc = ref acc in
-  for i = 0 to q.len - 1 do
-    acc := f q.entries.(i) !acc
-  done;
-  !acc
+let fold f q acc = fold_prefix f q q.len acc
 
 let to_list q = List.rev (fold (fun e acc -> e :: acc) q [])
 

@@ -7,7 +7,9 @@
 type entry = { value : int; seq : int; label : string }
 (** One store that reached the cache: the byte [value] written, the global
     sequence number [seq] assigned when it left the store buffer, and a
-    human-readable source [label] for bug reports. *)
+    human-readable source [label] for bug reports. A boxed {e view} — the
+    queue itself stores the three fields in parallel unboxed arrays, and hot
+    paths should use {!value_at} / {!seq_at} / {!label_at} instead. *)
 
 type t
 
@@ -17,6 +19,14 @@ val is_empty : t -> bool
 
 val push : t -> entry -> unit
 (** Appends a store. Its [seq] must exceed the last entry's. *)
+
+val push_unboxed : t -> value:int -> seq:int -> label:string -> unit
+(** {!push} without constructing the entry record (the hot path). *)
+
+val value_at : t -> int -> int
+val seq_at : t -> int -> int
+val label_at : t -> int -> string
+(** Field reads of the [i]-th oldest entry, without boxing it. *)
 
 val copy : t -> t
 (** An independent copy: pushes to either queue never affect the other

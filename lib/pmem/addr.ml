@@ -12,4 +12,10 @@ let lines_spanned a n =
   let rec loop l acc = if l < first then acc else loop (l - 1) (l :: acc) in
   loop last []
 
+let iter_lines_spanned f a n =
+  assert (n > 0);
+  for l = line_of a to line_of (a + n - 1) do
+    f l
+  done
+
 let pp ppf a = Format.fprintf ppf "0x%x" a

@@ -24,6 +24,10 @@ val lines_spanned : t -> int -> int list
 (** [lines_spanned a n] lists the cache-line identifiers touched by the byte
     range [a, a+n). [n] must be positive. *)
 
+val iter_lines_spanned : (int -> unit) -> t -> int -> unit
+(** [iter_lines_spanned f a n] applies [f] to each cache line touched by
+    [a, a+n), in ascending order, without building a list. *)
+
 val same_line : t -> t -> bool
 (** Whether two byte addresses share a cache line. *)
 

@@ -18,3 +18,12 @@ let digest_string s =
   let crc = ref empty in
   String.iter (fun c -> crc := update !crc (Char.code c)) s;
   finish !crc
+
+let digest_subbytes b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.digest_subbytes";
+  let crc = ref empty in
+  for i = pos to pos + len - 1 do
+    crc := update !crc (Char.code (Bytes.unsafe_get b i))
+  done;
+  finish !crc

@@ -12,6 +12,9 @@ val digest_bytes : int list -> int
 val digest_string : string -> int
 (** CRC-32 of a string's bytes. *)
 
+val digest_subbytes : Bytes.t -> pos:int -> len:int -> int
+(** CRC-32 of [len] bytes of [b] starting at [pos], without copying. *)
+
 val update : int -> int -> int
 (** [update crc byte] folds one byte into a running checksum. Start from
     [empty]. *)

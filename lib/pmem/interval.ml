@@ -2,6 +2,7 @@ type t = { mutable lo : int; mutable hi : int }
 
 let infinity = max_int
 let make () = { lo = 0; hi = infinity }
+let of_bounds ~lo ~hi = { lo; hi }
 let lo iv = iv.lo
 let hi iv = iv.hi
 let raise_lo iv s = if s > iv.lo then iv.lo <- s

@@ -24,6 +24,10 @@ val make : unit -> t
     line may have been written back at any time (cache-pressure evictions are
     nondeterministic). *)
 
+val of_bounds : lo:int -> hi:int -> t
+(** A boxed interval with the given bounds — the bridge from the unboxed
+    per-line state in {!Line_table} to callers wanting an interval value. *)
+
 val lo : t -> int
 val hi : t -> int
 

@@ -1,5 +1,5 @@
 type entry =
-  | Store of { addr : Pmem.Addr.t; bytes : int array; label : string }
+  | Store of { addr : Pmem.Addr.t; value : int; width : int; label : string }
   | Clflush of { addr : Pmem.Addr.t; label : string }
   | Clflushopt of { addr : Pmem.Addr.t; enq_seq : int; label : string }
   | Sfence
@@ -17,8 +17,8 @@ let bypass sb a =
   Queue.fold
     (fun acc e ->
       match e with
-      | Store { addr; bytes; label } when a >= addr && a < addr + Array.length bytes ->
-          Some (bytes.(a - addr), label)
+      | Store { addr; value; width; label } when a >= addr && a < addr + width ->
+          Some (Pmem.Bytes_le.byte_at ~width value (a - addr), label)
       | Store _ | Clflush _ | Clflushopt _ | Sfence -> acc)
     None sb.q
 

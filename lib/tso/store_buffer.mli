@@ -6,10 +6,11 @@
     the same byte (store-buffer bypass). *)
 
 type entry =
-  | Store of { addr : Pmem.Addr.t; bytes : int array; label : string }
-      (** A possibly multi-byte store; [bytes] are the little-endian byte
-          values written starting at [addr]. All bytes hit the cache
-          atomically with one sequence number. *)
+  | Store of { addr : Pmem.Addr.t; value : int; width : int; label : string }
+      (** A possibly multi-byte store, packed: [value] holds the [width]
+          little-endian bytes written starting at [addr] (no per-store byte
+          array). All bytes hit the cache atomically with one sequence
+          number. *)
   | Clflush of { addr : Pmem.Addr.t; label : string }
   | Clflushopt of { addr : Pmem.Addr.t; enq_seq : int; label : string }
       (** [enq_seq] is σ_curr captured when the instruction executed

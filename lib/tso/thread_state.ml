@@ -26,9 +26,9 @@ let set_line_ts th line seq = Hashtbl.replace th.line_ts line seq
 
 (* Phase one: enqueue (Fig. 7). *)
 
-let exec_store th addr ~bytes ~label =
-  if Array.length bytes = 0 then invalid_arg "Thread_state.exec_store: empty store";
-  Store_buffer.enqueue th.sb (Store_buffer.Store { addr; bytes; label })
+let exec_store th addr ~value ~width ~label =
+  if width < 1 then invalid_arg "Thread_state.exec_store: empty store";
+  Store_buffer.enqueue th.sb (Store_buffer.Store { addr; value; width; label })
 
 let exec_clflush th addr ~label =
   Store_buffer.enqueue th.sb (Store_buffer.Clflush { addr; label })
@@ -45,14 +45,14 @@ let drain_flush_buffer th (sink : Sink.t) =
 
 let apply th (sink : Sink.t) entry =
   match entry with
-  | Store_buffer.Store { addr; bytes; label } ->
+  | Store_buffer.Store { addr; value; width; label } ->
       (* All bytes of one store hit the cache atomically, sharing one
          sequence number (paper §4, mixed-size accesses). *)
       let seq = sink.next_seq () in
-      Array.iteri (fun i byte -> sink.push_store (addr + i) ~value:byte ~seq ~label) bytes;
-      List.iter
-        (fun line -> set_line_ts th line seq)
-        (Pmem.Addr.lines_spanned addr (Array.length bytes))
+      for i = 0 to width - 1 do
+        sink.push_store (addr + i) ~value:(Pmem.Bytes_le.byte_at ~width value i) ~seq ~label
+      done;
+      Pmem.Addr.iter_lines_spanned (fun line -> set_line_ts th line seq) addr width
   | Store_buffer.Clflush { addr; label = _ } ->
       let seq = sink.next_seq () in
       sink.flush_line addr ~seq;

@@ -23,7 +23,9 @@ val flush_buffer : t -> Flush_buffer.t
 
 (** {1 Phase one — executing instructions (Fig. 7)} *)
 
-val exec_store : t -> Pmem.Addr.t -> bytes:int array -> label:string -> unit
+val exec_store : t -> Pmem.Addr.t -> value:int -> width:int -> label:string -> unit
+(** Enqueues a packed [width]-byte little-endian store of [value]. *)
+
 val exec_clflush : t -> Pmem.Addr.t -> label:string -> unit
 
 val exec_clflushopt : t -> Sink.t -> Pmem.Addr.t -> label:string -> unit

@@ -132,6 +132,27 @@ let test_checkpoint_corruption () =
       | _ -> Alcotest.fail "bad magic must be rejected"
       | exception Checkpoint.Rejected _ -> ())
 
+(* A save that dies mid-write (full disk, kill) must neither corrupt the
+   existing checkpoint nor leave its .tmp sibling behind. *)
+let test_failed_save_cleans_tmp () =
+  let scn, config = deep_case () in
+  with_temp_file (fun path ->
+      let _ = Explorer.run ~config ~checkpoint:path scn in
+      let before = In_channel.with_open_bin path In_channel.input_all in
+      let cp = Checkpoint.load path in
+      Checkpoint.set_write_fault (Some (fun () -> failwith "disk full"));
+      Fun.protect
+        ~finally:(fun () -> Checkpoint.set_write_fault None)
+        (fun () ->
+          match Checkpoint.save cp path with
+          | () -> Alcotest.fail "injected write fault must propagate"
+          | exception Failure _ -> ());
+      Alcotest.(check bool) "no .tmp left behind" false (Sys.file_exists (path ^ ".tmp"));
+      let after = In_channel.with_open_bin path In_channel.input_all in
+      Alcotest.(check bool) "previous checkpoint intact" true (before = after);
+      (* And it still loads: the failed save changed nothing. *)
+      ignore (Checkpoint.load path))
+
 (* --- per-execution wall-clock deadline ------------------------------------- *)
 
 (* A workload that spins forever while still issuing Ctx operations slowly
@@ -240,6 +261,19 @@ let test_step_limit_kind () =
 let test_normalize_message () =
   Alcotest.(check string) "hex runs become placeholders" "Failure(0x<addr>, 0x<addr>)"
     (Bug.normalize_message "Failure(0x7f3a91b2c4d0, 0XDEADbeef)");
+  (* Case-insensitivity regressions: the scrubber must treat the 0X prefix
+     and upper-case hex digits exactly like their lower-case forms, or
+     identical exceptions printed by different runtimes dedup to different
+     keys. *)
+  Alcotest.(check string) "upper-case 0X prefix" "err at 0x<addr>"
+    (Bug.normalize_message "err at 0X7F3A91B2C4D0");
+  Alcotest.(check string) "upper-case hex digits" "err at 0x<addr>"
+    (Bug.normalize_message "err at 0xABC");
+  Alcotest.(check string) "mixed-case hex digits" "err at 0x<addr>"
+    (Bug.normalize_message "err at 0xDeadBeef");
+  let report msg = bug (Bug.Program_exception (Bug.normalize_message msg)) in
+  Alcotest.(check bool) "case variants yield structurally equal reports" true
+    (report "Failure(0xdeadbeef)" = report "Failure(0XDEADBEEF)");
   Alcotest.(check string) "first line only" "header"
     (Bug.normalize_message "header\nRaised at Foo.bar in file \"foo.ml\"");
   Alcotest.(check string) "plain messages unchanged" "Not_found"
@@ -264,6 +298,8 @@ let () =
         [
           Alcotest.test_case "fingerprint mismatch rejected" `Quick test_fingerprint_mismatch;
           Alcotest.test_case "corruption rejected" `Quick test_checkpoint_corruption;
+          Alcotest.test_case "failed save cleans up its temp file" `Quick
+            test_failed_save_cleans_tmp;
         ] );
       ( "watchdog",
         [ Alcotest.test_case "step deadline fires, max_steps does not" `Quick

@@ -32,7 +32,7 @@ let test_bug_dedup_key () =
 let test_trace_ring () =
   let ev label = Analysis.Event.Fence { kind = Analysis.Event.Sfence; tid = 0; label } in
   let rendered t = List.map Analysis.Event.render (Trace.events t) in
-  let t = Trace.create ~depth:3 in
+  let t = Trace.create ~depth:3 () in
   Alcotest.(check (list string)) "empty" [] (rendered t);
   Trace.add t (ev "a");
   Trace.add t (ev "b");
@@ -48,7 +48,7 @@ let test_trace_ring () =
   Trace.clear t;
   Alcotest.(check (list string)) "cleared" [] (rendered t);
   Alcotest.(check int) "dropped reset" 0 (Trace.dropped t);
-  let off = Trace.create ~depth:0 in
+  let off = Trace.create ~depth:0 () in
   Trace.add off (ev "x");
   Alcotest.(check bool) "depth 0 disables" false (Trace.enabled off);
   Alcotest.(check (list string)) "disabled records nothing" [] (rendered off);
@@ -69,6 +69,8 @@ let test_stats_ratio () =
       memo_hits = 0;
       memo_misses = 0;
       memo_saved = 0;
+      snapshot_hits = 0;
+      snapshot_misses = 0;
       sheds = 0;
       wall_time = 0.;
       exhausted = true;

@@ -185,6 +185,8 @@ let test_stats_merge_identity_and_sums () =
       memo_hits = 0;
       memo_misses = 0;
       memo_saved = 1;
+      snapshot_hits = 2;
+      snapshot_misses = 1;
       sheds = 0;
       wall_time = 1.5;
       exhausted = true;
@@ -198,9 +200,11 @@ let test_stats_merge_identity_and_sums () =
   Alcotest.(check int) "rf decisions add" 6 m.Stats.rf_decisions;
   Alcotest.(check int) "failure points max" 7 m.Stats.failure_points;
   Alcotest.(check int) "memo saved adds" 2 m.Stats.memo_saved;
+  Alcotest.(check int) "snapshot hits add" 4 m.Stats.snapshot_hits;
   Alcotest.(check bool) "exhausted ands" false m.Stats.exhausted;
   Alcotest.(check bool) "comparable zeroes memo counters" true
-    (Stats.comparable a = Stats.comparable { a with Stats.memo_hits = 9; memo_saved = 0 })
+    (Stats.comparable a
+    = Stats.comparable { a with Stats.memo_hits = 9; memo_saved = 0; snapshot_hits = 5 })
 
 let () =
   Alcotest.run "parallel"

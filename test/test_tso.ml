@@ -8,9 +8,9 @@ let mk_sink () =
 
 let test_store_buffer_fifo () =
   let sb = Tso.Store_buffer.create () in
-  Tso.Store_buffer.enqueue sb (Tso.Store_buffer.Store { addr = 0; bytes = [| 1 |]; label = "a" });
+  Tso.Store_buffer.enqueue sb (Tso.Store_buffer.Store { addr = 0; value = 1; width = 1; label = "a" });
   Tso.Store_buffer.enqueue sb Tso.Store_buffer.Sfence;
-  Tso.Store_buffer.enqueue sb (Tso.Store_buffer.Store { addr = 8; bytes = [| 2 |]; label = "b" });
+  Tso.Store_buffer.enqueue sb (Tso.Store_buffer.Store { addr = 8; value = 2; width = 1; label = "b" });
   Alcotest.(check int) "length" 3 (Tso.Store_buffer.length sb);
   Alcotest.(check bool) "pending writes" true (Tso.Store_buffer.pending_writes sb);
   (match Tso.Store_buffer.dequeue sb with
@@ -24,9 +24,9 @@ let test_store_buffer_fifo () =
 let test_store_buffer_bypass () =
   let sb = Tso.Store_buffer.create () in
   Tso.Store_buffer.enqueue sb
-    (Tso.Store_buffer.Store { addr = 100; bytes = [| 1; 2; 3; 4 |]; label = "old" });
+    (Tso.Store_buffer.Store { addr = 100; value = 0x04030201; width = 4; label = "old" });
   Tso.Store_buffer.enqueue sb
-    (Tso.Store_buffer.Store { addr = 102; bytes = [| 9 |]; label = "new" });
+    (Tso.Store_buffer.Store { addr = 102; value = 9; width = 1; label = "new" });
   Alcotest.(check (option (pair int string))) "newest wins" (Some (9, "new"))
     (Tso.Store_buffer.bypass sb 102);
   Alcotest.(check (option (pair int string))) "older byte" (Some (2, "old"))
@@ -37,7 +37,7 @@ let test_store_atomic_bytes () =
   (* All bytes of a store take effect with one sequence number. *)
   let sink, record, _ = mk_sink () in
   let th = Tso.Thread_state.create ~tid:0 in
-  Tso.Thread_state.exec_store th 100 ~bytes:[| 1; 2; 3; 4; 5; 6; 7; 8 |] ~label:"w";
+  Tso.Thread_state.exec_store th 100 ~value:0x0807060504030201 ~width:8 ~label:"w";
   Tso.Thread_state.drain th sink;
   let seqs =
     List.map
@@ -49,7 +49,7 @@ let test_store_atomic_bytes () =
 let test_clflush_raises_lo () =
   let sink, record, _ = mk_sink () in
   let th = Tso.Thread_state.create ~tid:0 in
-  Tso.Thread_state.exec_store th 100 ~bytes:[| 1 |] ~label:"w";
+  Tso.Thread_state.exec_store th 100 ~value:1 ~width:1 ~label:"w";
   Tso.Thread_state.exec_clflush th 100 ~label:"fl";
   Tso.Thread_state.drain th sink;
   let iv = Exec.Exec_record.cacheline record 100 in
@@ -59,15 +59,17 @@ let test_clflushopt_waits_for_fence () =
   (* An evicted clflushopt parks in the flush buffer; only a fence applies it. *)
   let sink, record, _ = mk_sink () in
   let th = Tso.Thread_state.create ~tid:0 in
-  Tso.Thread_state.exec_store th 100 ~bytes:[| 1 |] ~label:"w";
+  Tso.Thread_state.exec_store th 100 ~value:1 ~width:1 ~label:"w";
   Tso.Thread_state.exec_clflushopt th sink 100 ~label:"opt";
   Tso.Thread_state.drain th sink;
-  let iv = Exec.Exec_record.cacheline record 100 in
-  Alcotest.(check int) "not yet applied" 0 (Pmem.Interval.lo iv);
+  Alcotest.(check int) "not yet applied" 0
+    (Pmem.Interval.lo (Exec.Exec_record.cacheline record 100));
   Alcotest.(check int) "parked in fb" 1 (Tso.Flush_buffer.length (Tso.Thread_state.flush_buffer th));
   Tso.Thread_state.exec_sfence th;
   Tso.Thread_state.drain th sink;
-  Alcotest.(check bool) "applied after sfence" true (Pmem.Interval.lo iv >= 1);
+  (* cacheline returns a copy: re-fetch after the drain mutates the record. *)
+  Alcotest.(check bool) "applied after sfence" true
+    (Pmem.Interval.lo (Exec.Exec_record.cacheline record 100) >= 1);
   Alcotest.(check int) "fb empty" 0 (Tso.Flush_buffer.length (Tso.Thread_state.flush_buffer th))
 
 let test_clflushopt_bound_is_preceding_store () =
@@ -75,11 +77,11 @@ let test_clflushopt_bound_is_preceding_store () =
      clflushopt (they cannot reorder), Fig. 8's max computation. *)
   let sink, record, _ = mk_sink () in
   let th = Tso.Thread_state.create ~tid:0 in
-  Tso.Thread_state.exec_store th 100 ~bytes:[| 1 |] ~label:"w1";
+  Tso.Thread_state.exec_store th 100 ~value:1 ~width:1 ~label:"w1";
   Tso.Thread_state.drain th sink (* store gets seq 1 *);
   Tso.Thread_state.exec_clflushopt th sink 100 ~label:"opt";
   Tso.Thread_state.drain th sink;
-  Tso.Thread_state.exec_store th 100 ~bytes:[| 2 |] ~label:"w2";
+  Tso.Thread_state.exec_store th 100 ~value:2 ~width:1 ~label:"w2";
   Tso.Thread_state.drain th sink (* seq 2: must NOT be covered *);
   Tso.Thread_state.exec_sfence th;
   Tso.Thread_state.drain th sink;
@@ -89,7 +91,7 @@ let test_clflushopt_bound_is_preceding_store () =
 let test_mfence_immediate () =
   let sink, record, _ = mk_sink () in
   let th = Tso.Thread_state.create ~tid:0 in
-  Tso.Thread_state.exec_store th 100 ~bytes:[| 1 |] ~label:"w";
+  Tso.Thread_state.exec_store th 100 ~value:1 ~width:1 ~label:"w";
   Tso.Thread_state.exec_clflushopt th sink 100 ~label:"opt";
   Tso.Thread_state.exec_mfence th sink;
   Alcotest.(check bool) "sb drained" true
@@ -100,7 +102,7 @@ let test_mfence_immediate () =
 let test_reset_clears_everything () =
   let sink, _, _ = mk_sink () in
   let th = Tso.Thread_state.create ~tid:0 in
-  Tso.Thread_state.exec_store th 100 ~bytes:[| 1 |] ~label:"w";
+  Tso.Thread_state.exec_store th 100 ~value:1 ~width:1 ~label:"w";
   Tso.Thread_state.exec_clflushopt th sink 100 ~label:"opt";
   Tso.Thread_state.reset th;
   Alcotest.(check bool) "sb empty" true
@@ -146,9 +148,9 @@ let test_table1_rows () =
 let test_table1_behavioural_clflushopt_store () =
   let sink, record, _ = mk_sink () in
   let th = Tso.Thread_state.create ~tid:0 in
-  Tso.Thread_state.exec_store th 100 ~bytes:[| 1 |] ~label:"w1";
+  Tso.Thread_state.exec_store th 100 ~value:1 ~width:1 ~label:"w1";
   Tso.Thread_state.exec_clflushopt th sink 100 ~label:"opt";
-  Tso.Thread_state.exec_store th 200 ~bytes:[| 2 |] ~label:"other line";
+  Tso.Thread_state.exec_store th 200 ~value:2 ~width:1 ~label:"other line";
   Tso.Thread_state.drain th sink;
   (* The other-line store took effect in the cache even though the earlier
      clflushopt has not been applied: they reordered. *)
