@@ -2,7 +2,7 @@
 # the whole test suite (which includes the jobs>1 determinism tests in
 # test_parallel.ml), and a CLI smoke run of the parallel explorer.
 
-.PHONY: all build test check parallel-smoke lint bench bench-smoke bench-check interrupt-smoke clean
+.PHONY: all build test check parallel-smoke lint bench bench-smoke bench-check interrupt-smoke pbt-smoke pbt-nightly clean
 
 all: build
 
@@ -48,6 +48,20 @@ bench-smoke: build
 # baseline — bench-smoke overwrites it with fresh numbers.
 bench-check: build
 	dune exec bench/main.exe -- fig14-check
+
+# Stateful-PBT determinism smoke: `jaaru pbt --seed S` (a clean sweep plus
+# one seeded-bug structure, so the shrunk witness is covered) must print
+# byte-identical reports for jobs {1, JAARU_TEST_JOBS} and with the
+# snapshot/memo layers on and off.
+pbt-smoke: build
+	scripts/pbt_determinism_smoke.sh
+
+# Long-running variant for nightly jobs: as many sequences as fit in the
+# wall budget (seconds; default 10 minutes), deeper command sequences.
+# Deterministic coverage is forfeited; failure soundness is not.
+pbt-nightly: build
+	dune exec bin/jaaru_cli.exe -- pbt --count 1000000 --max-cmds 10 \
+	  --time-budget $${JAARU_PBT_BUDGET:-600}
 
 # Out-of-process half of the survivability story: SIGTERM a real CLI run
 # mid-flight, resume it from its checkpoint, and diff the resumed report

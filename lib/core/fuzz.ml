@@ -1,7 +1,7 @@
 type result = {
   runs : int;
   bugs : Bug.t list;
-  buggy_seeds : (int * string) list;
+  buggy_seeds : (int * string list) list;
   total_executions : int;
 }
 
@@ -26,7 +26,13 @@ let run ?(config = Config.default) ~seeds scn =
       total := !total + o.Explorer.stats.Stats.executions;
       (match o.Explorer.bugs with
       | [] -> ()
-      | b :: _ -> buggy_seeds := (seed, Bug.symptom b) :: !buggy_seeds);
+      | bs ->
+          (* Every distinct symptom the seed surfaced, not just the first:
+             a seed whose schedule exposes two different manifestations
+             records both. Sorted and deduplicated, so the entry is still a
+             function of the seed's outcome alone. *)
+          let symptoms = List.sort_uniq compare (List.map Bug.symptom bs) in
+          buggy_seeds := (seed, symptoms) :: !buggy_seeds);
       List.iter (fun b -> keep_min (Bug.report_key b) b) o.Explorer.bugs)
     seeds;
   {
@@ -44,6 +50,9 @@ let pp ppf r =
   else begin
     Format.fprintf ppf "%d bug(s) on %d seed(s):" (List.length r.bugs)
       (List.length r.buggy_seeds);
-    List.iter (fun (seed, s) -> Format.fprintf ppf "@,  seed %d: %s" seed s) r.buggy_seeds;
+    List.iter
+      (fun (seed, symptoms) ->
+        Format.fprintf ppf "@,  seed %d: %s" seed (String.concat "; " symptoms))
+      r.buggy_seeds;
     Format.fprintf ppf "@]"
   end

@@ -12,9 +12,9 @@ type result = {
       (** deduplicated across seeds with the explorer's discipline (smallest
           record per {!Bug.report_key}, sorted), so the list is independent
           of the order seeds were given in and of each seed's [jobs] *)
-  buggy_seeds : (int * string) list;
-      (** each seed that found a bug, with its first (sorted-order) symptom;
-          sorted by seed *)
+  buggy_seeds : (int * string list) list;
+      (** each seed that found a bug, with {e all} its distinct symptoms
+          (sorted, deduplicated); entries sorted by seed *)
   total_executions : int;
 }
 

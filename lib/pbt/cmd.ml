@@ -1,0 +1,28 @@
+type t = Insert of int * int | Remove of int | Lookup of int
+
+let keys = 8
+let values = 32
+
+(* Injective over the command universe: payload uniquely names (k, v). *)
+let log_payload k v = (k * (values + 1)) + v
+
+let pp ppf = function
+  | Insert (k, v) -> Format.fprintf ppf "insert %d=%d" k v
+  | Remove k -> Format.fprintf ppf "remove %d" k
+  | Lookup k -> Format.fprintf ppf "lookup %d" k
+
+let render_list cmds =
+  String.concat "; " (List.map (fun c -> Format.asprintf "%a" pp c) cmds)
+
+let gen_cmd =
+  let open QCheck2.Gen in
+  let key = int_range 1 keys in
+  let value = int_range 1 values in
+  frequency
+    [
+      (4, map2 (fun k v -> Insert (k, v)) key value);
+      (2, map (fun k -> Remove k) key);
+      (2, map (fun k -> Lookup k) key);
+    ]
+
+let gen ~max_cmds = QCheck2.Gen.(list_size (int_range 1 max_cmds) gen_cmd)

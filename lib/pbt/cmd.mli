@@ -1,0 +1,39 @@
+(** The stateful-PBT command DSL.
+
+    One small vocabulary covers every bundled structure: keys are drawn from
+    the fixed universe [1..keys] (small enough that generated sequences
+    collide, update and remove the same keys; large enough to exercise
+    chains, splits and multi-node shapes), values from [1..values] (never 0
+    — several structures use 0 as their empty/tombstone marker). Adapters
+    map the universe into their own key space (e.g. P-Masstree splits a key
+    into two slices); the mapping must be injective so the fake and the real
+    structure agree on identity. *)
+
+type t =
+  | Insert of int * int  (** [Insert (k, v)]: bind [k] to [v] (upsert). *)
+  | Remove of int  (** Remove [k]; a no-op when absent. *)
+  | Lookup of int
+      (** Read [k] and compare the answer against the model — a pure
+          observation that widens pre-crash coverage of search paths. *)
+
+val keys : int
+(** Size of the key universe; commands only name keys in [1..keys]. *)
+
+val values : int
+(** Values are drawn from [1..values]. *)
+
+val log_payload : int -> int -> int
+(** [log_payload k v] is the injective encoding adapters over append-only
+    logs (and their fakes) store for [Insert (k, v)]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val render_list : t list -> string
+(** ["insert 3=7; remove 3; lookup 5"] — the replayable witness format. *)
+
+val gen : max_cmds:int -> t list QCheck2.Gen.t
+(** Command sequences of 1..[max_cmds] commands, weighted toward inserts
+    (they grow the structure; removes and lookups only make sense against
+    prior inserts). QCheck2's integrated shrinking applies: failing
+    sequences shrink both in length and per-command toward the smallest
+    keys/values. *)

@@ -1,0 +1,112 @@
+type failure = { cmds : Cmd.t list; shrink_steps : int; symptoms : string list }
+
+type report = {
+  structure : string;
+  seed : int;
+  requested : int;
+  max_cmds : int;
+  sequences : int;
+  executions : int;
+  failure : failure option;
+  interrupted : bool;
+  wall : float;
+}
+
+let symptoms_of outcome =
+  List.sort_uniq compare (List.map Jaaru.Bug.symptom outcome.Jaaru.Explorer.bugs)
+
+let run_structure ?(config = Runner.config) ?deadline ~seed ~count ~max_cmds adapter =
+  let module S = (val adapter : Structures.STRUCTURE) in
+  let t0 = Unix.gettimeofday () in
+  let sequences = ref 0 in
+  let executions = ref 0 in
+  let interrupted = ref false in
+  (* The property QCheck2 drives: a sequence passes iff exhaustively
+     exploring its crash tree reports no bug. Once a deadline trips, the
+     property answers a vacuous [true] for everything that follows —
+     remaining generation (and any in-flight shrink) flies by without
+     exploring, and the partial report says so. *)
+  let prop cmds =
+    if !interrupted then true
+    else
+      let over, budget =
+        match deadline with
+        | None -> (false, None)
+        | Some d ->
+            let remaining = d -. Unix.gettimeofday () in
+            (remaining <= 0., Some (max 0.05 remaining))
+      in
+      if over then begin
+        interrupted := true;
+        true
+      end
+      else begin
+        let config = { config with Jaaru.Config.wall_budget = budget } in
+        let o = Runner.explore ~config adapter cmds in
+        if o.Jaaru.Explorer.stats.Jaaru.Stats.interrupted then begin
+          interrupted := true;
+          true
+        end
+        else begin
+          incr sequences;
+          executions := !executions + o.Jaaru.Explorer.stats.Jaaru.Stats.executions;
+          o.Jaaru.Explorer.bugs = []
+        end
+      end
+  in
+  let rand = Random.State.make [| 0x9aa3; seed; Hashtbl.hash S.id |] in
+  let cell = QCheck2.Test.make_cell ~count ~name:S.id (Cmd.gen ~max_cmds) prop in
+  let result = QCheck2.Test.check_cell ~rand cell in
+  let witness cmds shrink_steps =
+    (* Re-explore the shrunk counterexample (uncounted) for its bug list —
+       deterministic, so the witness is too. *)
+    let o = Runner.explore ~config adapter cmds in
+    { cmds; shrink_steps; symptoms = symptoms_of o }
+  in
+  let failure =
+    match QCheck2.TestResult.get_state result with
+    | QCheck2.TestResult.Success -> None
+    | QCheck2.TestResult.Failed { instances = [] } -> None
+    | QCheck2.TestResult.Failed { instances = c :: _ } ->
+        Some (witness c.QCheck2.TestResult.instance c.QCheck2.TestResult.shrink_steps)
+    | QCheck2.TestResult.Failed_other { msg } ->
+        Some { cmds = []; shrink_steps = 0; symptoms = [ "driver failure: " ^ msg ] }
+    | QCheck2.TestResult.Error { instance; exn; _ } ->
+        Some
+          {
+            cmds = instance.QCheck2.TestResult.instance;
+            shrink_steps = instance.QCheck2.TestResult.shrink_steps;
+            symptoms = [ "driver exception: " ^ Printexc.to_string exn ];
+          }
+  in
+  {
+    structure = S.id;
+    seed;
+    requested = count;
+    max_cmds;
+    sequences = !sequences;
+    executions = !executions;
+    failure;
+    interrupted = !interrupted;
+    wall = Unix.gettimeofday () -. t0;
+  }
+
+let found_bug r = r.failure <> None
+let comparable_report r = { r with wall = 0. }
+
+let pp_report ppf r =
+  match r.failure with
+  | None ->
+      Format.fprintf ppf "@[<v>pbt %s: %s — %d sequence(s), %d execution(s) explored@]"
+        r.structure
+        (if r.interrupted then "interrupted (time budget)" else "ok")
+        r.sequences r.executions
+  | Some f ->
+      Format.fprintf ppf
+        "@[<v>pbt %s: FAIL — %d command(s) after %d shrink step(s)@,\
+        \  commands: %s@,"
+        r.structure (List.length f.cmds) f.shrink_steps (Cmd.render_list f.cmds);
+      List.iter (fun s -> Format.fprintf ppf "  bug: %s@," s) f.symptoms;
+      Format.fprintf ppf
+        "  repro: jaaru pbt --structure %s --seed %d --count %d --max-cmds %d@]" r.structure
+        r.seed r.requested r.max_cmds

@@ -1,0 +1,25 @@
+type semantics = Kv | Log
+
+(* Kv: bindings sorted by key. Log: (position, payload) in append order. *)
+type state = (int * int) list
+
+let empty = []
+
+let rec kv_insert k v = function
+  | [] -> [ (k, v) ]
+  | (k', _) :: rest when k' = k -> (k, v) :: rest
+  | (k', v') :: rest when k' > k -> (k, v) :: (k', v') :: rest
+  | b :: rest -> b :: kv_insert k v rest
+
+let apply semantics st cmd =
+  match (semantics, cmd) with
+  | _, Cmd.Lookup _ -> st
+  | Kv, Cmd.Insert (k, v) -> kv_insert k v st
+  | Kv, Cmd.Remove k -> List.filter (fun (k', _) -> k' <> k) st
+  | Log, Cmd.Insert (k, v) -> st @ [ (List.length st, Cmd.log_payload k v) ]
+  | Log, Cmd.Remove _ -> st
+
+let lookup semantics st k =
+  match semantics with Log -> None | Kv -> List.assoc_opt k st
+
+let observe st = st

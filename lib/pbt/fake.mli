@@ -1,0 +1,33 @@
+(** In-memory fakes (models) of the checked structures.
+
+    A fake is the trivially correct reference implementation a structure's
+    observable behavior is compared against — an ordered association list,
+    updated purely. Two semantics cover the whole suite:
+
+    - {b Kv}: a map. [Insert] upserts, [Remove] deletes, the observable
+      state is the sorted key/value binding list.
+    - {b Log}: an append-only log. [Insert (k, v)] appends
+      {!Cmd.log_payload}[ k v]; [Remove] and [Lookup] do not apply. The
+      observable state is the payload list tagged with positions, so a
+      recovered log that lost a {e middle} record is distinguishable from
+      one that lost a suffix. *)
+
+type semantics = Kv | Log
+
+type state
+(** Pure; structurally comparable. *)
+
+val empty : state
+
+val apply : semantics -> state -> Cmd.t -> state
+(** [Lookup] never changes the state (under either semantics). *)
+
+val lookup : semantics -> state -> int -> int option
+(** What a correct structure must answer for key [k] — [None] under [Log]
+    semantics, which has no point lookup. *)
+
+val observe : state -> (int * int) list
+(** The canonical observable: sorted bindings under [Kv]; [(position,
+    payload)] pairs in append order under [Log]. This is the value adapters
+    must reproduce from the real structure (see
+    {!Structures.STRUCTURE.observe}). *)

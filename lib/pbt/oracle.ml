@@ -1,0 +1,51 @@
+type discipline = Any_subset | Prefix_only
+
+module Obs_set = Set.Make (struct
+  type t = (int * int) list
+
+  let compare = compare
+end)
+
+module State_set = Set.Make (struct
+  type t = Fake.state
+
+  let compare = compare
+end)
+
+(* Lookups never change the model; dropping them first keeps the subset
+   frontier exactly as large as the distinct reachable states demand. *)
+let mutations cmds =
+  List.filter (function Cmd.Lookup _ -> false | _ -> true) cmds
+
+let explainable semantics discipline cmds =
+  let cmds = mutations cmds in
+  match discipline with
+  | Prefix_only ->
+      let _, states =
+        List.fold_left
+          (fun (st, acc) c ->
+            let st = Fake.apply semantics st c in
+            (st, Obs_set.add (Fake.observe st) acc))
+          (Fake.empty, Obs_set.singleton (Fake.observe Fake.empty))
+          cmds
+      in
+      states
+  | Any_subset ->
+      (* Breadth-first over include/exclude per command, deduplicating the
+         partial-state frontier: states_i = states_{i-1} ∪ {apply s c_i}.
+         Equal partial states generate equal futures, so the work is bounded
+         by the number of distinct reachable model states. *)
+      let frontier =
+        List.fold_left
+          (fun frontier c ->
+            State_set.fold
+              (fun st acc -> State_set.add (Fake.apply semantics st c) acc)
+              frontier frontier)
+          (State_set.singleton Fake.empty)
+          cmds
+      in
+      State_set.fold
+        (fun st acc -> Obs_set.add (Fake.observe st) acc)
+        frontier Obs_set.empty
+
+let mem set obs = Obs_set.mem obs set

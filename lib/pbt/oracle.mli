@@ -1,0 +1,40 @@
+(** The crash-recovery consistency oracle.
+
+    After a crash anywhere in a generated command sequence, the recovered
+    structure's observable state must be {e explainable}: equal to the fake
+    applied to some subset of the issued commands that is closed under the
+    persist ordering the structure guarantees. Each bundled structure
+    commits an operation with a single atomic store, so an individual
+    command is either entirely visible after recovery or entirely absent —
+    but {e which} commands survive depends on the structure's flush/fence
+    discipline:
+
+    - {b Any_subset}: commits of different operations live on unrelated
+      cache lines and are not fenced against each other, so under Px86sim
+      any combination may have reached persistence. The admissible states
+      are the fake applied to every subset of the commands, {e in issue
+      order} (dropping a command never reorders the survivors). This is the
+      sound default: it never calls a correct structure buggy, and garbage
+      (torn values, phantom keys, lost-then-resurrected bindings) is
+      explainable by no subset at all.
+    - {b Prefix_only}: the structure orders persists totally (an
+      append-only log accepted up to the first checksum mismatch, or a
+      flush+fence after every commit), so only prefixes of the issue order
+      are admissible — strictly stronger, rejecting gap states
+      [{c1, c3}].
+
+    The admissible set is enumerated {e once per sequence}, outside the
+    explorer (subset enumeration memoizes shared intermediate states, so
+    the cost is bounded by distinct reachable model states, not 2^n), and
+    shared read-only by every worker domain. *)
+
+type discipline = Any_subset | Prefix_only
+
+module Obs_set : Set.S with type elt = (int * int) list
+
+val explainable : Fake.semantics -> discipline -> Cmd.t list -> Obs_set.t
+(** Every observable state an admissible command subset produces, including
+    the empty subset (a crash before anything persisted) and the full
+    sequence. *)
+
+val mem : Obs_set.t -> (int * int) list -> bool

@@ -1,0 +1,361 @@
+module type STRUCTURE = sig
+  val id : string
+  val family : string
+  val model : Fake.semantics
+  val discipline : Oracle.discipline
+
+  type t
+
+  val open_ : Jaaru.Ctx.t -> t
+  val apply : t -> Cmd.t -> unit
+  val lookup : t -> int -> int option
+  val observe : t -> (int * int) list
+  val verify : t -> unit
+end
+
+type adapter = (module STRUCTURE)
+
+let id (module S : STRUCTURE) = S.id
+let family (module S : STRUCTURE) = S.family
+
+(* Structures without a full-walk [entries] are observed by sweeping the key
+   universe — complete because commands only ever name keys in [1..Cmd.keys];
+   structural garbage beyond it is the job of [verify]. *)
+let sweep lookup t =
+  List.filter_map
+    (fun k -> Option.map (fun v -> (k, v)) (lookup t k))
+    (List.init Cmd.keys succ)
+
+(* --- PMDK ----------------------------------------------------------------- *)
+
+let btree ?(bugs = Pmdk.Btree_map.no_bugs) ~id () : adapter =
+  (module struct
+    let id = id
+    let family = "pmdk"
+    let model = Fake.Kv
+    let discipline = Oracle.Any_subset
+
+    type t = Pmdk.Btree_map.t
+
+    let open_ ctx = Pmdk.Btree_map.create_or_open ~bugs ctx
+
+    let apply t = function
+      | Cmd.Insert (k, v) -> Pmdk.Btree_map.insert t k v
+      | Cmd.Remove k -> Pmdk.Btree_map.remove t k
+      | Cmd.Lookup _ -> ()
+
+    let lookup = Pmdk.Btree_map.lookup
+    let observe t = List.sort compare (Pmdk.Btree_map.entries t)
+    let verify = Pmdk.Btree_map.check
+  end)
+
+let ctree ?(bugs = Pmdk.Ctree_map.no_bugs) ~id () : adapter =
+  (module struct
+    let id = id
+    let family = "pmdk"
+    let model = Fake.Kv
+    let discipline = Oracle.Any_subset
+
+    type t = Pmdk.Ctree_map.t
+
+    let open_ ctx = Pmdk.Ctree_map.create_or_open ~bugs ctx
+
+    let apply t = function
+      | Cmd.Insert (k, v) -> Pmdk.Ctree_map.insert t k v
+      | Cmd.Remove k -> Pmdk.Ctree_map.remove t k
+      | Cmd.Lookup _ -> ()
+
+    let lookup = Pmdk.Ctree_map.lookup
+    let observe t = List.sort compare (Pmdk.Ctree_map.entries t)
+    let verify = Pmdk.Ctree_map.check
+  end)
+
+let rbtree ?(bugs = Pmdk.Rbtree_map.no_bugs) ~id () : adapter =
+  (module struct
+    let id = id
+    let family = "pmdk"
+    let model = Fake.Kv
+    let discipline = Oracle.Any_subset
+
+    type t = Pmdk.Rbtree_map.t
+
+    let open_ ctx = Pmdk.Rbtree_map.create_or_open ~bugs ctx
+
+    let apply t = function
+      | Cmd.Insert (k, v) -> Pmdk.Rbtree_map.insert t k v
+      | Cmd.Remove k -> Pmdk.Rbtree_map.remove t k
+      | Cmd.Lookup _ -> ()
+
+    let lookup = Pmdk.Rbtree_map.lookup
+    let observe t = List.sort compare (Pmdk.Rbtree_map.entries t)
+    let verify = Pmdk.Rbtree_map.check
+  end)
+
+let hashmap_tx ?(tx_bugs = Pmdk.Tx.no_bugs) ~id () : adapter =
+  (module struct
+    let id = id
+    let family = "pmdk"
+    let model = Fake.Kv
+    let discipline = Oracle.Any_subset
+
+    type t = Pmdk.Hashmap_tx.t
+
+    let open_ ctx = Pmdk.Hashmap_tx.create_or_open ~tx_bugs ctx
+
+    let apply t = function
+      | Cmd.Insert (k, v) -> Pmdk.Hashmap_tx.insert t k v
+      | Cmd.Remove k -> Pmdk.Hashmap_tx.remove t k
+      | Cmd.Lookup _ -> ()
+
+    let lookup = Pmdk.Hashmap_tx.lookup
+    let observe t = List.sort compare (Pmdk.Hashmap_tx.entries t)
+    let verify = Pmdk.Hashmap_tx.check
+  end)
+
+let hashmap_atomic ?(bugs = Pmdk.Hashmap_atomic.no_bugs) ~id () : adapter =
+  (module struct
+    let id = id
+    let family = "pmdk"
+    let model = Fake.Kv
+    let discipline = Oracle.Any_subset
+
+    type t = Pmdk.Hashmap_atomic.t
+
+    let open_ ctx = Pmdk.Hashmap_atomic.create_or_open ~bugs ctx
+
+    let apply t = function
+      | Cmd.Insert (k, v) -> Pmdk.Hashmap_atomic.insert t k v
+      | Cmd.Remove k -> Pmdk.Hashmap_atomic.remove t k
+      | Cmd.Lookup _ -> ()
+
+    let lookup = Pmdk.Hashmap_atomic.lookup
+    let observe t = List.sort compare (Pmdk.Hashmap_atomic.entries t)
+    let verify = Pmdk.Hashmap_atomic.check
+  end)
+
+let skiplist ?(bugs = Pmdk.Skiplist_map.no_bugs) ~id () : adapter =
+  (module struct
+    let id = id
+    let family = "pmdk"
+    let model = Fake.Kv
+    let discipline = Oracle.Any_subset
+
+    type t = Pmdk.Skiplist_map.t
+
+    let open_ ctx = Pmdk.Skiplist_map.create_or_open ~bugs ctx
+
+    let apply t = function
+      | Cmd.Insert (k, v) -> Pmdk.Skiplist_map.insert t k v
+      | Cmd.Remove k -> Pmdk.Skiplist_map.remove t k
+      | Cmd.Lookup _ -> ()
+
+    let lookup = Pmdk.Skiplist_map.lookup
+    let observe t = List.sort compare (Pmdk.Skiplist_map.entries t)
+    let verify = Pmdk.Skiplist_map.check
+  end)
+
+let clog ?(bugs = Pmdk.Clog.no_bugs) ~id () : adapter =
+  (module struct
+    let id = id
+    let family = "pmdk"
+    let model = Fake.Log
+
+    (* Checksum-committed recovery accepts records up to the first CRC
+       mismatch: the recovered log is always a prefix of what was appended —
+       the structure's fundamental guarantee, so the oracle may demand it. *)
+    let discipline = Oracle.Prefix_only
+
+    type t = Pmdk.Clog.t
+
+    let open_ ctx = Pmdk.Clog.create_or_open ~bugs ctx
+
+    let apply t = function
+      | Cmd.Insert (k, v) -> Pmdk.Clog.append t (Cmd.log_payload k v)
+      | Cmd.Remove _ | Cmd.Lookup _ -> ()
+
+    let lookup _ _ = None
+    let observe t = List.mapi (fun i p -> (i, p)) (Pmdk.Clog.recover t)
+    let verify _ = ()
+  end)
+
+(* --- RECIPE --------------------------------------------------------------- *)
+
+let cceh ?(bugs = Recipe.Cceh.no_bugs) ~id () : adapter =
+  (module struct
+    let id = id
+    let family = "recipe"
+    let model = Fake.Kv
+    let discipline = Oracle.Any_subset
+
+    type t = Recipe.Cceh.t
+
+    let open_ ctx = Recipe.Cceh.create_or_open ~bugs ctx
+
+    let apply t = function
+      | Cmd.Insert (k, v) -> Recipe.Cceh.insert t k v
+      | Cmd.Remove k -> Recipe.Cceh.remove t k
+      | Cmd.Lookup _ -> ()
+
+    let lookup = Recipe.Cceh.lookup
+    let observe t = sweep Recipe.Cceh.lookup t
+    let verify = Recipe.Cceh.check
+  end)
+
+let fast_fair ?(bugs = Recipe.Fast_fair.no_bugs) ~id () : adapter =
+  (module struct
+    let id = id
+    let family = "recipe"
+    let model = Fake.Kv
+    let discipline = Oracle.Any_subset
+
+    type t = Recipe.Fast_fair.t
+
+    let open_ ctx = Recipe.Fast_fair.create_or_open ~bugs ctx
+
+    let apply t = function
+      | Cmd.Insert (k, v) -> Recipe.Fast_fair.insert t k v
+      | Cmd.Remove k -> Recipe.Fast_fair.remove t k
+      | Cmd.Lookup _ -> ()
+
+    let lookup = Recipe.Fast_fair.lookup
+    let observe t = List.sort compare (Recipe.Fast_fair.entries t)
+    let verify = Recipe.Fast_fair.check
+  end)
+
+let p_art ?(bugs = Recipe.P_art.no_bugs) ~id () : adapter =
+  (module struct
+    let id = id
+    let family = "recipe"
+    let model = Fake.Kv
+    let discipline = Oracle.Any_subset
+
+    type t = Recipe.P_art.t
+
+    let open_ ctx = Recipe.P_art.create_or_open ~bugs ctx
+
+    let apply t = function
+      | Cmd.Insert (k, v) -> Recipe.P_art.insert t k v
+      | Cmd.Remove k -> Recipe.P_art.remove t k
+      | Cmd.Lookup _ -> ()
+
+    let lookup = Recipe.P_art.lookup
+    let observe t = sweep Recipe.P_art.lookup t
+    let verify = Recipe.P_art.check
+  end)
+
+let p_bwtree ?(bugs = Recipe.P_bwtree.no_bugs) ~id () : adapter =
+  (module struct
+    let id = id
+    let family = "recipe"
+    let model = Fake.Kv
+    let discipline = Oracle.Any_subset
+
+    type t = Recipe.P_bwtree.t
+
+    let open_ ctx = Recipe.P_bwtree.create_or_open ~bugs ctx
+
+    let apply t = function
+      | Cmd.Insert (k, v) -> Recipe.P_bwtree.insert t k v
+      | Cmd.Remove k -> Recipe.P_bwtree.remove t k
+      | Cmd.Lookup _ -> ()
+
+    let lookup = Recipe.P_bwtree.lookup
+    let observe t = sweep Recipe.P_bwtree.lookup t
+    let verify = Recipe.P_bwtree.check
+  end)
+
+let p_clht ?(bugs = Recipe.P_clht.no_bugs) ~id () : adapter =
+  (module struct
+    let id = id
+    let family = "recipe"
+    let model = Fake.Kv
+    let discipline = Oracle.Any_subset
+
+    type t = Recipe.P_clht.t
+
+    let open_ ctx = Recipe.P_clht.create_or_open ~bugs ctx
+
+    let apply t = function
+      | Cmd.Insert (k, v) -> Recipe.P_clht.insert t k v
+      | Cmd.Remove k -> Recipe.P_clht.remove t k
+      | Cmd.Lookup _ -> ()
+
+    let lookup = Recipe.P_clht.lookup
+    let observe t = sweep Recipe.P_clht.lookup t
+    let verify = Recipe.P_clht.check
+  end)
+
+(* P-Masstree keys are two non-zero 8-byte slices; the universe [1..Cmd.keys]
+   maps injectively onto (slice0, slice1) so several keys share a first
+   slice and exercise the second layer. *)
+let masstree_slices k = ((((k - 1) / 4) + 1), (((k - 1) mod 4) + 1))
+
+let p_masstree ?(bugs = Recipe.P_masstree.no_bugs) ~id () : adapter =
+  (module struct
+    let id = id
+    let family = "recipe"
+    let model = Fake.Kv
+    let discipline = Oracle.Any_subset
+
+    type t = Recipe.P_masstree.t
+
+    let open_ ctx = Recipe.P_masstree.create_or_open ~bugs ctx
+
+    let apply t = function
+      | Cmd.Insert (k, v) ->
+          let slice0, slice1 = masstree_slices k in
+          Recipe.P_masstree.insert t ~slice0 ~slice1 v
+      | Cmd.Remove k ->
+          let slice0, slice1 = masstree_slices k in
+          Recipe.P_masstree.remove t ~slice0 ~slice1
+      | Cmd.Lookup _ -> ()
+
+    let lookup t k =
+      let slice0, slice1 = masstree_slices k in
+      Recipe.P_masstree.lookup t ~slice0 ~slice1
+
+    let observe t = sweep lookup t
+    let verify = Recipe.P_masstree.check
+  end)
+
+(* --- registries ------------------------------------------------------------ *)
+
+let all () =
+  [
+    btree ~id:"pmdk-btree" ();
+    ctree ~id:"pmdk-ctree" ();
+    rbtree ~id:"pmdk-rbtree" ();
+    hashmap_tx ~id:"pmdk-hashmap-tx" ();
+    hashmap_atomic ~id:"pmdk-hashmap-atomic" ();
+    skiplist ~id:"pmdk-skiplist" ();
+    clog ~id:"pmdk-clog" ();
+    cceh ~id:"recipe-cceh" ();
+    fast_fair ~id:"recipe-fast-fair" ();
+    p_art ~id:"recipe-p-art" ();
+    p_bwtree ~id:"recipe-p-bwtree" ();
+    p_clht ~id:"recipe-p-clht" ();
+    p_masstree ~id:"recipe-p-masstree" ();
+  ]
+
+let seeded () =
+  [
+    hashmap_atomic
+      ~bugs:{ Pmdk.Hashmap_atomic.missing_entry_flush = true }
+      ~id:"pmdk-hashmap-atomic!missing-entry-flush" ();
+    ctree
+      ~bugs:{ Pmdk.Ctree_map.no_bugs with Pmdk.Ctree_map.missing_node_flush = true }
+      ~id:"pmdk-ctree!missing-node-flush" ();
+    skiplist
+      ~bugs:{ Pmdk.Skiplist_map.no_bugs with Pmdk.Skiplist_map.missing_node_flush = true }
+      ~id:"pmdk-skiplist!missing-node-flush" ();
+    p_masstree
+      ~bugs:{ Recipe.P_masstree.flush_object_not_pointer = true }
+      ~id:"recipe-p-masstree!flush-object-not-pointer" ();
+    fast_fair
+      ~bugs:{ Recipe.Fast_fair.no_bugs with Recipe.Fast_fair.missing_entry_flush = true }
+      ~id:"recipe-fast-fair!missing-entry-flush" ();
+    clog ~bugs:{ Pmdk.Clog.skip_crc = true } ~id:"pmdk-clog!skip-crc" ();
+  ]
+
+let find wanted =
+  List.find_opt (fun a -> id a = wanted) (all () @ seeded ())

@@ -1,0 +1,61 @@
+(** The uniform structure adapter — one signature over every PMDK map/log
+    and RECIPE index, the surface the stateful-PBT engine generates against.
+
+    An adapter binds a persistent structure to the {!Cmd} vocabulary, names
+    the {!Fake.semantics} it must refine and the persist {!Oracle.discipline}
+    its commit protocol guarantees, and renders the structure's observable
+    state in the fake's canonical form. Everything an adapter does runs
+    under a checker {!Jaaru.Ctx.t} — loads branch over read-from candidates
+    during recovery, so [observe]/[verify] are exactly as crash-aware as the
+    structure's own recovery code. *)
+
+module type STRUCTURE = sig
+  val id : string
+  (** e.g. ["pmdk-btree"]; seeded variants use ["<id>!<bug>"]. *)
+
+  val family : string  (** ["pmdk"] or ["recipe"] *)
+
+  val model : Fake.semantics
+  val discipline : Oracle.discipline
+
+  type t
+
+  val open_ : Jaaru.Ctx.t -> t
+  (** Create on first use, or open — running the structure's recovery —
+      after a crash. *)
+
+  val apply : t -> Cmd.t -> unit
+  (** Mutating commands only; the runner interprets [Lookup] itself via
+      {!lookup} so it can compare the answer against the model. *)
+
+  val lookup : t -> int -> int option
+  (** [None] for structures without point lookup (the log). *)
+
+  val observe : t -> (int * int) list
+  (** The observable state in the fake's canonical form ({!Fake.observe}):
+      sorted bindings for maps — from the structure's own full walk where it
+      has one (phantom keys show up), otherwise a sweep of the key universe
+      — and positioned payloads for logs. *)
+
+  val verify : t -> unit
+  (** The structure's own recovery verification ([check]); raises through
+      {!Jaaru.Ctx.check} on structural corruption. *)
+end
+
+type adapter = (module STRUCTURE)
+
+val id : adapter -> string
+val family : adapter -> string
+
+val all : unit -> adapter list
+(** The bug-free adapters, one per bundled structure (7 PMDK, 6 RECIPE),
+    in a fixed deterministic order. *)
+
+val seeded : unit -> adapter list
+(** Known-bug variants for negative controls — proof the oracle is not
+    vacuously green. Not part of {!all}: the default [jaaru pbt] sweep and
+    the fake-agreement suite cover clean structures only; tests and an
+    explicit [--structure <id>!<bug>] opt in. *)
+
+val find : string -> adapter option
+(** Looks up {!all} then {!seeded} by {!id}. *)

@@ -172,7 +172,7 @@ let test_fuzz_clean_scenario () =
   in
   let r = Fuzz.run ~seeds:[ 1; 2 ] scn in
   Alcotest.(check bool) "clean" false (Fuzz.found_bug r);
-  Alcotest.(check (list (pair int string))) "no buggy seeds" [] r.Fuzz.buggy_seeds
+  Alcotest.(check (list (pair int (list string)))) "no buggy seeds" [] r.Fuzz.buggy_seeds
 
 let () =
   Alcotest.run "explorer"

@@ -35,7 +35,7 @@ let test_seed_order_invariance () =
     (fun seeds' ->
       let r' = Fuzz.run ~seeds:seeds' scn in
       Alcotest.(check bool) "same bugs" true (r'.Fuzz.bugs = r.Fuzz.bugs);
-      Alcotest.(check (list (pair int string)))
+      Alcotest.(check (list (pair int (list string))))
         "same buggy seeds" r.Fuzz.buggy_seeds r'.Fuzz.buggy_seeds;
       Alcotest.(check int) "same totals" r.Fuzz.total_executions r'.Fuzz.total_executions)
     [ List.rev seeds; List.sort compare seeds; [ 5; 11; 1; 7; 3 ] ]
@@ -60,6 +60,28 @@ let test_keep_min_representative () =
   let r = Fuzz.run ~seeds scn in
   Alcotest.(check bool) "min representative per key" true (r.Fuzz.bugs = expected)
 
+let test_all_symptoms_recorded () =
+  (* A seed whose exploration reports two distinct manifestations must
+     record both symptoms (the old code kept only the first). The load
+     below has two read-from candidates when the crash lands before the
+     flush, and each branch fails a different assertion. *)
+  let scn =
+    Explorer.scenario ~name:"fuzz-two-symptoms"
+      ~pre:(fun ctx ->
+        Ctx.store64 ctx ~label:"w" base 1;
+        Ctx.clflush ctx ~label:"f" base 8)
+      ~post:(fun ctx ->
+        if Ctx.load64 ctx ~label:"r" base = 1 then
+          Ctx.check ctx ~label:"sym-persisted" false "value persisted"
+        else Ctx.check ctx ~label:"sym-lost" false "value lost")
+  in
+  let r = Fuzz.run ~seeds:[ 2; 1 ] scn in
+  let expected = [ "Assertion failure at sym-lost"; "Assertion failure at sym-persisted" ] in
+  Alcotest.(check (list (pair int (list string))))
+    "both symptoms, per seed, sorted"
+    [ (1, expected); (2, expected) ]
+    r.Fuzz.buggy_seeds
+
 let test_jobs_invariance () =
   let scn = racy_scenario () in
   let reference = Fuzz.run ~config:{ Config.default with Config.jobs = 1 } ~seeds scn in
@@ -70,7 +92,7 @@ let test_jobs_invariance () =
         (Printf.sprintf "jobs=%d same bugs" jobs)
         true
         (r.Fuzz.bugs = reference.Fuzz.bugs);
-      Alcotest.(check (list (pair int string)))
+      Alcotest.(check (list (pair int (list string))))
         (Printf.sprintf "jobs=%d same buggy seeds" jobs)
         reference.Fuzz.buggy_seeds r.Fuzz.buggy_seeds)
     (Test_env.jobs_matrix ~default:[ 2; 4 ])
@@ -82,6 +104,7 @@ let () =
         [
           Alcotest.test_case "seed order" `Quick test_seed_order_invariance;
           Alcotest.test_case "min representative" `Quick test_keep_min_representative;
+          Alcotest.test_case "all symptoms recorded" `Quick test_all_symptoms_recorded;
           Alcotest.test_case "jobs" `Quick test_jobs_invariance;
         ] );
     ]
