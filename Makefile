@@ -2,7 +2,7 @@
 # the whole test suite (which includes the jobs>1 determinism tests in
 # test_parallel.ml), and a CLI smoke run of the parallel explorer.
 
-.PHONY: all build test check parallel-smoke lint bench bench-smoke bench-check interrupt-smoke pbt-smoke pbt-nightly clean
+.PHONY: all build test check parallel-smoke lint bench bench-smoke bench-check interrupt-smoke pbt-smoke pbt-nightly fleet-smoke clean
 
 all: build
 
@@ -58,10 +58,19 @@ pbt-smoke: build
 
 # Long-running variant for nightly jobs: as many sequences as fit in the
 # wall budget (seconds; default 10 minutes), deeper command sequences.
-# Deterministic coverage is forfeited; failure soundness is not.
+# Deterministic coverage is forfeited; failure soundness is not. Publishes
+# the schema-versioned coverage/witness summary CI archives and trends.
 pbt-nightly: build
 	dune exec bin/jaaru_cli.exe -- pbt --count 1000000 --max-cmds 10 \
-	  --time-budget $${JAARU_PBT_BUDGET:-600}
+	  --time-budget $${JAARU_PBT_BUDGET:-600} \
+	  --json-out $${JAARU_PBT_JSON:-pbt-coverage.json}
+
+# Fleet determinism under self-injected faults: `jaaru fleet` with workers
+# being killed, hung and fed torn checkpoints must still report
+# byte-identically to single-process `jaaru check`, across a worker-count
+# matrix, chaos on and off.
+fleet-smoke: build
+	scripts/fleet_chaos_smoke.sh
 
 # Out-of-process half of the survivability story: SIGTERM a real CLI run
 # mid-flight, resume it from its checkpoint, and diff the resumed report

@@ -219,12 +219,22 @@ let pp_memo_counters o =
 
 (* SIGINT/SIGTERM request the explorer's cooperative stop: workers finish
    their current replay, the partial report still prints, and the frontier
-   is checkpointed. A second signal during the wind-down is absorbed by the
-   same sticky flag. The previous dispositions are restored afterwards so
-   batch drivers (lint over many cases) regain default kill behavior. *)
+   is checkpointed. A second signal escalates — the user asked twice, so the
+   wind-down (grace periods, straggler collection) is abandoned and the
+   process exits immediately with the conventional interrupt status. The
+   previous dispositions are restored afterwards so batch drivers (lint over
+   many cases) regain default kill behavior. *)
 let with_graceful_signals f =
   Jaaru.Explorer.clear_interrupt ();
-  let handler = Sys.Signal_handle (fun _ -> Jaaru.Explorer.request_interrupt ()) in
+  let handler =
+    Sys.Signal_handle
+      (fun _ ->
+        if Jaaru.Explorer.interrupts_requested () > 0 then begin
+          prerr_endline "second interrupt: exiting immediately";
+          exit 130
+        end;
+        Jaaru.Explorer.request_interrupt ())
+  in
   let old_int = Sys.signal Sys.sigint handler in
   let old_term = Sys.signal Sys.sigterm handler in
   Fun.protect
@@ -549,7 +559,17 @@ let time_budget_arg =
            cooperatively after $(docv) seconds of wall clock across all structures, reporting \
            each interrupted structure with the sequences it completed.")
 
-let pbt_run structure list count seed max_cmds time_budget jobs snapshot memo =
+let json_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json-out" ] ~docv:"FILE"
+        ~doc:
+          "Also write the coverage/witness summary as a schema-versioned JSON artifact \
+           ($(b,jaaru-pbt-coverage/1)) to $(docv) — what the nightly publishes; deterministic \
+           (no wall-clock fields).")
+
+let pbt_run structure list count seed max_cmds time_budget jobs snapshot memo json_out =
   if list then begin
     Format.printf "%-42s %-8s %s@." "ID" "FAMILY" "ORACLE";
     List.iter
@@ -592,6 +612,13 @@ let pbt_run structure list count seed max_cmds time_budget jobs snapshot memo =
                 (float_of_int r.Pbt.Driver.executions /. r.Pbt.Driver.wall)
                 r.Pbt.Driver.wall)
           reports;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc (Pbt.Driver.json_report reports)))
+          json_out;
         let failed = List.filter Pbt.Driver.found_bug reports in
         let interrupted = List.exists (fun r -> r.Pbt.Driver.interrupted) reports in
         if failed <> [] then
@@ -622,7 +649,395 @@ let pbt_cmd =
     Term.(
       term_result
         (const pbt_run $ structure_arg $ pbt_list_arg $ count_arg $ seed_arg $ max_cmds_arg
-       $ time_budget_arg $ jobs_arg $ snapshot_arg $ memo_arg))
+       $ time_budget_arg $ jobs_arg $ snapshot_arg $ memo_arg $ json_out_arg))
+
+(* --- fleet ----------------------------------------------------------------- *)
+
+(* Fleet mode fans the exploration out over supervised worker OS processes.
+   Both sides — `jaaru fleet` (the coordinator) and the internal
+   `jaaru fleet-worker` it spawns — build the exploration configuration
+   through this one function, so the checkpoint fingerprints cannot drift:
+   a worker that would compute a different tree rejects its shards instead
+   of silently exploring the wrong one. Fleet always explores exhaustively
+   (stop-at-first-bug stops mid-subtree, which has no deterministic merge). *)
+let fleet_exploration_config entry ~max_failures ~max_steps ~jobs ~snapshot ~memo =
+  apply_overrides entry.config ~max_failures ~max_steps ~exhaustive:true ~jobs ~snapshot ~memo
+
+let fleet_workers_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "fleet-workers" ] ~docv:"N"
+        ~doc:
+          "Supervised worker processes. The merged report is byte-identical for every value \
+           (including 1) and to a plain single-process `jaaru check'.")
+
+let fleet_shards_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "fleet-shards" ] ~docv:"N"
+        ~doc:"Target shards per worker (finer shards rebalance better; default 4)")
+
+let fleet_split_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "fleet-split-execs" ] ~docv:"N"
+        ~doc:"Executions explored in-process to grow the frontier before sharding (default 32)")
+
+let fleet_chaos_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "fleet-chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Self fault injection, e.g. $(b,kill:0.3,hang:0.1,torn:0.2): per-assignment \
+           probabilities of SIGKILLing the worker mid-shard, stalling its channel until the \
+           heartbeat timeout fires, or tearing the shard checkpoint file. The merged report is \
+           unchanged — chaos only exercises the retry machinery.")
+
+let fleet_chaos_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fleet-chaos-seed" ] ~docv:"SEED" ~doc:"Seed for the chaos fault schedule")
+
+let heartbeat_timeout_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "heartbeat-timeout" ] ~docv:"SEC"
+        ~doc:"Seconds without a worker heartbeat before it is declared hung and killed")
+
+let quarantine_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "quarantine-after" ] ~docv:"N"
+        ~doc:
+          "Non-chaos failures after which a shard is quarantined and reported instead of retried \
+           forever (a poison shard that keeps killing workers must not wedge the fleet)")
+
+let in_process_arg =
+  Arg.(
+    value & flag
+    & info [ "in-process" ]
+        ~doc:
+          "Explore every shard on this process instead of spawning workers — the degraded mode \
+           the fleet falls back to when spawning fails, exposed for testing")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print supervision events (spawns, retries, chaos)")
+
+let heartbeat_period_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "heartbeat-period" ] ~docv:"SEC" ~doc:"Worker heartbeat interval (internal)")
+
+let rm_rf dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+      Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ()) entries;
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
+let make_scratch () =
+  let rec go n =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "jaaru-fleet-%d-%d" (Unix.getpid ()) n)
+    in
+    match Unix.mkdir dir 0o700 with
+    | () -> dir
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (n + 1)
+  in
+  go 0
+
+let fleet_result_checks entry (o : Jaaru.Explorer.outcome) =
+  let expected_bug = entry.expected <> None in
+  let found = Jaaru.Explorer.found_bug o in
+  if expected_bug && not found then Error (`Msg "seeded bug was not found")
+  else if (not expected_bug) && found then Error (`Msg "clean case reported a bug")
+  else Ok ()
+
+let fleet_run_entry entry ~workers ~shards_per_worker ~split_execs ~chaos ~chaos_seed
+    ~heartbeat_timeout ~heartbeat_period ~quarantine_after ~in_process ~max_failures ~max_steps
+    ~jobs ~snapshot ~memo ~verbose =
+  let config = fleet_exploration_config entry ~max_failures ~max_steps ~jobs ~snapshot ~memo in
+  let scratch = make_scratch () in
+  let worker_argv =
+    if in_process then None
+    else
+      Some
+        (Array.of_list
+           ([ Sys.executable_name; "fleet-worker"; entry.id ]
+           @ (match max_failures with
+             | Some n -> [ "--max-failures"; string_of_int n ]
+             | None -> [])
+           @ (match max_steps with Some n -> [ "--max-steps"; string_of_int n ] | None -> [])
+           @ [
+               "--jobs";
+               string_of_int (max 1 jobs);
+               "--snapshot";
+               (if snapshot then "on" else "off");
+               "--memo";
+               (if memo then "on" else "off");
+               "--heartbeat-period";
+               Printf.sprintf "%g" heartbeat_period;
+             ]))
+  in
+  let fleet =
+    {
+      (Fleet.Coordinator.default ~scratch) with
+      Fleet.Coordinator.workers = max 1 workers;
+      shards_per_worker = max 1 shards_per_worker;
+      split_execs = max 1 split_execs;
+      heartbeat_timeout;
+      quarantine_after = max 1 quarantine_after;
+      chaos;
+      chaos_seed;
+      worker_argv;
+      log = (if verbose then fun s -> Format.eprintf "[fleet] %s@." s else ignore);
+    }
+  in
+  Fun.protect
+    ~finally:(fun () -> rm_rf scratch)
+    (fun () ->
+      with_graceful_signals (fun () ->
+          Fleet.Coordinator.run ~fleet ~config ~scenario:entry.scenario))
+
+let fleet_run id workers shards_per_worker split_execs chaos_spec chaos_seed heartbeat_timeout
+    heartbeat_period quarantine_after in_process max_failures max_steps jobs snapshot memo
+    checkpoint report_out verbose =
+  match find_entry id with
+  | Error e -> Error e
+  | Ok entry -> (
+      match Fleet.Supervise.parse_chaos chaos_spec with
+      | exception Invalid_argument m -> Error (`Msg m)
+      | chaos -> (
+          Format.printf "fleet-checking %s (%s): %s@." entry.id entry.benchmark entry.description;
+          match
+            fleet_run_entry entry ~workers ~shards_per_worker ~split_execs ~chaos ~chaos_seed
+              ~heartbeat_timeout ~heartbeat_period ~quarantine_after ~in_process ~max_failures
+              ~max_steps ~jobs ~snapshot ~memo ~verbose
+          with
+          | exception Jaaru.Checkpoint.Rejected msg -> Error (`Msg msg)
+          | r ->
+              let o = r.Fleet.Coordinator.outcome in
+              Format.printf "%a@.@." Jaaru.Explorer.pp_outcome o;
+              Format.printf "%a@." Fleet.Coordinator.pp_fleet r.Fleet.Coordinator.fleet;
+              Option.iter (fun path -> write_report path o) report_out;
+              List.iter (fun b -> Format.printf "bug: %s@." (Jaaru.Bug.symptom b)) o.Jaaru.Explorer.bugs;
+              if r.Fleet.Coordinator.remaining <> [] || r.Fleet.Coordinator.interrupted then begin
+                (* Checkpoint every live shard so the run is continuable —
+                   with plain `jaaru check --resume`: the aggregate uses the
+                   same fingerprint and format as a single-process run. *)
+                (match checkpoint with
+                | Some path ->
+                    let config =
+                      fleet_exploration_config entry ~max_failures ~max_steps ~jobs ~snapshot ~memo
+                    in
+                    let cp =
+                      Jaaru.Checkpoint.make
+                        ~fingerprint:
+                          (Jaaru.Checkpoint.fingerprint ~workload:entry.scenario.Jaaru.Explorer.name
+                             config)
+                        ~frontier:r.Fleet.Coordinator.remaining ~bugs:o.Jaaru.Explorer.bugs
+                        ~multi_rf:o.Jaaru.Explorer.multi_rf ~perf:o.Jaaru.Explorer.perf
+                        ~findings:o.Jaaru.Explorer.findings ~stats:o.Jaaru.Explorer.stats
+                    in
+                    Jaaru.Checkpoint.save cp path;
+                    Format.printf "@.fleet stopped early; continue with: jaaru check %s --resume %s@."
+                      entry.id path
+                | None ->
+                    Format.printf
+                      "@.fleet stopped early; progress was discarded (re-run with --checkpoint \
+                       FILE to make fleet runs resumable)@.");
+                Error
+                  (`Msg
+                    (if r.Fleet.Coordinator.interrupted then "run interrupted"
+                     else "unexplored shards remain (quarantined)"))
+              end
+              else fleet_result_checks entry o))
+
+let fleet_cmd =
+  let doc = "Model check one case across supervised worker processes" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Splits the choice tree into shard checkpoints, fans them out to supervised worker \
+         processes (heartbeats, crash detection, retry with capped backoff, poison-shard \
+         quarantine, work stealing, degradation to in-process exploration), and merges the shard \
+         reports deterministically: an exhaustive fleet run reports byte-identically to \
+         single-process $(b,jaaru check), for every $(b,--fleet-workers) value, with \
+         $(b,--fleet-chaos) faults injected or not.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc ~man)
+    Term.(
+      term_result
+        (const fleet_run $ id_arg $ fleet_workers_arg $ fleet_shards_arg $ fleet_split_arg
+       $ fleet_chaos_arg $ fleet_chaos_seed_arg $ heartbeat_timeout_arg $ heartbeat_period_arg
+       $ quarantine_arg $ in_process_arg $ max_failures_arg $ max_steps_arg $ jobs_arg
+       $ snapshot_arg $ memo_arg $ checkpoint_arg $ report_out_arg $ verbose_arg))
+
+(* The internal worker entry point `jaaru fleet` spawns. Its stdin/stdout are
+   the protocol pipes — nothing here may print to stdout. *)
+let fleet_worker_run id max_failures max_steps jobs snapshot memo heartbeat_period =
+  match find_entry id with
+  | Error e -> Error e
+  | Ok entry ->
+      let config = fleet_exploration_config entry ~max_failures ~max_steps ~jobs ~snapshot ~memo in
+      let run ~shard:_ ~attempt:_ ~path =
+        match Jaaru.Checkpoint.load path with
+        | exception Jaaru.Checkpoint.Rejected msg -> Error msg
+        | cp -> (
+            match
+              Jaaru.Checkpoint.validate cp ~workload:entry.scenario.Jaaru.Explorer.name ~config
+            with
+            | exception Jaaru.Checkpoint.Rejected msg -> Error msg
+            | () ->
+                (* A Preempt for the previous shard that raced its Result
+                   must not poison this one. *)
+                Jaaru.Explorer.clear_interrupt ();
+                let out = path ^ ".result" in
+                let _o = Jaaru.Explorer.run ~config ~resume:cp ~checkpoint:out entry.scenario in
+                let rcp = Jaaru.Checkpoint.load out in
+                Ok (Jaaru.Checkpoint.to_string rcp))
+      in
+      Fleet.Worker.serve ~heartbeat_period ~on_preempt:Jaaru.Explorer.request_interrupt ~run ();
+      Ok ()
+
+let fleet_worker_cmd =
+  let doc = "Internal: the worker process `jaaru fleet' spawns (speaks frames on stdin/stdout)" in
+  Cmd.v
+    (Cmd.info "fleet-worker" ~doc)
+    Term.(
+      term_result
+        (const fleet_worker_run $ id_arg $ max_failures_arg $ max_steps_arg $ jobs_arg
+       $ snapshot_arg $ memo_arg $ heartbeat_period_arg))
+
+(* --- serve ----------------------------------------------------------------- *)
+
+(* Long-running job intake: a directory queue (incoming/ -> active/ -> done/)
+   of small job files, each naming a case, checked with the fleet and the
+   report written next to the job. *)
+
+let serve_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Queue directory ($(docv)/incoming, $(docv)/active, $(docv)/done)")
+
+let once_arg =
+  Arg.(value & flag & info [ "once" ] ~doc:"Process the current backlog and exit (testing, cron)")
+
+let poll_arg =
+  Arg.(value & opt float 1.0 & info [ "poll" ] ~docv:"SEC" ~doc:"Queue poll interval (default 1s)")
+
+let read_job path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> match input_line ic with line -> String.trim line | exception End_of_file -> "")
+
+let serve_run dir once poll workers shards_per_worker split_execs chaos_spec chaos_seed
+    heartbeat_timeout heartbeat_period quarantine_after in_process verbose =
+  match Fleet.Supervise.parse_chaos chaos_spec with
+  | exception Invalid_argument m -> Error (`Msg m)
+  | chaos ->
+      let incoming = Filename.concat dir "incoming"
+      and active = Filename.concat dir "active"
+      and done_ = Filename.concat dir "done" in
+      List.iter
+        (fun d ->
+          try Unix.mkdir d 0o755
+          with Unix.Unix_error (Unix.EEXIST, _, _) -> () | Unix.Unix_error (Unix.ENOENT, _, _) ->
+            failwith (dir ^ ": no such directory"))
+        [ incoming; active; done_ ];
+      let interrupted () = Jaaru.Explorer.interrupts_requested () > 0 in
+      let run_job name =
+        let src = Filename.concat incoming name in
+        let work = Filename.concat active name in
+        Sys.rename src work;
+        let case = read_job work in
+        Format.printf "serve: job %s -> case %s@." name case;
+        let report =
+          match find_entry case with
+          | Error (`Msg m) -> Printf.sprintf "error: %s\n" m
+          | Ok entry -> (
+              match
+                fleet_run_entry entry ~workers ~shards_per_worker ~split_execs ~chaos ~chaos_seed
+                  ~heartbeat_timeout ~heartbeat_period ~quarantine_after ~in_process
+                  ~max_failures:None ~max_steps:None ~jobs:1 ~snapshot:true ~memo:true ~verbose
+              with
+              | exception Jaaru.Checkpoint.Rejected msg -> Printf.sprintf "error: %s\n" msg
+              | r ->
+                  let o = r.Fleet.Coordinator.outcome in
+                  let status =
+                    if r.Fleet.Coordinator.interrupted then "interrupted"
+                    else if r.Fleet.Coordinator.remaining <> [] then "incomplete (quarantined shards)"
+                    else
+                      match fleet_result_checks entry o with
+                      | Ok () -> "pass"
+                      | Error (`Msg m) -> "fail: " ^ m
+                  in
+                  Format.asprintf "%a@.%a@.status: %s@." Jaaru.Explorer.pp_report o
+                    Fleet.Coordinator.pp_fleet r.Fleet.Coordinator.fleet status)
+        in
+        if interrupted () then begin
+          (* Put the job back for the next serve rather than recording a
+             partial verdict. *)
+          Sys.rename work src;
+          Format.printf "serve: interrupted, job %s returned to the queue@." name
+        end
+        else begin
+          let out = Filename.concat done_ (Filename.remove_extension name ^ ".report") in
+          let oc = open_out out in
+          Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc report);
+          Sys.remove work;
+          Format.printf "serve: job %s done -> %s@." name out
+        end
+      in
+      let backlog () =
+        Sys.readdir incoming |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".job")
+        |> List.sort compare
+      in
+      with_graceful_signals (fun () ->
+          let rec loop () =
+            if not (interrupted ()) then begin
+              match backlog () with
+              | [] ->
+                  if once then ()
+                  else begin
+                    Unix.sleepf poll;
+                    loop ()
+                  end
+              | jobs ->
+                  List.iter (fun j -> if not (interrupted ()) then run_job j) jobs;
+                  if once && not (interrupted ()) then loop () else if once then () else loop ()
+            end
+          in
+          loop ());
+      if interrupted () then Error (`Msg "serve interrupted") else Ok ()
+
+let serve_cmd =
+  let doc = "Run a long-lived fleet serving jobs from a directory queue" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Watches $(i,DIR)/incoming for $(b,*.job) files (first line: a case id, as in `jaaru \
+         list'), checks each with the fleet, streams progress to stdout, and writes \
+         $(i,DIR)/done/$(i,NAME).report. Jobs survive interruption: a job being processed when \
+         SIGINT/SIGTERM arrives is returned to the queue.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      term_result
+        (const serve_run $ serve_dir_arg $ once_arg $ poll_arg $ fleet_workers_arg
+       $ fleet_shards_arg $ fleet_split_arg $ fleet_chaos_arg $ fleet_chaos_seed_arg
+       $ heartbeat_timeout_arg $ heartbeat_period_arg $ quarantine_arg $ in_process_arg
+       $ verbose_arg))
 
 (* --- main ------------------------------------------------------------------ *)
 
@@ -631,4 +1046,16 @@ let () =
   let info = Cmd.info "jaaru" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; check_cmd; lint_cmd; yat_cmd; perf_cmd; fuzz_cmd; pbt_cmd ]))
+       (Cmd.group info
+          [
+            list_cmd;
+            check_cmd;
+            fleet_cmd;
+            fleet_worker_cmd;
+            serve_cmd;
+            lint_cmd;
+            yat_cmd;
+            perf_cmd;
+            fuzz_cmd;
+            pbt_cmd;
+          ]))

@@ -284,31 +284,49 @@ let save t path =
     (try Sys.remove tmp with Sys_error _ -> ());
     Printexc.raise_with_backtrace e bt
 
+(* The exact byte image [save] writes — header (magic line, CRC line) plus
+   the Wire payload. Exposed so fleet workers can ship their outcome
+   checkpoints over a pipe instead of through the filesystem; the integrity
+   checks of [of_string] are the same ones [load] applies to a file. *)
+let to_string t =
+  let payload = encode t in
+  Printf.sprintf "%s\n%08x\n%s" magic (Pmem.Crc32.digest_string payload) payload
+
+let of_string s =
+  let line_end from =
+    match String.index_from_opt s from '\n' with
+    | Some i -> i
+    | None -> raise (Rejected "truncated checkpoint")
+  in
+  let m_end = line_end 0 in
+  if String.sub s 0 m_end <> magic then raise (Rejected "not a jaaru checkpoint (bad magic)");
+  let c_end = line_end (m_end + 1) in
+  let crc = String.sub s (m_end + 1) (c_end - m_end - 1) in
+  let payload = String.sub s (c_end + 1) (String.length s - c_end - 1) in
+  if Printf.sprintf "%08x" (Pmem.Crc32.digest_string payload) <> crc then
+    raise (Rejected "checkpoint payload fails its checksum");
+  let t =
+    try decode payload
+    with Wire.Corrupt msg ->
+      raise (Rejected (Printf.sprintf "checkpoint payload fails to deserialize: %s" msg))
+  in
+  (* Fail early on undecodable prefixes rather than mid-resume. *)
+  ignore (frontier_prefixes t);
+  t
+
 let load path =
   let ic =
     try open_in_bin path
     with Sys_error msg -> raise (Rejected (Printf.sprintf "cannot open checkpoint: %s" msg))
   in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let line () = try input_line ic with End_of_file -> raise (Rejected "truncated checkpoint") in
-      if line () <> magic then raise (Rejected "not a jaaru checkpoint (bad magic)");
-      let crc = line () in
-      let payload =
-        let len = in_channel_length ic - pos_in ic in
-        really_input_string ic len
-      in
-      if Printf.sprintf "%08x" (Pmem.Crc32.digest_string payload) <> crc then
-        raise (Rejected "checkpoint payload fails its checksum");
-      let t =
-        try decode payload
-        with Wire.Corrupt msg ->
-          raise (Rejected (Printf.sprintf "checkpoint payload fails to deserialize: %s" msg))
-      in
-      (* Fail early on undecodable prefixes rather than mid-resume. *)
-      ignore (frontier_prefixes t);
-      t)
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try really_input_string ic (in_channel_length ic)
+        with End_of_file -> raise (Rejected "truncated checkpoint"))
+  in
+  of_string contents
 
 let validate t ~workload ~config =
   let expected = fingerprint ~workload config in

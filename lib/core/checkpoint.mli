@@ -79,6 +79,15 @@ val load : string -> t
     frontier decodability). Raises {!Rejected} — {e not} validation against
     a run; call {!validate} for that. *)
 
+val to_string : t -> string
+(** The exact byte image {!save} writes (header plus payload) — the unit
+    fleet workers ship over their stdout pipe instead of through a file. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}, with the same integrity checks as {!load}
+    (magic, checksum, payload and frontier decodability). Raises
+    {!Rejected}. *)
+
 val validate : t -> workload:string -> config:Config.t -> unit
 (** Raises {!Rejected} unless the checkpoint's fingerprint matches this
     workload and configuration. *)

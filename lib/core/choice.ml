@@ -221,6 +221,51 @@ let remainder t =
          let c = t.cells.(i) in
          (c.kind, c.num, c.chosen, c.limit)))
 
+(* The static mirror of {!split}, operating on an encoded prefix instead of
+   an in-progress searcher: carve the sibling alternatives of the shallowest
+   wide cell into their own prefix. The fleet coordinator shatters checkpoint
+   frontiers with this to make more shards than the interrupted run had
+   workers — without replaying anything. *)
+let split_prefix p =
+  let n = Array.length p.pfx in
+  let rec find i =
+    if i >= n then None
+    else
+      let c = p.pfx.(i) in
+      (* Cells below [frozen] are replayed verbatim: their other alternatives
+         were donated elsewhere long ago and are not this prefix's to give. *)
+      if i >= p.frozen && c.pchosen + 1 < c.plimit then Some i else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let c = p.pfx.(i) in
+      (* The kept half continues the recorded path: same cells, the wide
+         cell's limit shrunk to its current choice. The donated half covers
+         the sibling range [chosen+1, limit); deeper recorded cells belong
+         only to the [chosen] branch, so they are dropped, and shallower
+         cells are pinned — exactly what the dynamic [split] emits. *)
+      let kept =
+        {
+          pfx =
+            Array.mapi
+              (fun j cc -> if j = i then { cc with plimit = c.pchosen + 1 } else cc)
+              p.pfx;
+          frozen = p.frozen;
+        }
+      in
+      let donated =
+        {
+          pfx =
+            Array.init (i + 1) (fun j ->
+                let cc = p.pfx.(j) in
+                if j = i then { cc with pchosen = c.pchosen + 1 }
+                else { cc with plimit = cc.pchosen + 1 });
+          frozen = i;
+        }
+      in
+      Some (kept, donated)
+
 let split t =
   (* Only cells consumed by the last replay are on the current path; a stale
      suffix beyond the cursor must not be donated. *)

@@ -142,6 +142,18 @@ val remainder : t -> prefix
     points. [remainder] of a fresh {!create} (or of [resume_from_prefix
     root]) is {!root}. *)
 
+val split_prefix : prefix -> (prefix * prefix) option
+(** The static counterpart of {!split}: carves the sibling alternatives of
+    the shallowest non-frozen wide cell ([chosen + 1 < limit]) out of an
+    encoded prefix without replaying anything. [Some (kept, donated)] covers
+    exactly the subtree of the input — [kept] continues the recorded path
+    with the wide cell's range shrunk to its current choice, [donated] pins
+    the path up to that cell and owns the alternatives [\[chosen+1, limit)] —
+    and the two are disjoint. [None] when no cell is splittable (the prefix
+    pins a single undived path, e.g. {!root} or a fully singleton prefix).
+    The fleet coordinator uses this to shatter a checkpoint frontier into
+    more shards than the run that wrote it had workers. *)
+
 val split : t -> prefix option
 (** Donates the unexplored sibling range of the shallowest splittable
     decision: picks the shallowest non-frozen on-path cell with alternatives

@@ -16,8 +16,22 @@ type outcome = {
    thread polls it too. It is only cleared explicitly — a SIGINT that lands
    while a checkpoint is being written must still stop the next round. *)
 let interrupt_flag = Atomic.make false
-let request_interrupt () = Atomic.set interrupt_flag true
-let clear_interrupt () = Atomic.set interrupt_flag false
+
+(* How many times an interrupt has been requested since the last clear.
+   Workers only poll the boolean; the count lets the CLI escalate — a second
+   SIGINT while the first cooperative stop is still winding down means the
+   user wants out *now*, not after the current replays finish. *)
+let interrupt_count = Atomic.make 0
+
+let request_interrupt () =
+  Atomic.set interrupt_flag true;
+  Atomic.incr interrupt_count
+
+let clear_interrupt () =
+  Atomic.set interrupt_flag false;
+  Atomic.set interrupt_count 0
+
+let interrupts_requested () = Atomic.get interrupt_count
 
 (* Why a round of exploration stopped. The first trigger wins: [Capped] and
    [First_bug] come from workers, the rest from the watchdog monitor. [Tick]
@@ -440,6 +454,61 @@ let worker ~config ~scn ~frontier ~reserved ~stopped ~trigger ~monitor ~idx () =
     wr_remainder = !remainder;
   }
 
+(* Deterministic rendering order of the merge tables, shared by [run] and
+   [merge_outcomes]: sorted lists, so the result is independent of hash-table
+   iteration order and of how the explored tree was partitioned. *)
+let sorted_reports ~bug_tbl ~multi_rf_tbl ~perf_tbl ~findings_tbl =
+  let bugs = List.sort compare (Hashtbl.fold (fun _ b acc -> b :: acc) bug_tbl []) in
+  let multi_rf =
+    List.sort
+      (fun a b ->
+        compare (a.Ctx.load_label, a.Ctx.load_addr) (b.Ctx.load_label, b.Ctx.load_addr))
+      (Hashtbl.fold (fun _ r acc -> r :: acc) multi_rf_tbl [])
+  in
+  let perf = List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) perf_tbl []) in
+  let findings =
+    List.sort Analysis.Report.compare_finding
+      (Hashtbl.fold (fun f () acc -> f :: acc) findings_tbl [])
+  in
+  (bugs, multi_rf, perf, findings)
+
+(* Combine the outcomes of disjoint subtree explorations — the fleet
+   coordinator's merge of shard results — with exactly the dedup discipline
+   [run] applies across its own workers: per-key least representative for
+   bugs and multi-rf, set union for perf and findings, [Stats.merge] for the
+   counters. [exhausted]/[interrupted] are recomputed from the caller's
+   knowledge of completion (constituent outcomes of capped or preempted
+   shards legitimately carry partial flags). *)
+let merge_outcomes ?(config = Config.default) ~completed ~interrupted outcomes =
+  let bug_tbl = Hashtbl.create 16 in
+  let multi_rf_tbl = Hashtbl.create 16 in
+  let perf_tbl = Hashtbl.create 16 in
+  let findings_tbl = Hashtbl.create 16 in
+  let stats_acc = ref Stats.zero in
+  List.iter
+    (fun o ->
+      List.iter (fun b -> keep_min bug_tbl (Bug.report_key b) b) o.bugs;
+      List.iter
+        (fun (m : Ctx.multi_rf) -> keep_min multi_rf_tbl (m.load_label, m.load_addr) m)
+        o.multi_rf;
+      List.iter (fun p -> Hashtbl.replace perf_tbl p ()) o.perf;
+      List.iter (fun f -> Hashtbl.replace findings_tbl f ()) o.findings;
+      stats_acc := Stats.merge !stats_acc o.stats)
+    outcomes;
+  let bugs, multi_rf, perf, findings =
+    sorted_reports ~bug_tbl ~multi_rf_tbl ~perf_tbl ~findings_tbl
+  in
+  let stats =
+    {
+      !stats_acc with
+      Stats.multi_rf_loads = List.length multi_rf;
+      findings = List.length findings;
+      exhausted = completed && not (config.Config.stop_at_first_bug && bugs <> []);
+      interrupted;
+    }
+  in
+  { bugs; stats; multi_rf; perf; findings }
+
 let run ?(config = Config.default) ?resume ?checkpoint scn =
   let jobs = max 1 config.Config.jobs in
   let t0 = Unix.gettimeofday () in
@@ -472,21 +541,7 @@ let run ?(config = Config.default) ?resume ?checkpoint scn =
         Checkpoint.frontier_prefixes cp
   in
   let reserved = Atomic.make !stats_acc.Stats.executions in
-  let merged_reports () =
-    let bugs = List.sort compare (Hashtbl.fold (fun _ b acc -> b :: acc) bug_tbl []) in
-    let multi_rf =
-      List.sort
-        (fun a b ->
-          compare (a.Ctx.load_label, a.Ctx.load_addr) (b.Ctx.load_label, b.Ctx.load_addr))
-        (Hashtbl.fold (fun _ r acc -> r :: acc) multi_rf_tbl [])
-    in
-    let perf = List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) perf_tbl []) in
-    let findings =
-      List.sort Analysis.Report.compare_finding
-        (Hashtbl.fold (fun f () acc -> f :: acc) findings_tbl [])
-    in
-    (bugs, multi_rf, perf, findings)
-  in
+  let merged_reports () = sorted_reports ~bug_tbl ~multi_rf_tbl ~perf_tbl ~findings_tbl in
   let outcome_now ~completed ~interrupted =
     let bugs, multi_rf, perf, findings = merged_reports () in
     let stats =

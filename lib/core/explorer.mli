@@ -103,6 +103,24 @@ val clear_interrupt : unit -> unit
 (** Clears a pending {!request_interrupt} — call before a run that must not
     inherit a stale request (tests; the CLI at startup). *)
 
+val interrupts_requested : unit -> int
+(** How many times {!request_interrupt} has fired since the last
+    {!clear_interrupt}. The CLI escalates on the second request: the first
+    SIGINT stops cooperatively (finish replays, checkpoint), a second one
+    during the wind-down forces an immediate exit. *)
+
+val merge_outcomes :
+  ?config:Config.t -> completed:bool -> interrupted:bool -> outcome list -> outcome
+(** Combines the outcomes of {e disjoint} subtree explorations — shard
+    results in fleet mode, or a prior checkpoint's outcome plus its
+    continuation — with exactly the deduplication and sorting discipline
+    {!run} applies across its own workers, so merging shard outcomes of any
+    partition of the tree reproduces the single-process reports byte for
+    byte. [Stats.exhausted] is recomputed from [completed] (and
+    [config.stop_at_first_bug]); [Stats.interrupted] is set from
+    [interrupted] — constituent outcomes of capped or preempted shards
+    legitimately carry partial flags that must not poison the merge. *)
+
 val found_bug : outcome -> bool
 val pp_outcome : Format.formatter -> outcome -> unit
 

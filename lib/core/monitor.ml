@@ -65,7 +65,7 @@ let fire t reason =
 
 let heap_bytes () = (Gc.quick_stat ()).Gc.heap_words * (Sys.word_size / 8)
 
-let poll t now =
+let poll t ~now =
   if Atomic.get t.interrupt then fire t Interrupt;
   (match t.wall_deadline with Some d when now >= d -> fire t Wall_budget | _ -> ());
   (match t.tick_deadline with Some d when now >= d -> fire t Tick | _ -> ());
@@ -126,7 +126,7 @@ let start t =
                (* Keep polling after a stop fired: step-deadline duty must
                   continue while workers finish their current replays, and
                   so must interrupt detection. [fire] is once-only anyway. *)
-               poll t (Unix.gettimeofday ())
+               poll t ~now:(Unix.gettimeofday ())
              done)
            ())
 

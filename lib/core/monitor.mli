@@ -47,6 +47,14 @@ val create :
 val start : t -> unit
 (** Spawns the watchdog thread (idempotent). *)
 
+val poll : t -> now:float -> unit
+(** One synchronous sample of every duty (interrupt flag, deadlines, per-
+    execution cancellation, memory budget) exactly as the watchdog thread
+    performs it, against the given clock instant. The thread calls this
+    internally; tests call it directly to drive deadline edge cases
+    deterministically, without sleeping — [on_stop] still fires at most once
+    per monitor, whoever polls. *)
+
 val shutdown : t -> unit
 (** Stops and joins the watchdog thread (idempotent; safe if never
     started). Call from [Fun.protect] so a raising exploration cannot leak

@@ -1,0 +1,726 @@
+(* The fleet coordinator: splits the choice tree into shard checkpoints,
+   fans them out to supervised worker processes, and merges the shard
+   reports deterministically. See coordinator.mli for the contract and
+   DESIGN.md §13 for the architecture. *)
+
+module Ck = Jaaru.Checkpoint
+module Ex = Jaaru.Explorer
+module Ch = Jaaru.Choice
+
+type config = {
+  workers : int;
+  shards_per_worker : int;
+  split_execs : int;
+  heartbeat_timeout : float;
+  steal_after : float;
+  quarantine_after : int;
+  backoff_base : float;
+  backoff_cap : float;
+  spawn_attempts : int;
+  chaos : Supervise.chaos;
+  chaos_seed : int;
+  scratch : string;
+  worker_argv : string array option;
+  log : string -> unit;
+}
+
+let default ~scratch =
+  {
+    workers = 2;
+    shards_per_worker = 4;
+    split_execs = 32;
+    heartbeat_timeout = 2.0;
+    steal_after = 1.0;
+    quarantine_after = 3;
+    backoff_base = 0.05;
+    backoff_cap = 2.0;
+    spawn_attempts = 3;
+    chaos = Supervise.no_chaos;
+    chaos_seed = 0;
+    scratch;
+    worker_argv = None;
+    log = ignore;
+  }
+
+type fleet_stats = {
+  shards : int;
+  workers_configured : int;
+  workers_effective : int;
+  spawns : int;
+  spawn_failures : int;
+  assignments : int;
+  retries : int;
+  chaos_injected : int;
+  steals : int;
+  quarantined : (int * string) list;  (* shard id, last failure — sorted by id *)
+  in_process : bool;
+}
+
+let pp_fleet ppf f =
+  Format.fprintf ppf
+    "fleet: shards %d, workers %d/%d%s, spawns %d (%d failed), assignments %d, retries %d (%d chaos-injected), steals %d, quarantined %d"
+    f.shards f.workers_effective f.workers_configured
+    (if f.in_process then " (in-process fallback)" else "")
+    f.spawns f.spawn_failures f.assignments f.retries f.chaos_injected f.steals
+    (List.length f.quarantined);
+  List.iter
+    (fun (sid, reason) ->
+      Format.fprintf ppf "@\n  quarantined shard %d: %s" sid reason)
+    f.quarantined
+
+type result = {
+  outcome : Ex.outcome;
+  fleet : fleet_stats;
+  remaining : string list;
+  interrupted : bool;
+}
+
+(* --- shards --------------------------------------------------------------- *)
+
+type shard_status = Pending | Assigned of int | Done | Quarantined of string
+
+type shard = {
+  sid : int;
+  prefixes : string list;  (* encoded; the shard checkpoint's frontier *)
+  path : string;
+  mutable status : shard_status;
+  mutable attempts : int;
+  mutable failures : int;  (* non-chaos-induced failures, toward quarantine *)
+  mutable not_before : float;  (* retry backoff gate *)
+}
+
+(* Shatter a frontier into at least [target] pieces. Splittable prefixes are
+   repeatedly halved via {!Ch.split_prefix}; prefixes with no open choice
+   are atomic. The output order is a pure function of the input, so the
+   shard partition is deterministic for a given phase-1 frontier. *)
+let shatter prefixes target =
+  let q = Queue.create () in
+  List.iter (fun p -> Queue.push p q) prefixes;
+  let atomic = ref [] in
+  let total () = Queue.length q + List.length !atomic in
+  let rec go () =
+    if total () < target && not (Queue.is_empty q) then begin
+      let p = Queue.pop q in
+      (match Ch.split_prefix p with
+      | Some (kept, donated) ->
+          Queue.push kept q;
+          Queue.push donated q
+      | None -> atomic := p :: !atomic);
+      go ()
+    end
+  in
+  go ();
+  List.of_seq (Queue.to_seq q) @ List.rev !atomic
+
+(* Group decoded prefixes into shard-sized pieces of encoded prefixes: one
+   prefix per shard after shattering, or consecutive chunks when the
+   frontier is already finer than the target. *)
+let partition prefixes target =
+  let n = List.length prefixes in
+  if n = 0 then []
+  else if n >= target then begin
+    let per = (n + target - 1) / target in
+    let rec chunk acc cur k = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | p :: rest ->
+          if k = per then chunk (List.rev cur :: acc) [ p ] 1 rest
+          else chunk acc (p :: cur) (k + 1) rest
+    in
+    chunk [] [] 0 (List.map Ch.encode_prefix prefixes)
+  end
+  else List.map (fun p -> [ Ch.encode_prefix p ]) (shatter prefixes target)
+
+(* --- worker slots --------------------------------------------------------- *)
+
+type slot = {
+  wid : int;
+  mutable proc : Supervise.proc option;
+  mutable reader : Transport.reader option;
+  mutable ready : bool;
+  mutable busy : int option;  (* sid of the assigned shard *)
+  mutable busy_since : float;
+  mutable preempted : bool;
+  mutable last_beat : float;
+  mutable deaf : bool;  (* hang chaos: this worker's messages are dropped *)
+  mutable kill_at : float option;  (* kill chaos: scheduled SIGKILL *)
+  mutable chaos_attempt : bool;  (* current assignment carries an injected fault *)
+  mutable spawns : int;
+  mutable disabled : bool;
+}
+
+(* --- the run -------------------------------------------------------------- *)
+
+let run ~fleet ~config ~scenario =
+  let log fmt = Printf.ksprintf fleet.log fmt in
+  (* The workload string must be whatever {!Ex.run} fingerprints with, or the
+     workers would reject their own shards. *)
+  let real_fp = Ck.fingerprint ~workload:scenario.Ex.name config in
+  let rng = Random.State.make [| fleet.chaos_seed; 0x6a617275 |] in
+  let interrupted = ref false in
+
+  (* counters *)
+  let spawns = ref 0
+  and spawn_failures = ref 0
+  and assignments = ref 0
+  and retries = ref 0
+  and chaos_injected = ref 0
+  and steals = ref 0 in
+
+  (* Phase 1: explore in-process under a small execution cap to grow a
+     frontier worth sharding. jobs = 1 keeps it cheap and deterministic;
+     the partition it produces does not need to be canonical — any
+     partition of the tree merges identically. *)
+  let split_path = Filename.concat fleet.scratch "phase1.ckpt" in
+  let split_config =
+    {
+      config with
+      Jaaru.Config.jobs = 1;
+      max_executions = min config.Jaaru.Config.max_executions fleet.split_execs;
+    }
+  in
+  let outcome0 = Ex.run ~config:split_config ~checkpoint:split_path scenario in
+  let cp0 = Ck.load split_path in
+  let phase1_only = Ck.completed cp0 || outcome0.Ex.stats.Jaaru.Stats.interrupted in
+  if outcome0.Ex.stats.Jaaru.Stats.interrupted then interrupted := true;
+
+  let shard_target = max 1 fleet.workers * max 1 fleet.shards_per_worker in
+  let groups = if phase1_only then [] else partition (Ck.frontier_prefixes cp0) shard_target in
+  let shards =
+    Array.of_list
+      (List.mapi
+         (fun i prefixes ->
+           {
+             sid = i;
+             prefixes;
+             path = Filename.concat fleet.scratch (Printf.sprintf "shard-%d.ckpt" i);
+             status = Pending;
+             attempts = 0;
+             failures = 0;
+             not_before = 0.;
+           })
+         groups)
+  in
+  let extra_shards = ref [] in
+  (* Remainders stolen from preempted workers become fresh shards. *)
+  let next_sid = ref (Array.length shards) in
+  let shard_list () = Array.to_list shards @ List.rev !extra_shards in
+  let results : (int, Ex.outcome) Hashtbl.t = Hashtbl.create 64 in
+
+  let outcome_of_cp (cp : Ck.t) : Ex.outcome =
+    {
+      Ex.bugs = cp.Ck.bugs;
+      stats = cp.Ck.stats;
+      multi_rf = cp.Ck.multi_rf;
+      perf = cp.Ck.perf;
+      findings = cp.Ck.findings;
+    }
+  in
+
+  let write_shard sh =
+    let cp =
+      Ck.make ~fingerprint:real_fp ~frontier:sh.prefixes ~bugs:[] ~multi_rf:[] ~perf:[]
+        ~findings:[] ~stats:Jaaru.Stats.zero
+    in
+    Ck.save cp sh.path
+  in
+
+  let tear path =
+    match Unix.openfile path [ Unix.O_WRONLY ] 0o644 with
+    | exception Unix.Unix_error _ -> ()
+    | fd ->
+        Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+            let len = (Unix.fstat fd).Unix.st_size in
+            Unix.ftruncate fd (max 1 (len / 2)))
+  in
+
+  let slots =
+    Array.init (max 1 fleet.workers) (fun wid ->
+        {
+          wid;
+          proc = None;
+          reader = None;
+          ready = false;
+          busy = None;
+          busy_since = 0.;
+          preempted = false;
+          last_beat = 0.;
+          deaf = false;
+          kill_at = None;
+          chaos_attempt = false;
+          spawns = 0;
+          disabled = fleet.worker_argv = None;
+        })
+  in
+
+  let pending_eligible now =
+    List.filter (fun s -> s.status = Pending && s.not_before <= now) (shard_list ())
+  in
+  let unfinished () =
+    List.filter (fun s -> match s.status with Done -> false | _ -> true) (shard_list ())
+  in
+  let finished () =
+    List.for_all
+      (fun s -> match s.status with Done | Quarantined _ -> true | _ -> false)
+      (shard_list ())
+  in
+
+  let steal_split prefixes =
+    (* A stolen remainder becomes fresh shards so several idle workers can
+       share it. *)
+    List.iter
+      (fun group ->
+        let sid = !next_sid in
+        incr next_sid;
+        extra_shards :=
+          {
+            sid;
+            prefixes = group;
+            path = Filename.concat fleet.scratch (Printf.sprintf "shard-%d.ckpt" sid);
+            status = Pending;
+            attempts = 0;
+            failures = 0;
+            not_before = 0.;
+          }
+          :: !extra_shards)
+      (partition prefixes (max 2 fleet.workers))
+  in
+
+  let requeue ~why ~chaos sh now =
+    incr retries;
+    if not chaos then sh.failures <- sh.failures + 1;
+    if sh.failures >= fleet.quarantine_after then begin
+      sh.status <- Quarantined why;
+      log "shard %d quarantined after %d failures: %s" sh.sid sh.failures why
+    end
+    else begin
+      let delay =
+        Supervise.backoff ~base:fleet.backoff_base ~cap:fleet.backoff_cap ~attempt:sh.attempts
+      in
+      sh.status <- Pending;
+      sh.not_before <- now +. delay;
+      log "shard %d requeued (%s%s), retry in %.2fs" sh.sid why
+        (if chaos then ", chaos-induced" else "")
+        delay
+    end
+  in
+
+  let release_slot w =
+    (match w.reader with Some r -> Transport.close_reader r | None -> ());
+    (match w.proc with
+    | Some p ->
+        (try Unix.close p.Supervise.to_child with Unix.Unix_error _ -> ());
+        ignore (Supervise.wait_reap ~grace:0. p)
+    | None -> ());
+    w.proc <- None;
+    w.reader <- None;
+    w.ready <- false;
+    w.preempted <- false;
+    w.deaf <- false;
+    w.kill_at <- None;
+    w.chaos_attempt <- false
+  in
+
+  (* A worker died (or was declared dead): requeue its shard, if any, and
+     free the slot for a respawn. *)
+  let worker_down ~why w now =
+    (match w.busy with
+    | Some sid -> (
+        match List.find_opt (fun s -> s.sid = sid) (shard_list ()) with
+        | Some sh when sh.status <> Done -> requeue ~why ~chaos:w.chaos_attempt sh now
+        | _ -> ())
+    | None -> ());
+    w.busy <- None;
+    release_slot w
+  in
+
+  let maybe_spawn now =
+    match fleet.worker_argv with
+    | None -> ()
+    | Some argv ->
+        Array.iter
+          (fun w ->
+            if w.proc = None && not w.disabled && unfinished () <> [] then begin
+              if w.spawns >= fleet.spawn_attempts then begin
+                w.disabled <- true;
+                log "worker %d disabled after %d failed spawns" w.wid w.spawns
+              end
+              else begin
+                w.spawns <- w.spawns + 1;
+                incr spawns;
+                match Supervise.spawn ~argv with
+                | p ->
+                    w.proc <- Some p;
+                    w.reader <- Some (Transport.reader p.Supervise.from_child);
+                    w.ready <- false;
+                    w.last_beat <- now
+                | exception Supervise.Spawn_failed msg ->
+                    incr spawn_failures;
+                    log "worker %d spawn failed: %s" w.wid msg
+              end
+            end)
+          slots
+  in
+
+  let handle_result w sid payload now =
+    match Ck.of_string payload with
+    | exception Ck.Rejected msg ->
+        log "worker %d returned a corrupt result for shard %d: %s" w.wid sid msg;
+        (match List.find_opt (fun s -> s.sid = sid) (shard_list ()) with
+        | Some sh when sh.status <> Done -> requeue ~why:"corrupt result" ~chaos:w.chaos_attempt sh now
+        | _ -> ());
+        w.busy <- None;
+        w.preempted <- false
+    | cp ->
+        if cp.Ck.fingerprint <> real_fp then begin
+          log "worker %d returned a foreign result for shard %d" w.wid sid;
+          match List.find_opt (fun s -> s.sid = sid) (shard_list ()) with
+          | Some sh when sh.status <> Done ->
+              requeue ~why:"fingerprint mismatch in result" ~chaos:w.chaos_attempt sh now
+          | _ -> ()
+        end
+        else begin
+          (match List.find_opt (fun s -> s.sid = sid) (shard_list ()) with
+          | Some sh when sh.status <> Done ->
+              sh.status <- Done;
+              Hashtbl.replace results sid (outcome_of_cp cp);
+              if cp.Ck.frontier <> [] then begin
+                (* A preempted worker returned the explored part plus the
+                   remainder; the remainder becomes new shards. *)
+                incr steals;
+                log "shard %d returned %d remainder prefixes (steal)" sid
+                  (List.length cp.Ck.frontier);
+                steal_split (Ck.frontier_prefixes cp)
+              end
+          | _ -> ());
+          w.busy <- None;
+          w.preempted <- false
+        end
+  in
+
+  let handle_refused w sid reason now =
+    log "worker %d refused shard %d: %s" w.wid sid reason;
+    (match List.find_opt (fun s -> s.sid = sid) (shard_list ()) with
+    | Some sh when sh.status <> Done ->
+        (* The shard file may be torn (possibly by our own chaos): it is
+           rewritten intact on the next assignment either way. *)
+        requeue ~why:("refused: " ^ reason) ~chaos:w.chaos_attempt sh now
+    | _ -> ());
+    w.busy <- None;
+    w.preempted <- false
+  in
+
+  let drain_worker w now =
+    match w.reader with
+    | None -> ()
+    | Some r ->
+        let msgs = Transport.drain r in
+        if not w.deaf then
+          List.iter
+            (fun msg ->
+              match msg with
+              | Transport.Heartbeat _ ->
+                  w.last_beat <- now;
+                  if not w.ready then begin
+                    w.ready <- true;
+                    (* The handshake proves spawning works: the attempt
+                       budget guards consecutive spawn failures only, not a
+                       long chaos-heavy run's many legitimate respawns. *)
+                    w.spawns <- 0
+                  end
+              | Transport.Result { shard; payload } -> handle_result w shard payload now
+              | Transport.Refused { shard; reason } -> handle_refused w shard reason now
+              | Transport.Assign _ | Transport.Preempt -> ())
+            msgs
+  in
+
+  let assign w sh now =
+    match w.proc with
+    | None -> ()
+    | Some p ->
+        sh.attempts <- sh.attempts + 1;
+        incr assignments;
+        let plan = Supervise.plan rng fleet.chaos in
+        if Supervise.injects plan then incr chaos_injected;
+        w.chaos_attempt <- Supervise.injects plan;
+        write_shard sh;
+        if plan.Supervise.torn then begin
+          tear sh.path;
+          log "chaos: tore shard %d's checkpoint" sh.sid
+        end;
+        (match plan.Supervise.kill_after with
+        | Some d ->
+            w.kill_at <- Some (now +. d);
+            log "chaos: will kill worker %d in %.2fs" w.wid d
+        | None -> ());
+        if plan.Supervise.hang then begin
+          w.deaf <- true;
+          log "chaos: stalling worker %d's channel (hang)" w.wid
+        end;
+        match
+          Transport.write p.Supervise.to_child
+            (Transport.Assign { shard = sh.sid; attempt = sh.attempts; path = sh.path })
+        with
+        | () ->
+            sh.status <- Assigned w.wid;
+            w.busy <- Some sh.sid;
+            w.busy_since <- now
+        | exception Transport.Closed _ ->
+            Supervise.kill_group p;
+            worker_down ~why:"assign failed (pipe closed)" w now
+  in
+
+  let preempt w =
+    match w.proc with
+    | None -> ()
+    | Some p -> (
+        match Transport.write p.Supervise.to_child Transport.Preempt with
+        | () -> w.preempted <- true
+        | exception Transport.Closed _ -> ())
+  in
+
+  (* In-process fallback: no worker processes are available (none were
+     requested, or every spawn attempt failed), so explore the shards on
+     this process — slower, but the run still completes. *)
+  let explore_in_process sh now =
+    sh.attempts <- sh.attempts + 1;
+    incr assignments;
+    write_shard sh;
+    let out = sh.path ^ ".out" in
+    match
+      let cp = Ck.load sh.path in
+      Ex.run ~config ~resume:cp ~checkpoint:out scenario
+    with
+    | o ->
+        let rcp = Ck.load out in
+        sh.status <- Done;
+        Hashtbl.replace results sh.sid o;
+        if o.Ex.stats.Jaaru.Stats.interrupted then interrupted := true;
+        (* Any remainder — a cap, or the interrupt — must survive as new
+           (pending) shards so it reaches the aggregate checkpoint. *)
+        if rcp.Ck.frontier <> [] then steal_split (Ck.frontier_prefixes rcp)
+    | exception Ck.Rejected msg -> requeue ~why:("rejected: " ^ msg) ~chaos:false sh now
+    | exception exn -> requeue ~why:(Printexc.to_string exn) ~chaos:false sh now
+  in
+
+  let all_disabled () = Array.for_all (fun w -> w.disabled) slots in
+
+  let wind_down () =
+    (* Collect what the fleet can still deliver: preempt every busy worker,
+       give them a grace period to return partial results, then kill the
+       stragglers. A second interrupt skips the grace. *)
+    Array.iter (fun w -> if w.busy <> None then preempt w) slots;
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    let rec collect () =
+      let now = Unix.gettimeofday () in
+      let busy = Array.exists (fun w -> w.busy <> None && w.proc <> None) slots in
+      if busy && now < deadline && Ex.interrupts_requested () <= 1 then begin
+        let fds =
+          Array.to_list slots
+          |> List.filter_map (fun w ->
+                 match w.reader with
+                 | Some r when not (Transport.at_eof r) -> Some (Transport.reader_fd r)
+                 | _ -> None)
+        in
+        (try ignore (Unix.select fds [] [] 0.02)
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        Array.iter (fun w -> drain_worker w now) slots;
+        Array.iter
+          (fun w ->
+            match (w.proc, w.reader) with
+            | Some p, Some r when Transport.at_eof r ->
+                ignore (Supervise.reap p);
+                worker_down ~why:"worker exited during wind-down" w now
+            | _ -> ())
+          slots;
+        collect ()
+      end
+    in
+    collect ();
+    Array.iter
+      (fun w ->
+        (match w.proc with
+        | Some p ->
+            Supervise.kill_group p;
+            ignore (Supervise.wait_reap ~grace:0.5 p)
+        | None -> ());
+        (match w.busy with
+        | Some sid -> (
+            match List.find_opt (fun s -> s.sid = sid) (shard_list ()) with
+            | Some sh when sh.status <> Done -> sh.status <- Pending
+            | _ -> ())
+        | None -> ());
+        w.busy <- None;
+        release_slot w)
+      slots
+  in
+
+  let rec loop () =
+    if finished () then ()
+    else if Ex.interrupts_requested () > 0 then begin
+      interrupted := true;
+      wind_down ()
+    end
+    else begin
+      let now = Unix.gettimeofday () in
+      if fleet.worker_argv = None || all_disabled () then begin
+        match pending_eligible now with
+        | sh :: _ -> explore_in_process sh now; loop ()
+        | [] ->
+            if not (finished ()) then begin
+              (* Only backoff gates remain; wait the shortest one out. *)
+              let soonest =
+                List.fold_left
+                  (fun acc s -> if s.status = Pending then Float.min acc s.not_before else acc)
+                  infinity (shard_list ())
+              in
+              if soonest < infinity then Unix.sleepf (Float.max 0.005 (soonest -. now));
+              loop ()
+            end
+      end
+      else begin
+        maybe_spawn now;
+        (* chaos kills that came due *)
+        Array.iter
+          (fun w ->
+            match (w.kill_at, w.proc) with
+            | Some t, Some p when now >= t ->
+                w.kill_at <- None;
+                log "chaos: SIGKILL worker %d" w.wid;
+                Supervise.kill_group p
+            | _ -> ())
+          slots;
+        let fds =
+          Array.to_list slots
+          |> List.filter_map (fun w ->
+                 match w.reader with
+                 | Some r when not (Transport.at_eof r) -> Some (Transport.reader_fd r)
+                 | _ -> None)
+        in
+        (if fds = [] then Unix.sleepf 0.02
+         else
+           try ignore (Unix.select fds [] [] 0.02)
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        let now = Unix.gettimeofday () in
+        Array.iter (fun w -> drain_worker w now) slots;
+        (* dead workers: EOF on the pipe, or a reaped exit *)
+        Array.iter
+          (fun w ->
+            match w.proc with
+            | None -> ()
+            | Some p -> (
+                let eof = match w.reader with Some r -> Transport.at_eof r | None -> true in
+                if eof then begin
+                  let why =
+                    match Supervise.wait_reap ~grace:0.5 p with
+                    | Supervise.Exited 0 -> "worker exited"
+                    | Supervise.Exited c -> Printf.sprintf "worker exited with code %d" c
+                    | Supervise.Signaled s -> Printf.sprintf "worker killed by signal %d" s
+                    | Supervise.Running -> "worker pipe closed"
+                  in
+                  worker_down ~why w now
+                end
+                else
+                  match Supervise.reap p with
+                  | Supervise.Running -> ()
+                  | Supervise.Exited c ->
+                      worker_down ~why:(Printf.sprintf "worker exited with code %d" c) w now
+                  | Supervise.Signaled s ->
+                      worker_down ~why:(Printf.sprintf "worker killed by signal %d" s) w now))
+          slots;
+        (* heartbeat timeouts (the hang-chaos path arrives here: a deaf
+           worker's beats are dropped, so its slot times out and the shard
+           requeues exactly as for a real hang) *)
+        Array.iter
+          (fun w ->
+            match w.proc with
+            | Some p when now -. w.last_beat > fleet.heartbeat_timeout ->
+                log "worker %d heartbeat timeout (%.1fs), killing" w.wid
+                  (now -. w.last_beat);
+                Supervise.kill_group p;
+                ignore (Supervise.wait_reap ~grace:0.5 p);
+                worker_down ~why:"heartbeat timeout" w now
+            | _ -> ())
+          slots;
+        (* assignment: lowest shard id to lowest ready idle worker *)
+        let rec assign_loop () =
+          let idle =
+            Array.to_list slots
+            |> List.find_opt (fun w -> w.proc <> None && w.ready && w.busy = None)
+          in
+          match (idle, pending_eligible now) with
+          | Some w, sh :: _ ->
+              assign w sh now;
+              assign_loop ()
+          | _ -> ()
+        in
+        assign_loop ();
+        (* work stealing: idle capacity, nothing assignable, and a worker
+           stuck in one shard for a while — preempt one per tick; the
+           remainder it returns is shattered into fresh shards *)
+        (let idle_capacity =
+           Array.exists (fun w -> w.proc <> None && w.ready && w.busy = None) slots
+         and any_pending = List.exists (fun s -> s.status = Pending) (shard_list ()) in
+         if idle_capacity && not any_pending then
+           match
+             Array.to_list slots
+             |> List.filter (fun w ->
+                    w.busy <> None && not w.preempted && not w.deaf
+                    && now -. w.busy_since >= fleet.steal_after)
+             |> List.sort (fun a b -> Float.compare a.busy_since b.busy_since)
+           with
+           | w :: _ -> preempt w
+           | [] -> ());
+        loop ()
+      end
+    end
+  in
+
+  if not phase1_only then begin
+    if fleet.worker_argv <> None then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    log "fleet: %d shards across %d workers" (Array.length shards) fleet.workers;
+    loop ();
+    (* shut the workers down cleanly: closing their stdin makes them quit *)
+    Array.iter release_slot slots
+  end;
+
+  let shard_outcomes =
+    shard_list ()
+    |> List.filter_map (fun s -> Hashtbl.find_opt results s.sid)
+  in
+  let quarantined =
+    shard_list ()
+    |> List.filter_map (fun s ->
+           match s.status with Quarantined why -> Some (s.sid, why) | _ -> None)
+    |> List.sort compare
+  in
+  let remaining =
+    if phase1_only then cp0.Ck.frontier
+    else unfinished () |> List.concat_map (fun s -> s.prefixes)
+  in
+  let completed = remaining = [] && not !interrupted in
+  let outcome =
+    Ex.merge_outcomes ~config ~completed ~interrupted:!interrupted (outcome0 :: shard_outcomes)
+  in
+  let effective =
+    if fleet.worker_argv = None then 0
+    else List.length (List.filter (fun w -> not w.disabled) (Array.to_list slots))
+  in
+  {
+    outcome;
+    fleet =
+      {
+        shards = !next_sid;
+        workers_configured = fleet.workers;
+        workers_effective = effective;
+        spawns = !spawns;
+        spawn_failures = !spawn_failures;
+        assignments = !assignments;
+        retries = !retries;
+        chaos_injected = !chaos_injected;
+        steals = !steals;
+        quarantined;
+        in_process = fleet.worker_argv = None || all_disabled ();
+      };
+    remaining;
+    interrupted = !interrupted;
+  }

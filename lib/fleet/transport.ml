@@ -1,0 +1,209 @@
+(* Length-prefixed Wire frames over pipe file descriptors — the coordinator
+   / worker protocol. See transport.mli for the framing rationale. *)
+
+module Wire = Pmem.Wire
+
+exception Closed of string
+
+type msg =
+  | Heartbeat of { shard : int; beats : int }
+  | Assign of { shard : int; attempt : int; path : string }
+  | Preempt
+  | Result of { shard : int; payload : string }
+  | Refused of { shard : int; reason : string }
+
+(* A frame a worker could construct by accident must never be mistaken for a
+   huge allocation request: a shard-result payload is a checkpoint (KBs to a
+   few MBs); anything beyond this is a corrupt stream. *)
+let max_frame = 256 * 1024 * 1024
+
+let encode_msg b = function
+  | Heartbeat { shard; beats } ->
+      Wire.int b 0;
+      Wire.int b shard;
+      Wire.int b beats
+  | Assign { shard; attempt; path } ->
+      Wire.int b 1;
+      Wire.int b shard;
+      Wire.int b attempt;
+      Wire.string b path
+  | Preempt -> Wire.int b 2
+  | Result { shard; payload } ->
+      Wire.int b 3;
+      Wire.int b shard;
+      Wire.string b payload
+  | Refused { shard; reason } ->
+      Wire.int b 4;
+      Wire.int b shard;
+      Wire.string b reason
+
+let decode_msg payload =
+  let s = Wire.src payload in
+  let msg =
+    match Wire.rd_int s with
+    | 0 ->
+        let shard = Wire.rd_int s in
+        let beats = Wire.rd_int s in
+        Heartbeat { shard; beats }
+    | 1 ->
+        let shard = Wire.rd_int s in
+        let attempt = Wire.rd_int s in
+        let path = Wire.rd_string s in
+        Assign { shard; attempt; path }
+    | 2 -> Preempt
+    | 3 ->
+        let shard = Wire.rd_int s in
+        let payload = Wire.rd_string s in
+        Result { shard; payload }
+    | 4 ->
+        let shard = Wire.rd_int s in
+        let reason = Wire.rd_string s in
+        Refused { shard; reason }
+    | n -> raise (Wire.Corrupt (Printf.sprintf "unknown message tag %d" n))
+  in
+  Wire.expect_end s;
+  msg
+
+(* Frame: 4-byte big-endian payload length, 4-byte big-endian CRC-32 of the
+   payload, payload bytes. The CRC is defense in depth — a worker SIGKILLed
+   mid-write leaves a short read (caught by length), but a corrupted stream
+   must never decode into a plausible wrong message. *)
+
+let be32 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set buf (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set buf (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set buf (off + 3) (Char.chr (v land 0xff))
+
+let rd_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let frame msg =
+  let b = Wire.sink ~initial:256 () in
+  encode_msg b msg;
+  let payload = Wire.contents b in
+  let n = String.length payload in
+  let out = Bytes.create (8 + n) in
+  be32 out 0 n;
+  be32 out 4 (Pmem.Crc32.digest_string payload);
+  Bytes.blit_string payload 0 out 8 n;
+  out
+
+let write fd msg =
+  let buf = frame msg in
+  let len = Bytes.length buf in
+  let rec go off =
+    if off < len then begin
+      let n =
+        try Unix.write fd buf off (len - off) with
+        | Unix.Unix_error ((Unix.EPIPE | Unix.EBADF | Unix.ECONNRESET), _, _) ->
+            raise (Closed "peer closed the pipe")
+        | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (off + n)
+    end
+  in
+  go 0
+
+(* --- blocking reads (worker side) ---------------------------------------- *)
+
+let really_read fd buf off len =
+  let rec go off len =
+    if len > 0 then
+      match Unix.read fd buf off len with
+      | 0 -> raise (Closed "eof mid-frame")
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.ECONNRESET), _, _) ->
+          raise (Closed "peer closed the pipe")
+  in
+  go off len
+
+let parse_frame header body =
+  let expected = rd_be32 header 4 in
+  if Pmem.Crc32.digest_string body <> expected then raise (Closed "frame fails its checksum");
+  match decode_msg body with
+  | m -> m
+  | exception Wire.Corrupt msg -> raise (Closed (Printf.sprintf "corrupt frame: %s" msg))
+
+let read fd =
+  let header = Bytes.create 8 in
+  (* EOF cleanly between frames is a normal shutdown; EOF mid-frame is a torn
+     write from a dying peer — both surface as [Closed], callers do not
+     recover a protocol stream. *)
+  let n = try Unix.read fd header 0 1 with Unix.Unix_error (Unix.EINTR, _, _) -> -1 in
+  if n = 0 then raise (Closed "eof")
+  else begin
+    if n > 0 then really_read fd header n (8 - n) else really_read fd header 0 8;
+    let header = Bytes.unsafe_to_string header in
+    let len = rd_be32 header 0 in
+    if len < 0 || len > max_frame then raise (Closed "oversized frame");
+    let body = Bytes.create len in
+    really_read fd body 0 len;
+    parse_frame header (Bytes.unsafe_to_string body)
+  end
+
+(* --- non-blocking buffered reader (coordinator side) ---------------------- *)
+
+type reader = {
+  fd : Unix.file_descr;
+  mutable pending : string;  (* unparsed bytes, frame-aligned at offset 0 *)
+  mutable eof : bool;
+}
+
+let reader fd =
+  Unix.set_nonblock fd;
+  { fd; pending = ""; eof = false }
+
+let reader_fd r = r.fd
+let at_eof r = r.eof
+
+let close_reader r =
+  r.eof <- true;
+  try Unix.close r.fd with Unix.Unix_error _ -> ()
+
+let drain r =
+  let chunk = Bytes.create 65536 in
+  let rec pull acc =
+    match Unix.read r.fd chunk 0 (Bytes.length chunk) with
+    | 0 ->
+        r.eof <- true;
+        acc
+    | n -> pull (acc ^ Bytes.sub_string chunk 0 n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> acc
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> pull acc
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.ECONNRESET), _, _) ->
+        r.eof <- true;
+        acc
+  in
+  r.pending <- pull r.pending;
+  let msgs = ref [] in
+  let rec parse () =
+    let s = r.pending in
+    if String.length s >= 8 then begin
+      let len = rd_be32 s 0 in
+      if len < 0 || len > max_frame then begin
+        (* Poisoned stream: drop everything, report EOF — the supervisor
+           treats it as a dead worker and requeues the shard. *)
+        r.eof <- true;
+        r.pending <- ""
+      end
+      else if String.length s >= 8 + len then begin
+        let body = String.sub s 8 len in
+        r.pending <- String.sub s (8 + len) (String.length s - 8 - len);
+        (match parse_frame s body with
+        | m -> msgs := m :: !msgs
+        | exception Closed _ ->
+            r.eof <- true;
+            r.pending <- "");
+        parse ()
+      end
+    end
+  in
+  parse ();
+  (* A stream that ended mid-frame: the partial bytes can never complete. *)
+  if r.eof && r.pending <> "" then r.pending <- "";
+  List.rev !msgs

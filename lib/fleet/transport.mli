@@ -1,0 +1,70 @@
+(** The fleet wire protocol: length-prefixed, checksummed {!Pmem.Wire} frames
+    over the pipes connecting the coordinator to each supervised worker
+    process.
+
+    Frame layout: 4-byte big-endian payload length, 4-byte big-endian CRC-32
+    of the payload, payload. The length catches the common failure (a worker
+    SIGKILLed mid-write leaves a short final frame); the CRC guarantees a
+    corrupted stream surfaces as {!Closed} rather than decoding into a
+    plausible wrong message. A transport stream never recovers from a framing
+    error — the supervisor treats it as a dead worker and requeues the
+    shard. *)
+
+exception Closed of string
+(** The peer closed the pipe, the stream ended mid-frame, or a frame failed
+    its checksum. *)
+
+type msg =
+  | Heartbeat of { shard : int; beats : int }
+      (** worker → coordinator, periodic liveness proof; [shard] is the shard
+          currently being explored ([-1] when idle — the first idle beat
+          doubles as the ready handshake) *)
+  | Assign of { shard : int; attempt : int; path : string }
+      (** coordinator → worker: explore the shard checkpoint at [path] *)
+  | Preempt
+      (** coordinator → worker: stop cooperatively and return the remainder —
+          work stealing and graceful shutdown *)
+  | Result of { shard : int; payload : string }
+      (** worker → coordinator: the shard's result checkpoint, as bytes
+          ({!Jaaru.Checkpoint.of_string}); an interrupted shard carries a
+          non-empty frontier remainder *)
+  | Refused of { shard : int; reason : string }
+      (** worker → coordinator: the assignment could not even start (unreadable
+          or torn shard checkpoint, fingerprint mismatch) — distinct from a
+          crash so the coordinator can rewrite the file and retry *)
+
+val write : Unix.file_descr -> msg -> unit
+(** Writes one complete frame (blocking). Raises {!Closed} on a broken
+    pipe. *)
+
+val read : Unix.file_descr -> msg
+(** Blocks until one complete frame arrives — the worker side, where the
+    coordinator is the only peer and there is nothing to do without it.
+    Raises {!Closed} on EOF, a torn frame, or a checksum failure. *)
+
+(** {1 Non-blocking buffered reader — the coordinator side}
+
+    The coordinator multiplexes many workers with [Unix.select]; each
+    worker's pipe gets a [reader] that accumulates partial frames across
+    {!drain} calls and never blocks. *)
+
+type reader
+
+val reader : Unix.file_descr -> reader
+(** Takes ownership of [fd] and switches it to non-blocking mode. *)
+
+val reader_fd : reader -> Unix.file_descr
+(** The underlying descriptor, for the [select] read set. *)
+
+val drain : reader -> msg list
+(** Reads everything currently available and returns the complete frames, in
+    arrival order; partial trailing bytes are buffered for the next call.
+    EOF and framing errors do not raise — they latch {!at_eof}, because on
+    this side a dead peer is routine (that is what the supervisor is for). *)
+
+val at_eof : reader -> bool
+(** The stream has ended (peer exit, torn frame, or checksum failure) and no
+    further messages will arrive. *)
+
+val close_reader : reader -> unit
+(** Closes the descriptor and latches {!at_eof} (idempotent). *)

@@ -1,0 +1,105 @@
+(* The worker side of fleet mode: a protocol loop around one shard
+   exploration at a time. Deliberately generic — the actual exploration is
+   the [run] callback, so this module never depends on the case registry or
+   the explorer. See worker.mli for the thread structure. *)
+
+type assignment = { shard : int; attempt : int; path : string }
+
+type event = Run of assignment | Quit
+
+let serve ?(heartbeat_period = 0.05) ~on_preempt ~run () =
+  let input = Unix.stdin and output = Unix.stdout in
+  let out_mutex = Mutex.create () in
+  let send msg =
+    Mutex.lock out_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock out_mutex) (fun () ->
+        Transport.write output msg)
+  in
+  let current = Atomic.make (-1) in
+  let quit = Atomic.make false in
+  let inbox = Queue.create () in
+  let inbox_mutex = Mutex.create () in
+  let inbox_cond = Condition.create () in
+  let post ev =
+    Mutex.lock inbox_mutex;
+    Queue.push ev inbox;
+    Condition.signal inbox_cond;
+    Mutex.unlock inbox_mutex
+  in
+  (* Reader thread: the only consumer of stdin. Preempts are acted on
+     immediately — the main thread is busy inside [run] exactly when they
+     matter. Coordinator death (EOF) is treated as a preempt-then-quit, so an
+     orphaned worker stops instead of exploring into the void. *)
+  let reader =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match Transport.read input with
+          | Transport.Assign { shard; attempt; path } ->
+              post (Run { shard; attempt; path });
+              loop ()
+          | Transport.Preempt ->
+              on_preempt ();
+              loop ()
+          | Transport.Heartbeat _ | Transport.Result _ | Transport.Refused _ -> loop ()
+          | exception Transport.Closed _ ->
+              on_preempt ();
+              post Quit
+        in
+        loop ())
+      ()
+  in
+  (* Heartbeat thread: always beating, whatever the main thread is doing —
+     that is the point. The first (idle) beat doubles as the ready
+     handshake. A send failure means the coordinator is gone; stop quietly
+     and let the reader's EOF wind the main loop down. *)
+  let beater =
+    Thread.create
+      (fun () ->
+        let beats = ref 0 in
+        let rec loop () =
+          if not (Atomic.get quit) then begin
+            incr beats;
+            match send (Transport.Heartbeat { shard = Atomic.get current; beats = !beats }) with
+            | () ->
+                Thread.delay heartbeat_period;
+                loop ()
+            | exception Transport.Closed _ -> ()
+          end
+        in
+        loop ())
+      ()
+  in
+  let rec main () =
+    Mutex.lock inbox_mutex;
+    while Queue.is_empty inbox do
+      Condition.wait inbox_cond inbox_mutex
+    done;
+    let ev = Queue.pop inbox in
+    Mutex.unlock inbox_mutex;
+    match ev with
+    | Quit -> ()
+    | Run { shard; attempt; path } ->
+        Atomic.set current shard;
+        let reply =
+          match run ~shard ~attempt ~path with
+          | Ok payload -> Transport.Result { shard; payload }
+          | Error reason -> Transport.Refused { shard; reason }
+          | exception exn ->
+              Transport.Refused { shard; reason = Printexc.to_string exn }
+        in
+        Atomic.set current (-1);
+        (match send reply with
+        | () -> ()
+        | exception Transport.Closed _ -> Atomic.set quit true);
+        if not (Atomic.get quit) then main ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set quit true;
+      (* The reader is blocked on stdin; closing it unblocks the read with
+         [Closed] and lets the thread exit. *)
+      (try Unix.close input with Unix.Unix_error _ -> ());
+      (try Thread.join beater with _ -> ());
+      try Thread.join reader with _ -> ())
+    main

@@ -94,6 +94,81 @@ let run_structure ?(config = Runner.config) ?deadline ~seed ~count ~max_cmds ada
 let found_bug r = r.failure <> None
 let comparable_report r = { r with wall = 0. }
 
+(* The nightly coverage artifact: a schema-versioned JSON summary CI can
+   archive and trend. Hand-rolled like bench/jsonx.ml — the library links
+   nothing new — and deterministic: [wall] is never written. *)
+
+let json_schema = "jaaru-pbt-coverage/1"
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Printf.bprintf b "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char b c)
+    s
+
+let json_report reports =
+  let b = Buffer.create 1024 in
+  let str s =
+    Buffer.add_char b '"';
+    json_escape b s;
+    Buffer.add_char b '"'
+  in
+  let field ?(last = false) pad k write =
+    Buffer.add_string b pad;
+    str k;
+    Buffer.add_string b ": ";
+    write ();
+    Buffer.add_string b (if last then "\n" else ",\n")
+  in
+  Buffer.add_string b "{\n";
+  field "  " "schema" (fun () -> str json_schema);
+  field "  " ~last:true "structures" (fun () ->
+      if reports = [] then Buffer.add_string b "[]"
+      else begin
+        Buffer.add_string b "[\n";
+        List.iteri
+          (fun i r ->
+            if i > 0 then Buffer.add_string b ",\n";
+            Buffer.add_string b "    {\n";
+            field "      " "structure" (fun () -> str r.structure);
+            field "      " "seed" (fun () -> Buffer.add_string b (string_of_int r.seed));
+            field "      " "requested" (fun () -> Buffer.add_string b (string_of_int r.requested));
+            field "      " "max_cmds" (fun () -> Buffer.add_string b (string_of_int r.max_cmds));
+            field "      " "sequences" (fun () -> Buffer.add_string b (string_of_int r.sequences));
+            field "      " "executions" (fun () -> Buffer.add_string b (string_of_int r.executions));
+            field "      " "interrupted" (fun () ->
+                Buffer.add_string b (string_of_bool r.interrupted));
+            field "      " ~last:true "failure" (fun () ->
+                match r.failure with
+                | None -> Buffer.add_string b "null"
+                | Some f ->
+                    Buffer.add_string b "{\n";
+                    field "        " "shrink_steps" (fun () ->
+                        Buffer.add_string b (string_of_int f.shrink_steps));
+                    field "        " "commands" (fun () -> str (Cmd.render_list f.cmds));
+                    field "        " ~last:true "symptoms" (fun () ->
+                        Buffer.add_char b '[';
+                        List.iteri
+                          (fun j s ->
+                            if j > 0 then Buffer.add_string b ", ";
+                            str s)
+                          f.symptoms;
+                        Buffer.add_char b ']');
+                    Buffer.add_string b "      }");
+            Buffer.add_string b "    }")
+          reports;
+        Buffer.add_string b "\n  ]"
+      end);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
 let pp_report ppf r =
   match r.failure with
   | None ->

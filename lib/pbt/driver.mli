@@ -65,3 +65,16 @@ val comparable_report : report -> report
 val pp_report : Format.formatter -> report -> unit
 (** Deterministic rendering (no wall clock): one status line, plus the
     shrunk witness and its symptoms on failure. *)
+
+val json_schema : string
+(** The version tag written into {!json_report} artifacts
+    (["jaaru-pbt-coverage/1"]); bumped on any shape change so consumers
+    never misread an old artifact. *)
+
+val json_report : report list -> string
+(** The nightly coverage/witness summary as a schema-versioned JSON
+    document (see the $(b,--json-out) flag of [jaaru pbt]): per structure
+    the seed and requested coverage, the sequences and executions actually
+    explored, the interrupted flag, and the shrunk failure witness
+    (commands rendered as a repro string, plus symptoms) or [null].
+    Deterministic — [wall] is never written. *)

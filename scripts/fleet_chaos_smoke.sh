@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Fleet determinism under injected faults: run `jaaru fleet` with the chaos
+# harness killing, hanging and tearing its own workers, and assert the merged
+# report stays byte-identical to the single-process `jaaru check` baseline —
+# for every worker count, chaos on or off. This is the end-to-end half of the
+# fleet story (real processes, real signals, real pipes); test_fleet.ml
+# covers the in-process coordinator.
+#
+# Runs the built binary directly (not `dune exec`) so workers are spawned
+# from the real executable path rather than a build-tool wrapper.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+dune build bin/jaaru_cli.exe
+JAARU=_build/default/bin/jaaru_cli.exe
+
+CHAOS="kill:0.3,hang:0.1,torn:0.2"
+WORKER_MATRIX=(2 4)
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# case_id -> extra per-case flags (a deepened PMDK tree and a paper
+# RECIPE structure, so both workload families ride the fleet).
+run_case() {
+  local case_id=$1; shift
+  local extra=("$@")
+
+  echo "== $case_id: single-process baseline =="
+  "$JAARU" check "$case_id" --exhaustive "${extra[@]}" \
+    --report-out "$work/$case_id.baseline.txt"
+
+  for workers in "${WORKER_MATRIX[@]}"; do
+    echo "== $case_id: fleet --fleet-workers $workers (no chaos) =="
+    "$JAARU" fleet "$case_id" --fleet-workers "$workers" "${extra[@]}" \
+      --report-out "$work/$case_id.fleet$workers.txt"
+    diff -u "$work/$case_id.baseline.txt" "$work/$case_id.fleet$workers.txt"
+
+    echo "== $case_id: fleet --fleet-workers $workers --fleet-chaos $CHAOS =="
+    "$JAARU" fleet "$case_id" --fleet-workers "$workers" "${extra[@]}" \
+      --fleet-chaos "$CHAOS" --fleet-chaos-seed 7 --heartbeat-timeout 1 \
+      --report-out "$work/$case_id.chaos$workers.txt"
+    diff -u "$work/$case_id.baseline.txt" "$work/$case_id.chaos$workers.txt"
+  done
+}
+
+run_case pmdk-1 --max-failures 2
+run_case P-CLHT-1
+
+echo "OK: fleet reports are byte-identical to single-process baselines" \
+     "(workers: ${WORKER_MATRIX[*]}; chaos on and off)"

@@ -153,6 +153,77 @@ let test_failed_save_cleans_tmp () =
       (* And it still loads: the failed save changed nothing. *)
       ignore (Checkpoint.load path))
 
+(* --- robustness fuzz: no corrupted image is ever half-read ------------------ *)
+
+(* One real checkpoint image, capped so it is cheap and its frontier is
+   non-empty (truncations must threaten frontier bytes too, not just the
+   header). Computed once and shared by both properties. *)
+let fuzz_image =
+  lazy
+    (let scn, config = deep_case () in
+     with_temp_file (fun path ->
+         let config = { config with Config.max_executions = 16 } in
+         let _ = Explorer.run ~config ~checkpoint:path scn in
+         let img = In_channel.with_open_bin path In_channel.input_all in
+         let cp = Checkpoint.load path in
+         Alcotest.(check bool) "fuzz image has a frontier" true (cp.Checkpoint.frontier <> []);
+         (img, Checkpoint.to_string cp)))
+
+(* Every proper prefix of a checkpoint — a partial write that crashed before
+   the file was complete — must raise Rejected, never return garbage. *)
+let prop_truncation_rejected =
+  QCheck.Test.make ~name:"every truncation is rejected" ~count:500
+    QCheck.(pair (float_bound_inclusive 1.) small_nat)
+    (fun (frac, extra) ->
+      let img, _ = Lazy.force fuzz_image in
+      let len = String.length img in
+      (* Bias toward the interesting region boundaries but cover everything:
+         cut at a fraction of the file, sometimes minus a few bytes. *)
+      let n = max 0 (min (len - 1) (int_of_float (frac *. float_of_int len) - extra)) in
+      match Checkpoint.of_string (String.sub img 0 n) with
+      | _ -> false
+      | exception Checkpoint.Rejected _ -> true)
+
+(* A flipped bit anywhere in the image either trips the integrity checks or
+   — if some byte were genuinely dead — decodes to exactly the original
+   value. It must never mis-read. *)
+let prop_bitflip_never_misreads =
+  QCheck.Test.make ~name:"every bit flip rejects or reads back exactly" ~count:500
+    QCheck.(pair (float_bound_inclusive 1.) (int_bound 7))
+    (fun (frac, bit) ->
+      let img, canonical = Lazy.force fuzz_image in
+      let len = String.length img in
+      let pos = min (len - 1) (int_of_float (frac *. float_of_int (len - 1))) in
+      let flipped = Bytes.of_string img in
+      Bytes.set flipped pos (Char.chr (Char.code (Bytes.get flipped pos) lxor (1 lsl bit)));
+      match Checkpoint.of_string (Bytes.unsafe_to_string flipped) with
+      | cp -> Checkpoint.to_string cp = canonical
+      | exception Checkpoint.Rejected _ -> true)
+
+(* The write-fault hook as a partial-write simulator: a save that dies
+   between header and payload must leave NO readable file at a fresh
+   destination — partial writes never become loadable checkpoints. *)
+let test_partial_write_never_loadable () =
+  let scn, config = deep_case () in
+  with_temp_file (fun path ->
+      let _ = Explorer.run ~config ~checkpoint:path scn in
+      let cp = Checkpoint.load path in
+      let fresh = path ^ ".fresh" in
+      Fun.protect
+        ~finally:(fun () ->
+          Checkpoint.set_write_fault None;
+          List.iter
+            (fun p -> try Sys.remove p with Sys_error _ -> ())
+            [ fresh; fresh ^ ".tmp" ])
+        (fun () ->
+          Checkpoint.set_write_fault (Some (fun () -> failwith "killed mid-write"));
+          (match Checkpoint.save cp fresh with
+          | () -> Alcotest.fail "injected fault must propagate"
+          | exception Failure _ -> ());
+          Alcotest.(check bool) "no destination file appears" false (Sys.file_exists fresh);
+          Alcotest.(check bool) "no temp file survives" false
+            (Sys.file_exists (fresh ^ ".tmp"))))
+
 (* --- per-execution wall-clock deadline ------------------------------------- *)
 
 (* A workload that spins forever while still issuing Ctx operations slowly
@@ -300,6 +371,13 @@ let () =
           Alcotest.test_case "corruption rejected" `Quick test_checkpoint_corruption;
           Alcotest.test_case "failed save cleans up its temp file" `Quick
             test_failed_save_cleans_tmp;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_truncation_rejected;
+          QCheck_alcotest.to_alcotest prop_bitflip_never_misreads;
+          Alcotest.test_case "partial write never becomes loadable" `Quick
+            test_partial_write_never_loadable;
         ] );
       ( "watchdog",
         [ Alcotest.test_case "step deadline fires, max_steps does not" `Quick

@@ -1,0 +1,337 @@
+(* Fleet mode: the transport framing, the chaos/backoff machinery, prefix
+   shattering, and — the load-bearing property — that an in-process
+   coordinator run (the degraded mode every fleet can fall back to) reports
+   byte-identically to a plain single-process exploration. The spawned-
+   process path is exercised end to end by scripts/fleet_chaos_smoke.sh. *)
+open Jaaru
+
+let report_text (o : Explorer.outcome) = Format.asprintf "%a" Explorer.pp_report o
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "jaaru_fleet" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let deep_case () =
+  let c = List.hd (Pmdk.Workloads.fig12_cases ()) in
+  ( c.Pmdk.Workloads.scenario,
+    { c.Pmdk.Workloads.config with Config.max_failures = 2; stop_at_first_bug = false } )
+
+(* --- transport ------------------------------------------------------------- *)
+
+let all_msgs =
+  [
+    Fleet.Transport.Heartbeat { shard = -1; beats = 1 };
+    Fleet.Transport.Heartbeat { shard = 42; beats = 1_000_000 };
+    Fleet.Transport.Assign { shard = 0; attempt = 3; path = "/tmp/shard-0.ckpt" };
+    Fleet.Transport.Preempt;
+    Fleet.Transport.Result { shard = 7; payload = String.init 4096 (fun i -> Char.chr (i land 0xff)) };
+    Fleet.Transport.Refused { shard = 9; reason = "checkpoint payload fails its checksum" };
+  ]
+
+let test_transport_roundtrip () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      List.iter (fun m -> Fleet.Transport.write w m) all_msgs;
+      List.iter
+        (fun expected ->
+          let got = Fleet.Transport.read r in
+          Alcotest.(check bool) "message round-trips" true (got = expected))
+        all_msgs;
+      (* Closing the write end surfaces as a clean EOF. *)
+      Unix.close w;
+      match Fleet.Transport.read r with
+      | _ -> Alcotest.fail "read past EOF must raise Closed"
+      | exception Fleet.Transport.Closed _ -> ())
+
+let test_transport_reader_partial_frames () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close w with Unix.Unix_error _ -> ());
+      ())
+    (fun () ->
+      let reader = Fleet.Transport.reader r in
+      (* Serialize two frames into one byte string, then deliver it in
+         awkward chunks: the reader must reassemble exactly two messages. *)
+      let tmp_r, tmp_w = Unix.pipe () in
+      List.iter (fun m -> Fleet.Transport.write tmp_w m)
+        [ Fleet.Transport.Preempt; Fleet.Transport.Heartbeat { shard = 3; beats = 9 } ];
+      Unix.close tmp_w;
+      let buf = Bytes.create 65536 in
+      let n = Unix.read tmp_r buf 0 (Bytes.length buf) in
+      Unix.close tmp_r;
+      let bytes = Bytes.sub_string buf 0 n in
+      let cut = (String.length bytes / 2) + 1 in
+      ignore (Unix.write_substring w bytes 0 cut);
+      let msgs1 = Fleet.Transport.drain reader in
+      ignore (Unix.write_substring w bytes cut (String.length bytes - cut));
+      let msgs2 = Fleet.Transport.drain reader in
+      Alcotest.(check int) "both frames arrive across the chunk boundary" 2
+        (List.length msgs1 + List.length msgs2);
+      Alcotest.(check bool) "no eof yet" false (Fleet.Transport.at_eof reader);
+      Unix.close w;
+      let _ = Fleet.Transport.drain reader in
+      Alcotest.(check bool) "eof latches after peer close" true (Fleet.Transport.at_eof reader);
+      Fleet.Transport.close_reader reader)
+
+let test_transport_corrupt_frame () =
+  let r, w = Unix.pipe () in
+  let reader = Fleet.Transport.reader r in
+  (* A frame whose checksum cannot match: plausible length, garbage body. *)
+  let garbage = "\x00\x00\x00\x04\xde\xad\xbe\xefABCD" in
+  ignore (Unix.write_substring w garbage 0 (String.length garbage));
+  let msgs = Fleet.Transport.drain reader in
+  Alcotest.(check int) "corrupt frame yields no message" 0 (List.length msgs);
+  Alcotest.(check bool) "corrupt frame latches eof (dead worker)" true
+    (Fleet.Transport.at_eof reader);
+  Unix.close w;
+  Fleet.Transport.close_reader reader
+
+(* --- chaos spec and backoff ------------------------------------------------ *)
+
+let test_chaos_parse () =
+  let c = Fleet.Supervise.parse_chaos "kill:0.3,hang:0.1,torn:0.2" in
+  Alcotest.(check (float 1e-9)) "kill" 0.3 c.Fleet.Supervise.kill;
+  Alcotest.(check (float 1e-9)) "hang" 0.1 c.Fleet.Supervise.hang;
+  Alcotest.(check (float 1e-9)) "torn" 0.2 c.Fleet.Supervise.torn;
+  let c = Fleet.Supervise.parse_chaos "torn:1" in
+  Alcotest.(check (float 1e-9)) "single mode" 1.0 c.Fleet.Supervise.torn;
+  Alcotest.(check (float 1e-9)) "others default to 0" 0.0 c.Fleet.Supervise.kill;
+  Alcotest.(check bool) "empty spec is no chaos" true
+    (Fleet.Supervise.parse_chaos "" = Fleet.Supervise.no_chaos);
+  List.iter
+    (fun bad ->
+      match Fleet.Supervise.parse_chaos bad with
+      | _ -> Alcotest.failf "%S must be rejected" bad
+      | exception Invalid_argument _ -> ())
+    [ "kill"; "kill:2"; "kill:-0.1"; "explode:0.5"; "kill:abc" ]
+
+let test_chaos_plan_deterministic () =
+  let c = Fleet.Supervise.parse_chaos "kill:0.5,hang:0.5,torn:0.5" in
+  let draw seed n =
+    let rng = Random.State.make [| seed |] in
+    List.init n (fun _ -> Fleet.Supervise.plan rng c)
+  in
+  Alcotest.(check bool) "same seed, same fault schedule" true (draw 7 50 = draw 7 50);
+  let plans = draw 7 200 in
+  Alcotest.(check bool) "a 0.5 spec injects sometimes" true
+    (List.exists Fleet.Supervise.injects plans);
+  Alcotest.(check bool) "a 0.5 spec spares sometimes" true
+    (List.exists (fun p -> not (Fleet.Supervise.injects p)) plans);
+  let rng = Random.State.make [| 1 |] in
+  Alcotest.(check bool) "no_chaos never injects" false
+    (List.exists Fleet.Supervise.injects
+       (List.init 100 (fun _ -> Fleet.Supervise.plan rng Fleet.Supervise.no_chaos)))
+
+let test_backoff () =
+  let b attempt = Fleet.Supervise.backoff ~base:0.1 ~cap:1.0 ~attempt in
+  Alcotest.(check (float 1e-9)) "first retry at base" 0.1 (b 1);
+  Alcotest.(check (float 1e-9)) "doubles" 0.2 (b 2);
+  Alcotest.(check (float 1e-9)) "doubles again" 0.4 (b 3);
+  Alcotest.(check (float 1e-9)) "caps" 1.0 (b 10)
+
+(* --- Choice.split_prefix ---------------------------------------------------- *)
+
+(* Real prefixes, from a capped run's checkpoint: splitting must terminate,
+   both halves must round-trip through the codec, and the halves must differ
+   from the parent (progress). The semantic property — that the two halves
+   partition exactly the parent's subtree — is what the coordinator
+   differential below certifies, by exploring them. *)
+let test_split_prefix_invariants () =
+  let scn, config = deep_case () in
+  let path = Filename.temp_file "jaaru_split" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let config = { config with Config.max_executions = 16 } in
+      let _ = Explorer.run ~config ~checkpoint:path scn in
+      let cp = Checkpoint.load path in
+      let prefixes = Checkpoint.frontier_prefixes cp in
+      Alcotest.(check bool) "capped run left a frontier" true (prefixes <> []);
+      let splits = ref 0 in
+      let rec burn p depth =
+        if depth > 10_000 then Alcotest.fail "split_prefix does not terminate";
+        match Choice.split_prefix p with
+        | None -> ()
+        | Some (kept, donated) ->
+            incr splits;
+            let ek = Choice.encode_prefix kept and ed = Choice.encode_prefix donated in
+            Alcotest.(check bool) "kept differs from parent" true
+              (ek <> Choice.encode_prefix p);
+            Alcotest.(check bool) "halves differ from each other" true (ek <> ed);
+            (match (Choice.decode_prefix ek, Choice.decode_prefix ed) with
+            | Some k2, Some d2 ->
+                Alcotest.(check string) "kept round-trips" ek (Choice.encode_prefix k2);
+                Alcotest.(check string) "donated round-trips" ed (Choice.encode_prefix d2)
+            | _ -> Alcotest.fail "split halves must decode");
+            burn kept (depth + 1);
+            burn donated (depth + 1)
+      in
+      List.iter (fun p -> burn p 0) prefixes;
+      Alcotest.(check bool) "at least one prefix was splittable" true (!splits > 0))
+
+(* --- merge_outcomes ---------------------------------------------------------- *)
+
+let test_merge_outcomes_differential () =
+  let scn, config = deep_case () in
+  let full = Explorer.run ~config scn in
+  let path = Filename.temp_file "jaaru_merge" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* Explore a capped first half, then the checkpointed remainder, and
+         merge the two partial outcomes. *)
+      let capped = { config with Config.max_executions = 16 } in
+      let o1 = Explorer.run ~config:capped ~checkpoint:path scn in
+      let cp = Checkpoint.load path in
+      Alcotest.(check bool) "cap split the run" true (cp.Checkpoint.frontier <> []);
+      (* The remainder resumes under the full config; reports must not
+         double-count the first half, so seed it with empty stats. *)
+      let remainder =
+        Checkpoint.make
+          ~fingerprint:(Checkpoint.fingerprint ~workload:scn.Explorer.name config)
+          ~frontier:cp.Checkpoint.frontier ~bugs:[] ~multi_rf:[] ~perf:[] ~findings:[]
+          ~stats:Stats.zero
+      in
+      let o2 = Explorer.run ~config ~resume:remainder scn in
+      let merged = Explorer.merge_outcomes ~config ~completed:true ~interrupted:false [ o1; o2 ] in
+      Alcotest.(check string) "merge of disjoint halves = uninterrupted run" (report_text full)
+        (report_text merged);
+      Alcotest.(check bool) "merged run exhausted" true merged.Explorer.stats.Stats.exhausted)
+
+(* --- the coordinator (in-process mode) -------------------------------------- *)
+
+let coordinator_case scn config ~chaos ~workers =
+  with_temp_dir (fun scratch ->
+      let fleet =
+        {
+          (Fleet.Coordinator.default ~scratch) with
+          Fleet.Coordinator.workers;
+          chaos;
+          worker_argv = None;
+        }
+      in
+      Fleet.Coordinator.run ~fleet ~config ~scenario:scn)
+
+let test_coordinator_in_process_differential () =
+  let scn, config = deep_case () in
+  let expected = report_text (Explorer.run ~config scn) in
+  List.iter
+    (fun workers ->
+      let r = coordinator_case scn config ~chaos:Fleet.Supervise.no_chaos ~workers in
+      Alcotest.(check string)
+        (Printf.sprintf "fleet(workers=%d, in-process) = single process" workers)
+        expected (report_text r.Fleet.Coordinator.outcome);
+      Alcotest.(check bool) "nothing remaining" true (r.Fleet.Coordinator.remaining = []);
+      Alcotest.(check bool) "not interrupted" false r.Fleet.Coordinator.interrupted;
+      Alcotest.(check bool) "fell back in-process" true r.Fleet.Coordinator.fleet.Fleet.Coordinator.in_process;
+      Alcotest.(check bool) "no quarantine" true
+        (r.Fleet.Coordinator.fleet.Fleet.Coordinator.quarantined = []))
+    [ 1; 2; 4 ]
+
+(* Spawn failures must degrade, not abort: a worker argv that cannot exist
+   disables every slot and the coordinator completes the run itself, still
+   byte-identically. *)
+let test_coordinator_degrades_on_spawn_failure () =
+  let scn, config = deep_case () in
+  let expected = report_text (Explorer.run ~config scn) in
+  with_temp_dir (fun scratch ->
+      let fleet =
+        {
+          (Fleet.Coordinator.default ~scratch) with
+          Fleet.Coordinator.workers = 2;
+          spawn_attempts = 2;
+          worker_argv = Some [| "/nonexistent/jaaru-worker-binary" |];
+        }
+      in
+      let r = Fleet.Coordinator.run ~fleet ~config ~scenario:scn in
+      Alcotest.(check string) "degraded fleet = single process" expected
+        (report_text r.Fleet.Coordinator.outcome);
+      Alcotest.(check bool) "spawn failures were counted" true
+        (r.Fleet.Coordinator.fleet.Fleet.Coordinator.spawn_failures > 0);
+      Alcotest.(check int) "no effective workers" 0
+        r.Fleet.Coordinator.fleet.Fleet.Coordinator.workers_effective;
+      Alcotest.(check bool) "degraded to in-process" true
+        r.Fleet.Coordinator.fleet.Fleet.Coordinator.in_process)
+
+(* An interrupt mid-fleet must leave a remainder that, resumed as a plain
+   checkpoint, completes to the uninterrupted report — fleet and check
+   checkpoints are interchangeable. *)
+let test_coordinator_interrupt_remainder () =
+  let scn, config = deep_case () in
+  let expected = report_text (Explorer.run ~config scn) in
+  Explorer.clear_interrupt ();
+  Fun.protect ~finally:Explorer.clear_interrupt (fun () ->
+      let killer =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.05;
+            Explorer.request_interrupt ())
+          ()
+      in
+      let r = coordinator_case scn config ~chaos:Fleet.Supervise.no_chaos ~workers:2 in
+      Thread.join killer;
+      if r.Fleet.Coordinator.interrupted then begin
+        Alcotest.(check bool) "interrupted fleet reports interrupted stats" true
+          r.Fleet.Coordinator.outcome.Explorer.stats.Stats.interrupted;
+        Explorer.clear_interrupt ();
+        let o = r.Fleet.Coordinator.outcome in
+        let cp =
+          Checkpoint.make
+            ~fingerprint:(Checkpoint.fingerprint ~workload:scn.Explorer.name config)
+            ~frontier:r.Fleet.Coordinator.remaining ~bugs:o.Explorer.bugs
+            ~multi_rf:o.Explorer.multi_rf ~perf:o.Explorer.perf ~findings:o.Explorer.findings
+            ~stats:o.Explorer.stats
+        in
+        let final = Explorer.run ~config ~resume:cp scn in
+        Alcotest.(check string) "interrupted fleet + resume = uninterrupted" expected
+          (report_text final)
+      end
+      else
+        (* The machine outran the killer: the complete report must match. *)
+        Alcotest.(check string) "uninterrupted fleet = single process" expected
+          (report_text r.Fleet.Coordinator.outcome))
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "transport",
+        [
+          Alcotest.test_case "round-trip over a pipe" `Quick test_transport_roundtrip;
+          Alcotest.test_case "reader reassembles partial frames" `Quick
+            test_transport_reader_partial_frames;
+          Alcotest.test_case "corrupt frame = dead worker" `Quick test_transport_corrupt_frame;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_chaos_parse;
+          Alcotest.test_case "fault schedule is seeded" `Quick test_chaos_plan_deterministic;
+          Alcotest.test_case "capped exponential backoff" `Quick test_backoff;
+        ] );
+      ( "shatter",
+        [ Alcotest.test_case "split_prefix invariants" `Quick test_split_prefix_invariants ] );
+      ( "merge",
+        [
+          Alcotest.test_case "merge of disjoint halves" `Quick test_merge_outcomes_differential;
+        ] );
+      ( "coordinator",
+        [
+          Alcotest.test_case "in-process fleet = single process" `Slow
+            test_coordinator_in_process_differential;
+          Alcotest.test_case "degrades on spawn failure" `Slow
+            test_coordinator_degrades_on_spawn_failure;
+          Alcotest.test_case "interrupt leaves a resumable remainder" `Quick
+            test_coordinator_interrupt_remainder;
+        ] );
+    ]
